@@ -1,0 +1,214 @@
+// Command benchtab regenerates the paper's evaluation tables (DESIGN.md
+// E1..E10, recorded in EXPERIMENTS.md) by running the workload drivers at
+// fixed parameters and printing one table per experiment. Pass -quick for
+// a fast smoke run with smaller parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+var quick = flag.Bool("quick", false, "smaller parameters for a fast run")
+
+func cfg() kernel.Config { return workload.DefaultConfig() }
+
+func n(full, small int) int {
+	if *quick {
+		return small
+	}
+	return full
+}
+
+func table(title string, cols string) {
+	fmt.Printf("\n%s\n", title)
+	for range title {
+		fmt.Print("─")
+	}
+	fmt.Printf("\n%s\n", cols)
+}
+
+func row(name string, m workload.Metrics, extra string) {
+	fmt.Printf("  %-22s %10.0f %12v %8d %8d%s\n",
+		name, m.CyclesPerOp(), m.Wall.Round(time.Microsecond), m.Shootdowns, m.Faults, extra)
+}
+
+func main() {
+	flag.Parse()
+	fmt.Println("share groups reproduction — experiment tables (simulated MIPS R2000 multiprocessor, 4 CPUs)")
+
+	e1e4()
+	e2()
+	e3()
+	e8()
+	e5()
+	e6()
+	e7()
+	e10()
+	ablations()
+}
+
+// ablations — DESIGN.md §6: the rejected designs, measured.
+func ablations() {
+	pages := n(512, 64)
+	table("A1 — shared read lock vs exclusive lock on the pregion list (4 faulting members)",
+		"  variant                  simcyc/op         wall  shootdn   faults")
+	m := workload.FaultScaling(cfg(), 4, pages/4)
+	row("shared read lock", m, fmt.Sprintf("  lock: %d concurrent scans, %d exclusive, %d sleeps", m.RLocks, m.WLocks, m.LockSleeps))
+	exc := cfg()
+	exc.ExclusiveVMLock = true
+	m = workload.FaultScaling(exc, 4, pages/4)
+	row("exclusive lock", m, fmt.Sprintf("  lock: %d concurrent scans, %d exclusive, %d sleeps", m.RLocks, m.WLocks, m.LockSleeps))
+	fmt.Println("  shape: the shared lock admits every fault concurrently; the exclusive variant")
+	fmt.Println("  serializes all of them (every scan is an exclusive acquisition)")
+
+	rt := n(300, 30)
+	table("A2 — deferred vs eager attribute synchronization (4 members)",
+		"  variant                  simcyc/op         wall  shootdn   faults")
+	m = workload.AttrSync(cfg(), 4, rt)
+	row("deferred (p_flag bits)", m, fmt.Sprintf("  updater-cyc/op=%.0f syncs=%d", m.UpdaterPerOp(), m.Syncs))
+	eg := cfg()
+	eg.EagerAttrSync = true
+	m = workload.AttrSync(eg, 4, rt)
+	row("eager push", m, fmt.Sprintf("  updater-cyc/op=%.0f syncs=%d", m.UpdaterPerOp(), m.Syncs))
+	fmt.Println("  shape: eager pushing moves the whole propagation onto the updater's critical")
+	fmt.Println("  path; the deferred design leaves the updater with a near-constant cost")
+}
+
+// E1/E4 — creation cost.
+func e1e4() {
+	iters := n(400, 50)
+	table("E1/E4 — process creation (create+join, 32 dirty pages)",
+		"  primitive                simcyc/op         wall  shootdn   faults")
+	for _, kind := range []workload.CreateKind{
+		workload.CreateFork, workload.CreateSprocNVM,
+		workload.CreateSproc, workload.CreateThread,
+	} {
+		row(string(kind), workload.Creation(cfg(), kind, 32, iters), "")
+	}
+	fmt.Println("  paper: sproc() slightly cheaper than fork() (§7); Mach threads ~10x fork's rate (§3)")
+
+	table("E1b — fork vs sproc vs image size (the gap scales with what fork must copy)",
+		"  image                    simcyc/op         wall  shootdn   faults")
+	for _, dp := range []int{16, 64, 256} {
+		c := cfg()
+		c.DataPages = dp
+		f := workload.Creation(c, workload.CreateFork, 0, iters/2)
+		sp := workload.Creation(c, workload.CreateSproc, 0, iters/2)
+		row(fmt.Sprintf("fork,  data=%dp", dp), f, "")
+		row(fmt.Sprintf("sproc, data=%dp", dp), sp,
+			fmt.Sprintf("  fork/sproc=%.2f", f.CyclesPerOp()/sp.CyclesPerOp()))
+	}
+}
+
+// E2 — VM synchronization.
+func e2() {
+	pages := n(512, 64)
+	table("E2a — demand-fault cost vs share-group size (shared read lock hot path)",
+		"  configuration            simcyc/op         wall  shootdn   faults")
+	row("solo process", workload.FaultScaling(cfg(), 0, pages), "")
+	for _, m := range []int{1, 2, 4, 8} {
+		row(fmt.Sprintf("group of %d", m), workload.FaultScaling(cfg(), m, pages/m+1), "")
+	}
+	iters := n(300, 30)
+	table("E2b — region grow vs shrink (shrink pays the machine-wide shootdown)",
+		"  operation                simcyc/op         wall  shootdn   faults")
+	row("sbrk grow", workload.GrowOnly(cfg(), iters), "")
+	row("sbrk shrink (0 spin)", workload.ShrinkShootdown(cfg(), 0, iters), "")
+	row("sbrk shrink (3 spin)", workload.ShrinkShootdown(cfg(), 3, iters), "")
+	fmt.Println("  paper: VM sync overhead negligible except when detaching or shrinking regions (§7)")
+}
+
+// E3 — no penalty for normal processes.
+func e3() {
+	iters := n(20000, 2000)
+	table("E3 — system-call overhead: plain process vs clean group member",
+		"  configuration            simcyc/op         wall  shootdn   faults")
+	row("getpid, plain", workload.SyscallNull(cfg(), false, iters), "")
+	row("getpid, member", workload.SyscallNull(cfg(), true, iters), "")
+	oc := n(2000, 200)
+	row("open+close, plain", workload.SyscallOpenClose(cfg(), false, false, oc), "")
+	row("open+close, member", workload.SyscallOpenClose(cfg(), true, false, oc), "")
+	fmt.Println("  paper: normal UNIX processes experience no penalty (§7, design goal 4)")
+}
+
+// E8 — attribute synchronization.
+func e8() {
+	oc := n(1000, 100)
+	table("E8 — deferred attribute synchronization (§6.3)",
+		"  configuration            simcyc/op         wall  shootdn   faults")
+	row("open+close, clean", workload.SyscallOpenClose(cfg(), true, false, oc), "")
+	row("open+close, stormed", workload.SyscallOpenClose(cfg(), true, true, oc), "")
+	rt := n(300, 30)
+	for _, members := range []int{1, 2, 4, 8} {
+		m := workload.AttrSync(cfg(), members, rt)
+		row(fmt.Sprintf("umask round, %d members", members), m,
+			fmt.Sprintf("  syncs/op=%.1f", float64(m.Syncs)/float64(m.Ops)))
+	}
+	fmt.Println("  paper: one flag test on the fast path; update cost linear in sharing members")
+}
+
+// E5 — data-passing bandwidth.
+func e5() {
+	total := n(1<<20, 1<<17)
+	table("E5 — data-passing cost per chunk (producer -> consumer)",
+		"  mechanism/chunk          simcyc/op         wall  shootdn   faults")
+	for _, chunk := range []int{64, 256, 1024, 4096} {
+		for _, mech := range []workload.Mech{
+			workload.MechShm, workload.MechPipe, workload.MechMsgq, workload.MechSocket,
+		} {
+			m := workload.IPCBandwidth(cfg(), mech, chunk, total)
+			row(fmt.Sprintf("%s %dB", mech, chunk), m, "")
+		}
+	}
+	fmt.Println("  paper: shared memory is the highest-bandwidth path (§3)")
+}
+
+// E6 — synchronization latency.
+func e6() {
+	rounds := n(3000, 200)
+	table("E6 — synchronization round-trip latency",
+		"  mechanism                simcyc/op         wall  shootdn   faults")
+	for _, mech := range []workload.SyncMech{
+		workload.SyncSpin, workload.SyncSemop, workload.SyncPipe,
+	} {
+		row(string(mech), workload.SyncLatency(cfg(), mech, rounds), "")
+	}
+	row("signal", workload.SyncLatency(cfg(), workload.SyncSignal, n(500, 50)), "")
+	fmt.Println("  paper: busy-waiting approaches memory speed; kernel sync is far slower (§3)")
+}
+
+// E7 — self-scheduling pool.
+func e7() {
+	items := n(400, 60)
+	const grain = 2000
+	table("E7a — parallel work organization (4 workers, grain 2000)",
+		"  organization             simcyc/op         wall  shootdn   faults")
+	for _, mode := range []workload.PoolMode{
+		workload.PoolSproc, workload.PoolPipeWorkers, workload.PoolForkPerTask,
+	} {
+		row(string(mode), workload.Pool(cfg(), mode, 4, items, grain), "")
+	}
+	table("E7b — sproc pool scaling (self-scheduling, 4 CPUs)",
+		"  workers                  simcyc/op         wall  shootdn   faults")
+	for _, w := range []int{1, 2, 4, 8} {
+		row(fmt.Sprintf("%d workers", w), workload.Pool(cfg(), workload.PoolSproc, w, items, grain), "")
+	}
+	fmt.Println("  paper: preallocated self-scheduling pools make creation speed irrelevant (§3)")
+}
+
+// E10 — gang scheduling ablation (§8 future work).
+func e10() {
+	rounds := n(200, 30)
+	table("E10 — gang scheduling (4-member spin-barrier group vs 4 load processes, 4 CPUs)",
+		"  dispatcher               simcyc/op         wall  shootdn   faults")
+	m := workload.GangBarrier(cfg(), false, 4, 4, rounds, 600)
+	row("standard", m, fmt.Sprintf("  member-dispatches/round=%.2f", float64(m.Dispatches)/float64(m.Ops)))
+	m = workload.GangBarrier(cfg(), true, 4, 4, rounds, 600)
+	row("gang mode", m, fmt.Sprintf("  member-dispatches/round=%.2f", float64(m.Dispatches)/float64(m.Ops)))
+	fmt.Println("  paper (§8): schedule the share group as a whole so spinners' partners are running")
+}

@@ -1,0 +1,141 @@
+// Asyncio implements the paper's §4 example: "a user-level asynchronous
+// I/O scheme could be implemented by sharing the memory and file
+// descriptors. High level I/O calls are translated into an equivalent call
+// in a child shared process, which performs the I/O directly from the
+// original buffer and then signals the parent."
+//
+// The parent enqueues write requests into a shared-memory ring; the I/O
+// child picks them up, performs the write(2) on the *shared descriptor*
+// directly from the original buffer address, and raises a completion flag.
+// The parent overlaps "computation" with the I/O.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	irix "repro"
+)
+
+// Request slot layout in shared memory (one cache-line-ish stride):
+//
+//	+0  state: 0 free, 1 submitted, 2 complete
+//	+4  fd
+//	+8  buffer address (in the shared space!)
+//	+12 length
+const (
+	slotState = 0
+	slotFd    = 4
+	slotBuf   = 8
+	slotLen   = 12
+	slotSize  = 64
+	nslots    = 4
+)
+
+func main() {
+	sys := irix.New(irix.Config{NCPU: 2})
+
+	sys.Start("asyncio", func(c *irix.Ctx) {
+		ring, err := c.Mmap(16) // request ring + data buffers + control words
+		if err != nil {
+			log.Fatal(err)
+		}
+		bufArea := ring + nslots*slotSize
+
+		fd, err := c.Open("/journal", irix.ORead|irix.OWrite|irix.OCreat, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The I/O worker: shares address space AND descriptors, so the
+		// fd number and the buffer address it reads from the ring are
+		// directly usable. A monotonic doorbell word wakes it from its
+		// cache spin without races.
+		ctl := ring + nslots*slotSize + 32*1024
+		doorbell, stop := ctl, ctl+4
+		c.Sproc("io-worker", func(w *irix.Ctx, _ int64) {
+			var seen uint32
+			for {
+				served := false
+				for s := 0; s < nslots; s++ {
+					slot := ring + irix.VAddr(s*slotSize)
+					st, _ := w.Load32(slot + slotState)
+					if st != 1 {
+						continue
+					}
+					served = true
+					rfd, _ := w.Load32(slot + slotFd)
+					buf, _ := w.Load32(slot + slotBuf)
+					n, _ := w.Load32(slot + slotLen)
+					// The I/O happens directly from the original buffer.
+					if _, err := w.Write(int(rfd), irix.VAddr(buf), int(n)); err != nil {
+						log.Fatalf("io-worker write: %v", err)
+					}
+					w.Store32(slot+slotState, 2) // completion "signal"
+				}
+				if v, _ := w.Load32(stop); v == 1 {
+					return
+				}
+				if !served {
+					last := seen
+					v, _ := w.SpinWait32(doorbell, func(v uint32) bool { return v != last })
+					seen = v
+				}
+			}
+		}, irix.PRSADDR|irix.PRSFDS, 0)
+
+		// Submit eight asynchronous writes, overlapping with "compute".
+		submitted := 0
+		for i := 0; i < 8; i++ {
+			// Find a free slot (completions free slots as we go).
+			var slot irix.VAddr
+			for {
+				found := false
+				for s := 0; s < nslots; s++ {
+					cand := ring + irix.VAddr(s*slotSize)
+					if st, _ := c.Load32(cand + slotState); st != 1 {
+						if st == 2 {
+							fmt.Printf("  completion harvested from slot %d\n", s)
+						}
+						slot, found = cand, true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+			msg := fmt.Sprintf("async record %d\n", i)
+			buf := bufArea + irix.VAddr(i*64)
+			c.StoreBytes(buf, []byte(msg))
+			c.Store32(slot+slotFd, uint32(fd))
+			c.Store32(slot+slotBuf, uint32(buf))
+			c.Store32(slot+slotLen, uint32(len(msg)))
+			c.Store32(slot+slotState, 1)
+			c.Add32(doorbell, 1) // ring the worker
+			submitted++
+
+			// Overlapped computation.
+			for k := 0; k < 500; k++ {
+				c.Store32(bufArea+16*1024, uint32(k))
+			}
+		}
+
+		// Drain: wait until every slot is free or complete.
+		for s := 0; s < nslots; s++ {
+			slot := ring + irix.VAddr(s*slotSize)
+			c.SpinWait32(slot+slotState, func(v uint32) bool { return v != 1 })
+		}
+		c.Store32(stop, 1)
+		c.Add32(doorbell, 1)
+		c.Wait()
+
+		st, _ := c.Stat("/journal")
+		fmt.Printf("submitted %d async writes; /journal is %d bytes\n", submitted, st.Size)
+		c.Lseek(fd, 0, irix.SeekSet)
+		contents, _ := c.ReadString(fd, bufArea+20*1024, int(st.Size))
+		fmt.Printf("journal contents:\n%s", contents)
+	})
+
+	sys.WaitIdle()
+}

@@ -1,0 +1,148 @@
+// Makepar is a parallel, dependency-driven job scheduler — the "simple yet
+// powerful applications which use multiple processes" the paper's
+// conclusion promises. A build-like DAG of jobs is placed in shared
+// memory; a pool of share-group workers claims ready jobs with the
+// hardware interlock, "executes" them (writing their artifact through the
+// shared descriptor table), and retires their dependents. Everything —
+// job states, the ready count, the log descriptor, the working directory —
+// is coordinated through share-group resources.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	irix "repro"
+)
+
+// Job table entry layout in shared memory.
+const (
+	jobState = 0  // 0 pending, 1 ready, 2 claimed, 3 done
+	jobDeps  = 4  // remaining dependency count
+	jobSize  = 32 // stride
+)
+
+// The DAG: a classic build shape.
+//
+//	0:parse  1:lex          (no deps)
+//	2:ast  <- parse,lex
+//	3:opt  <- ast
+//	4:gen  <- ast
+//	5:link <- opt,gen
+//	6:test <- link
+var deps = [][]int{
+	{}, {}, {0, 1}, {2}, {2}, {3, 4}, {5},
+}
+
+var names = []string{"parse", "lex", "ast", "opt", "gen", "link", "test"}
+
+const workers = 3
+
+func main() {
+	sys := irix.New(irix.Config{NCPU: 4})
+
+	sys.Start("makepar", func(c *irix.Ctx) {
+		tbl, err := c.Mmap(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doneCount := tbl + irix.VAddr(len(deps)*jobSize)
+
+		// Build the shared job table: dependency counts; roots are ready.
+		for j, dl := range deps {
+			slot := tbl + irix.VAddr(j*jobSize)
+			c.Store32(slot+jobDeps, uint32(len(dl)))
+			if len(dl) == 0 {
+				c.Store32(slot+jobState, 1)
+			}
+		}
+
+		// A shared build log: workers append through the same offset.
+		c.Mkdir("/build", 0o755)
+		c.Chdir("/build") // propagates: workers inherit and share cwd
+		logFd, err := c.Open("log", irix.ORead|irix.OWrite|irix.OCreat|irix.OAppend, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for w := 0; w < workers; w++ {
+			c.Sproc("builder", func(wc *irix.Ctx, id int64) {
+				for {
+					n, _ := wc.Load32(doneCount)
+					if n == uint32(len(deps)) {
+						return
+					}
+					claimed := -1
+					for j := range deps {
+						slot := tbl + irix.VAddr(j*jobSize)
+						if ok, _ := wc.CAS32(slot+jobState, 1, 2); ok {
+							claimed = j
+							break
+						}
+					}
+					if claimed < 0 {
+						// Nothing ready: spin on the done counter.
+						wc.SpinWait32(doneCount, func(v uint32) bool {
+							return v != n
+						})
+						continue
+					}
+					runJob(wc, id, claimed, logFd)
+					// Retire: mark done, decrement dependents, publish.
+					slot := tbl + irix.VAddr(claimed*jobSize)
+					wc.Store32(slot+jobState, 3)
+					for k, dl := range deps {
+						for _, d := range dl {
+							if d != claimed {
+								continue
+							}
+							kslot := tbl + irix.VAddr(k*jobSize)
+							if left, _ := wc.Add32(kslot+jobDeps, ^uint32(0)); left == 0 {
+								wc.Store32(kslot+jobState, 1)
+							}
+						}
+					}
+					wc.Add32(doneCount, 1)
+				}
+			}, irix.PRSADDR|irix.PRSFDS|irix.PRSDIR, int64(w))
+		}
+
+		for w := 0; w < workers; w++ {
+			if _, _, err := c.Wait(); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Show the build products and the interleaved log.
+		fmt.Println("artifacts in /build:")
+		for _, n := range names {
+			st, err := c.Stat(n + ".o")
+			if err != nil {
+				log.Fatalf("missing artifact %s.o", n)
+			}
+			fmt.Printf("  %-8s %d bytes\n", n+".o", st.Size)
+		}
+		st, _ := c.Stat("log")
+		c.Lseek(logFd, 0, irix.SeekSet)
+		text, _ := c.ReadString(logFd, tbl+2048, int(st.Size))
+		fmt.Printf("build log (%d bytes):\n%s", st.Size, text)
+	})
+
+	sys.WaitIdle()
+}
+
+// runJob "builds" one target: it writes the artifact file (relative to the
+// group's shared cwd) and appends a line to the shared log.
+func runJob(wc *irix.Ctx, worker int64, j int, logFd int) {
+	buf := wc.StackBase() + 512
+	art, err := wc.Open(names[j]+".o", irix.OWrite|irix.OCreat, 0o644)
+	if err != nil {
+		log.Fatalf("worker %d: open artifact: %v", worker, err)
+	}
+	payload := fmt.Sprintf("object code for %s", names[j])
+	if _, err := wc.WriteString(art, buf, payload); err != nil {
+		log.Fatalf("worker %d: write: %v", worker, err)
+	}
+	wc.Close(art)
+	wc.WriteString(logFd, buf+256, fmt.Sprintf("worker %d built %s\n", worker, names[j]))
+}

@@ -1,0 +1,119 @@
+// Netserver implements the paper's §1 motivating example: "a network
+// server could share file descriptors with several children. The server
+// would perform security checks and open a socket descriptor to the
+// client, and then pass this descriptor to a waiting child with a simple
+// message containing the descriptor."
+//
+// The dispatcher accepts connections, performs the "security check", and
+// passes each accepted descriptor *number* to a waiting share-group worker
+// through a shared-memory mailbox — the descriptor itself is already in
+// the worker's table because descriptors are shared (PR_SFDS).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	irix "repro"
+)
+
+const (
+	workers = 3
+	clients = 6
+)
+
+func main() {
+	sys := irix.New(irix.Config{NCPU: 4})
+
+	// The server process: dispatcher + worker pool in one share group.
+	sys.Start("server", func(c *irix.Ctx) {
+		mbox, err := c.Mmap(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Mailbox protocol: word 0 = ticket (fd+1 when a job is ready,
+		// 0 when free, ^0 = shutdown); word 1 = jobs completed.
+		ticket, done := mbox, mbox+4
+
+		l, err := c.NetListen("echo")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for w := 0; w < workers; w++ {
+			c.Sproc("worker", func(wc *irix.Ctx, id int64) {
+				for {
+					// Claim a ticket with the hardware interlock.
+					v, err := wc.SpinWait32(ticket, func(v uint32) bool { return v != 0 })
+					if err != nil {
+						return
+					}
+					if v == ^uint32(0) {
+						return // shutdown broadcast: leave it set for the others
+					}
+					ok, _ := wc.CAS32(ticket, v, 0)
+					if !ok {
+						continue // another worker claimed it
+					}
+					fd := int(v - 1)
+					// The shared descriptor is immediately usable: serve
+					// the connection and close our use of it.
+					buf := wc.StackBase()
+					req, err := wc.ReadString(fd, buf, 64)
+					if err != nil {
+						log.Fatalf("worker read: %v", err)
+					}
+					wc.WriteString(fd, buf+128, fmt.Sprintf("worker %d echoes %q", id, req))
+					wc.Close(fd)
+					wc.Add32(done, 1)
+				}
+			}, irix.PRSADDR|irix.PRSFDS, int64(w))
+		}
+
+		// Client processes, outside the group, connect over the socket
+		// queueing layer.
+		for i := 0; i < clients; i++ {
+			c.Fork("client", func(cc *irix.Ctx) {
+				fd, err := cc.NetConnect("echo")
+				if err != nil {
+					log.Fatalf("connect: %v", err)
+				}
+				me := fmt.Sprintf("client %d", cc.Getpid())
+				cc.WriteString(fd, irix.DataBase, me)
+				resp, err := cc.ReadString(fd, irix.DataBase+4096, 128)
+				if err != nil {
+					log.Fatalf("client read: %v", err)
+				}
+				fmt.Printf("  %s\n", resp)
+			})
+		}
+
+		// Dispatcher loop: accept, check, hand the descriptor number to
+		// whichever worker grabs it first.
+		for i := 0; i < clients; i++ {
+			fd, err := c.NetAccept(l)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// "Security check": a placeholder credential inspection.
+			if uid := c.Getuid(); uid != 0 {
+				c.Close(fd)
+				continue
+			}
+			c.SpinWait32(ticket, func(v uint32) bool { return v == 0 })
+			c.Store32(ticket, uint32(fd+1))
+		}
+
+		// Wait for completion, then broadcast shutdown.
+		c.SpinWait32(done, func(v uint32) bool { return v == clients })
+		c.SpinWait32(ticket, func(v uint32) bool { return v == 0 })
+		c.Store32(ticket, ^uint32(0))
+		for i := 0; i < workers+clients; i++ {
+			c.Wait()
+		}
+		fmt.Printf("served %d clients with %d share-group workers (descriptors passed by number)\n",
+			clients, workers)
+	})
+
+	sys.WaitIdle()
+}

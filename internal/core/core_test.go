@@ -1,0 +1,495 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/hw"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// rig builds a filesystem, memory and a creator process with a canonical
+// address space (text, data, PRDA) and cdir/rdir set to the root.
+type rig struct {
+	fs  *fs.FS
+	mem *hw.Memory
+}
+
+func newRig() *rig {
+	return &rig{fs: fs.New(), mem: hw.NewMemory(4096)}
+}
+
+func (r *rig) newProc(pid int) *proc.Proc {
+	p := proc.New(pid, "t")
+	p.ASID = hw.ASID(pid)
+	p.Cdir = r.fs.Root().Hold()
+	p.Rdir = r.fs.Root().Hold()
+	p.Private = []*vm.PRegion{
+		{Reg: vm.NewRegion(r.mem, vm.RText, 4), Base: vm.TextBase},
+		{Reg: vm.NewRegion(r.mem, vm.RData, 8), Base: vm.DataBase},
+		{Reg: vm.NewRegion(r.mem, vm.RPRDA, vm.PRDAPages), Base: vm.PRDABase},
+	}
+	return p
+}
+
+func (r *rig) cred() fs.Cred {
+	return fs.Cred{Uid: 0, Cwd: r.fs.Root(), Root: r.fs.Root()}
+}
+
+func TestNewGroupMovesSharablePregions(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	if len(p.Private) != 1 || p.Private[0].Reg.Type != vm.RPRDA {
+		t.Fatalf("private list after group creation: %v", p.Private)
+	}
+	regs := sa.RegionList(p)
+	if len(regs) != 2 {
+		t.Fatalf("shared list has %d regions, want 2", len(regs))
+	}
+	if p.ShMask() != proc.PRSALL {
+		t.Fatalf("creator mask = %v, want PR_SALL", p.ShMask())
+	}
+	if p.ShareGrp() != proc.ShareGroup(sa) {
+		t.Fatal("creator not linked to block")
+	}
+	if sa.Size() != 1 {
+		t.Fatalf("Size = %d", sa.Size())
+	}
+}
+
+func TestBlockHoldsReferences(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	file, _ := r.fs.Open(r.cred(), "/f", fs.OWrite|fs.OCreat, 0o644)
+	p.Mu.Lock()
+	p.AllocFd(file)
+	p.Mu.Unlock()
+	rootRefBefore := r.fs.Root().Ref()
+	sa := New(p)
+	if file.Ref() != 2 {
+		t.Fatalf("file ref = %d, want 2 (fd + block)", file.Ref())
+	}
+	if r.fs.Root().Ref() != rootRefBefore+2 {
+		t.Fatalf("root ref = %d, want +2 (cdir+rdir shadows)", r.fs.Root().Ref())
+	}
+	// Last member leaving tears the block down.
+	sa.Leave(p)
+	if file.Ref() != 1 {
+		t.Fatalf("file ref after teardown = %d, want 1", file.Ref())
+	}
+	if r.fs.Root().Ref() != rootRefBefore {
+		t.Fatalf("root ref after teardown = %d, want %d", r.fs.Root().Ref(), rootRefBefore)
+	}
+	if p.ShareGrp() != nil || p.ShMask() != 0 {
+		t.Fatal("leaver still linked")
+	}
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	kids := make([]*proc.Proc, 3)
+	for i := range kids {
+		kids[i] = r.newProc(i + 2)
+		kids[i].SetShMask(proc.PRSALL)
+		sa.AddMember(kids[i])
+	}
+	if sa.Size() != 4 {
+		t.Fatalf("Size = %d", sa.Size())
+	}
+	ms := sa.Members()
+	if len(ms) != 4 || ms[0] != p {
+		t.Fatalf("Members = %v", ms)
+	}
+	sa.Leave(p) // creator may leave first; block survives
+	if sa.Size() != 3 {
+		t.Fatalf("Size after creator left = %d", sa.Size())
+	}
+	for _, k := range kids {
+		sa.Leave(k)
+	}
+	if sa.Size() != 0 {
+		t.Fatal("members remain")
+	}
+}
+
+func TestAttrPropagationAndSync(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	q := r.newProc(2)
+	q.SetShMask(proc.PRSALL)
+	sa.AddMember(q)
+
+	// p changes umask, ulimit, ids; q must see them after SyncEntry.
+	p.Mu.Lock()
+	p.Umask = 0o077
+	p.Ulimit = 12345
+	p.Uid, p.Gid = 7, 8
+	p.Mu.Unlock()
+	sa.PropagateUmask(p)
+	sa.PropagateUlimit(p)
+	sa.PropagateID(p)
+
+	if q.Flag.Load()&proc.FSyncAny == 0 {
+		t.Fatal("no sync bits set on q")
+	}
+	if p.Flag.Load()&proc.FSyncAny != 0 {
+		t.Fatal("updater marked dirty")
+	}
+	sa.SyncEntry(q)
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if q.Umask != 0o077 || q.Ulimit != 12345 || q.Uid != 7 || q.Gid != 8 {
+		t.Fatalf("q after sync: umask=%o ulimit=%d uid=%d gid=%d", q.Umask, q.Ulimit, q.Uid, q.Gid)
+	}
+	if sa.Syncs.Load() != 1 || sa.Propagations.Load() != 3 {
+		t.Fatalf("stats: syncs=%d props=%d", sa.Syncs.Load(), sa.Propagations.Load())
+	}
+}
+
+func TestSyncHonoursMemberMask(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	q := r.newProc(2)
+	q.SetShMask(proc.PRSUMASK) // shares umask only
+	sa.AddMember(q)
+	q.Mu.Lock()
+	q.Ulimit = 999
+	q.Mu.Unlock()
+
+	p.Mu.Lock()
+	p.Umask = 0o007
+	p.Ulimit = 555
+	p.Mu.Unlock()
+	sa.PropagateUmask(p)
+	sa.PropagateUlimit(p) // q does not share ulimit: no bit set for it
+
+	sa.SyncEntry(q)
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if q.Umask != 0o007 {
+		t.Fatalf("umask not synced: %o", q.Umask)
+	}
+	if q.Ulimit != 999 {
+		t.Fatalf("ulimit synced despite mask: %d", q.Ulimit)
+	}
+}
+
+func TestDirPropagation(t *testing.T) {
+	r := newRig()
+	r.fs.Mkdir(r.cred(), "/work", 0o755)
+	work, _ := r.fs.Lookup(r.cred(), "/work")
+	p := r.newProc(1)
+	sa := New(p)
+	q := r.newProc(2)
+	q.SetShMask(proc.PRSALL)
+	sa.AddMember(q)
+
+	// p chdirs to /work.
+	p.Mu.Lock()
+	old := p.Cdir
+	p.Cdir = work.Hold()
+	p.Mu.Unlock()
+	old.Release()
+	sa.PropagateDir(p)
+
+	sa.SyncEntry(q)
+	q.Mu.Lock()
+	got := q.Cdir
+	q.Mu.Unlock()
+	if got != work {
+		t.Fatalf("q cdir = %v, want /work", got)
+	}
+	// Reference accounting: work is held by p, q, and the block.
+	if work.Ref() != 3 {
+		t.Fatalf("work ref = %d, want 3", work.Ref())
+	}
+	sa.Leave(q)
+	sa.Leave(p)
+	q.Mu.Lock()
+	q.Cdir.Release()
+	q.Rdir.Release()
+	q.Mu.Unlock()
+	p.Mu.Lock()
+	p.Cdir.Release()
+	p.Rdir.Release()
+	p.Mu.Unlock()
+	if work.Ref() != 0 {
+		t.Fatalf("work ref after teardown = %d", work.Ref())
+	}
+}
+
+func TestFdPropagation(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	q := r.newProc(2)
+	q.SetShMask(proc.PRSALL)
+	// Initialize q's table from the block (the sproc child path).
+	q.Fd, q.FdFlags = sa.ShadowFds(q)
+	sa.AddMember(q)
+
+	// p opens a file; q must see the descriptor after sync.
+	file, _ := r.fs.Open(r.cred(), "/data", fs.ORead|fs.OWrite|fs.OCreat, 0o644)
+	sa.BeginFdUpdate(p)
+	p.Mu.Lock()
+	fd, _ := p.AllocFd(file)
+	p.Mu.Unlock()
+	sa.EndFdUpdate(p, fd)
+
+	if q.Flag.Load()&proc.FSyncFds == 0 {
+		t.Fatal("q not marked for fd sync")
+	}
+	sa.SyncEntry(q)
+	q.Mu.Lock()
+	got, err := q.GetFd(fd)
+	q.Mu.Unlock()
+	if err != nil || got != file {
+		t.Fatalf("q fd %d = (%v,%v), want shared file", fd, got, err)
+	}
+	// file refs: p's fd, q's fd, block copy.
+	if file.Ref() != 3 {
+		t.Fatalf("file ref = %d, want 3", file.Ref())
+	}
+
+	// p closes: q must lose the descriptor after sync.
+	sa.BeginFdUpdate(p)
+	p.Mu.Lock()
+	f, _ := p.ClearFd(fd)
+	p.Mu.Unlock()
+	f.Release()
+	sa.EndFdUpdate(p, fd)
+	sa.SyncEntry(q)
+	q.Mu.Lock()
+	_, err = q.GetFd(fd)
+	q.Mu.Unlock()
+	if err != fs.ErrBadFd {
+		t.Fatalf("q still sees closed fd: %v", err)
+	}
+	if file.Ref() != 0 {
+		t.Fatalf("file ref after close everywhere = %d", file.Ref())
+	}
+}
+
+func TestSecondUpdaterSyncsBeforeUpdate(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	q := r.newProc(2)
+	q.SetShMask(proc.PRSALL)
+	q.Fd, q.FdFlags = sa.ShadowFds(q)
+	sa.AddMember(q)
+
+	// p opens fd 0; q is now dirty. Without syncing first, q's own open
+	// would also pick slot 0 and the two tables would diverge.
+	fileA, _ := r.fs.Open(r.cred(), "/a", fs.OWrite|fs.OCreat, 0o644)
+	sa.BeginFdUpdate(p)
+	p.Mu.Lock()
+	fdA, _ := p.AllocFd(fileA)
+	p.Mu.Unlock()
+	sa.EndFdUpdate(p, fdA)
+
+	fileB, _ := r.fs.Open(r.cred(), "/b", fs.OWrite|fs.OCreat, 0o644)
+	sa.BeginFdUpdate(q) // must reconcile q with p's open first
+	q.Mu.Lock()
+	fdB, _ := q.AllocFd(fileB)
+	q.Mu.Unlock()
+	sa.EndFdUpdate(q, fdB)
+
+	if fdA == fdB {
+		t.Fatalf("descriptor collision: both opens landed on fd %d", fdA)
+	}
+	q.Mu.Lock()
+	gotA, _ := q.GetFd(fdA)
+	q.Mu.Unlock()
+	if gotA != fileA {
+		t.Fatal("q lost p's descriptor during its own update")
+	}
+}
+
+func TestResolveShared(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	pfn, w, res, found, err := sa.ResolveShared(p, vm.DataBase+hw.PageSize, true)
+	if err != nil || !found || !w || pfn == hw.NoPFN || res != vm.FillZeroed {
+		t.Fatalf("ResolveShared = (%v,%v,%v,%v,%v)", pfn, w, res, found, err)
+	}
+	if _, _, _, found, _ := sa.ResolveShared(p, vm.ShmBase, false); found {
+		t.Fatal("resolved an unmapped address")
+	}
+	if sa.Acc.Readers() != 0 {
+		t.Fatal("read lock leaked")
+	}
+}
+
+func TestAttachDetachShared(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	seg := &vm.PRegion{Reg: vm.NewRegion(r.mem, vm.RShm, 4), Base: vm.ShmBase}
+	if err := sa.AttachShared(p, seg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.AttachShared(p, &vm.PRegion{Reg: vm.NewRegion(r.mem, vm.RShm, 1), Base: vm.ShmBase + hw.PageSize}); err == nil {
+		t.Fatal("overlapping attach accepted")
+	}
+	// Touch a page so detach has something to free.
+	if _, _, _, found, err := sa.ResolveShared(p, vm.ShmBase, true); !found || err != nil {
+		t.Fatal("attached region not faultable")
+	}
+	used := r.mem.InUse()
+	shot := 0
+	if err := sa.DetachShared(p, seg, func() { shot++ }); err != nil {
+		t.Fatal(err)
+	}
+	if shot != 1 {
+		t.Fatalf("shootdowns = %d, want 1", shot)
+	}
+	if r.mem.InUse() != used-1 {
+		t.Fatal("detached frames not freed")
+	}
+	if err := sa.DetachShared(p, seg, func() { shot++ }); err == nil {
+		t.Fatal("double detach accepted")
+	}
+}
+
+func TestGrowShrinkShared(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	data := sa.RegionList(p)[1] // the data region
+	if data.Reg.Type != vm.RData {
+		t.Fatalf("expected data region, got %v", data.Reg.Type)
+	}
+	sa.GrowShared(p, data, 4)
+	if data.Reg.Pages() != 12 {
+		t.Fatalf("pages after grow = %d", data.Reg.Pages())
+	}
+	// Touch the new pages; then shrink them away.
+	va := vm.DataBase + hw.VAddr(10*hw.PageSize)
+	if _, _, _, found, err := sa.ResolveShared(p, va, true); !found || err != nil {
+		t.Fatal("grown page not faultable")
+	}
+	shot := 0
+	freed := sa.ShrinkShared(p, data, 4, func() { shot++ })
+	if freed != 1 || shot != 1 {
+		t.Fatalf("shrink freed=%d shot=%d", freed, shot)
+	}
+	if _, _, _, found, _ := sa.ResolveShared(p, va, false); found {
+		t.Fatal("shrunk page still resolvable")
+	}
+}
+
+func TestCarveStack(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	c1 := r.newProc(2)
+	c2 := r.newProc(3)
+	s1 := sa.CarveStack(c1, r.mem, 64, true)
+	s2 := sa.CarveStack(c2, r.mem, 64, true)
+	if s1.Base == s2.Base {
+		t.Fatal("stacks overlap")
+	}
+	if s2.Base < s1.End()+hw.VAddr(StackGapPages*hw.PageSize) {
+		t.Fatal("no guard gap between stacks")
+	}
+	// Both stacks are visible in the shared space.
+	if sa.FindShared(p, s1.Base) != s1 || sa.FindShared(p, s2.Base+hw.PageSize) != s2 {
+		t.Fatal("stacks not on shared list")
+	}
+	// Member exit detaches its stack.
+	c1.SetShMask(proc.PRSALL)
+	c2.SetShMask(proc.PRSALL)
+	sa.AddMember(c1)
+	sa.AddMember(c2)
+	sa.ResolveShared(c1, s1.Base, true) // make a page resident
+	used := r.mem.InUse()
+	sa.Leave(c1)
+	if sa.FindShared(p, s1.Base) != nil {
+		t.Fatal("dead member's stack still shared")
+	}
+	if r.mem.InUse() != used-1 {
+		t.Fatal("dead member's stack frames not freed")
+	}
+}
+
+func TestCarveStackPrivate(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	c := r.newProc(2)
+	st := sa.CarveStack(c, r.mem, 32, false)
+	if sa.FindShared(p, st.Base) != nil {
+		t.Fatal("non-shared stack visible in shared space (paper: must not be)")
+	}
+}
+
+func TestCOWImageIsolation(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	// Write a value into the shared data region.
+	va := vm.DataBase
+	pfn, _, _, _, err := sa.ResolveShared(p, va, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mem.StoreWord(pfn, 0, 41)
+
+	shot := 0
+	img := vm.Find(nil, 0) // keep vm import honest
+	_ = img
+	image := sa.COWImage(p, func() { shot++ })
+	if shot != 1 {
+		t.Fatal("COWImage did not shoot down stale translations")
+	}
+	child := vm.Find(image, va)
+	if child == nil {
+		t.Fatal("image misses data region")
+	}
+	// Child read sees the snapshot; group write after the image copies.
+	cpfn, w, _, _ := child.Reg.Fill(child.PageIndex(va), false)
+	if w {
+		t.Fatal("aliased page writable")
+	}
+	if r.mem.LoadWord(cpfn, 0) != 41 {
+		t.Fatal("image lost data")
+	}
+	gp, _, _, _, _ := sa.ResolveShared(p, va, true) // group write: breaks alias
+	r.mem.StoreWord(gp, 0, 99)
+	cpfn2, _, _, _ := child.Reg.Fill(child.PageIndex(va), false)
+	if r.mem.LoadWord(cpfn2, 0) != 41 {
+		t.Fatal("group write leaked into COW image")
+	}
+	// And the group still sees its own update.
+	gp2, _, _, _, _ := sa.ResolveShared(p, va, false)
+	if r.mem.LoadWord(gp2, 0) != 99 {
+		t.Fatal("group lost its own write")
+	}
+	vm.DetachList(image)
+}
+
+func TestShadowEnv(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	p.Mu.Lock()
+	p.Umask = 0o027
+	p.Ulimit = 777
+	p.Uid, p.Gid = 3, 4
+	p.Mu.Unlock()
+	sa := New(p)
+	cdir, rdir, umask, ulimit, uid, gid := sa.ShadowEnv()
+	if cdir != r.fs.Root() || rdir != r.fs.Root() {
+		t.Fatal("shadow dirs wrong")
+	}
+	if umask != 0o027 || ulimit != 777 || uid != 3 || gid != 4 {
+		t.Fatalf("shadow env = %o %d %d %d", umask, ulimit, uid, gid)
+	}
+}

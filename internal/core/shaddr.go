@@ -1,0 +1,310 @@
+// Package core implements process share groups — the paper's contribution.
+//
+// A share group is a set of processes with a common ancestor that have not
+// exec'd, selectively sharing resources according to per-process share
+// masks. All members reference a single shared address block (shaddr_t,
+// paper §6.1) holding:
+//
+//   - the shared pregion list and its shared read lock (s_region,
+//     s_acclck/s_acccnt/s_waitcnt/s_updwait);
+//   - the member list (s_plink, s_refcnt, s_flag, s_listlock);
+//   - the open-file update semaphore and shadow descriptor table
+//     (s_fupdsema, s_ofile, s_pofile);
+//   - shadow copies of the current/root directory, umask, ulimit and ids
+//     (s_cdir, s_rdir, s_cmask, s_limit, s_uid, s_gid) with a misc update
+//     lock (s_rupdlock).
+//
+// Resources with reference counts (files, inodes) have their counts bumped
+// once for the shared address block itself, so the member that changed a
+// resource may exit before the others synchronize (paper §6.3).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/fs"
+	"repro/internal/hw"
+	"repro/internal/klock"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// StackGapPages separates consecutive sproc stacks in the shared space so
+// a runaway stack cannot silently walk into its neighbour.
+const StackGapPages = 16
+
+// ShAddr is the shared address block: one per share group.
+type ShAddr struct {
+	// Shared pregion handling.
+	Acc     klock.MRLock  // s_acclck / s_acccnt / s_waitcnt / s_updwait
+	regions []*vm.PRegion // s_region: the shared pregion list
+	ASID    hw.ASID       // the shared virtual space's identifier
+
+	// Membership.
+	listLock klock.Spin   // s_listlock
+	members  []*proc.Proc // s_plink
+	refcnt   int          // s_refcnt
+
+	// Single-threaded open-file updating.
+	FupdSema *klock.Sema // s_fupdsema (initialized to 1: a sleeping mutex)
+	ofile    []*fs.File  // s_ofile: block's copy of the descriptor table
+	pofile   []uint8     // s_pofile: copy of the descriptor flags
+
+	// Misc shared attributes, guarded by rupdLock.
+	rupdLock klock.Spin // s_rupdlock
+	cdir     *fs.Inode  // s_cdir (held)
+	rdir     *fs.Inode  // s_rdir (held)
+	cmask    uint16     // s_cmask: umask
+	limit    int64      // s_limit: ulimit
+	uid      uint16     // s_uid
+	gid      uint16     // s_gid
+
+	// Stack and mapping arenas, guarded by the Acc update lock.
+	nextStack hw.VAddr
+	nextShm   hw.VAddr
+
+	// memberStack remembers the stack sproc carved for each member so the
+	// range can be recycled (and, for VM-sharing members, the pregion
+	// detached from the shared list) when the member exits.
+	memberStack map[*proc.Proc]memberStack
+	stackFree   map[int][]hw.VAddr // free stack ranges by size in pages
+	shmFree     map[int][]hw.VAddr // free mapping ranges by size in pages
+
+	// Options (ablation and §8-extension switches).
+	opts Options
+
+	// gang is the per-group gang-scheduling request (§8, PR_SETGANG).
+	gang atomic.Bool
+
+	// Statistics.
+	Propagations atomic.Int64 // shared-resource updates pushed to the block
+	Syncs        atomic.Int64 // member entry synchronizations performed
+	Shootdowns   atomic.Int64 // region shrink/detach shootdowns
+}
+
+// Options selects implementation variants, used by the ablation
+// experiments to measure the design choices the paper made.
+type Options struct {
+	// ExclusiveVMLock replaces the shared read lock on the pregion list
+	// with an exclusive lock — the design the paper rejected because
+	// every member's page fault would serialize.
+	ExclusiveVMLock bool
+	// EagerAttrSync pushes attribute changes into every member's user
+	// area at update time instead of deferring to each member's next
+	// kernel entry — the design the paper rejected because members may
+	// not be available ("it could even be waiting for a resource that
+	// the examining process controls").
+	EagerAttrSync bool
+}
+
+// Gang implements proc.ShareGroup: whether the group asked for gang
+// scheduling.
+func (sa *ShAddr) Gang() bool { return sa.gang.Load() }
+
+// SetGang records the group's gang-scheduling request (PR_SETGANG).
+func (sa *ShAddr) SetGang(on bool) { sa.gang.Store(on) }
+
+var _ proc.ShareGroup = (*ShAddr)(nil)
+
+// New creates a share group around its first member with default options.
+func New(creator *proc.Proc) *ShAddr { return NewWithOptions(creator, Options{}) }
+
+// NewWithOptions creates a share group around its first member. The creator's
+// sharable pregions move to the shared list (paper §6.2: "when a process
+// first creates a share group all of its sharable pregions are moved to
+// the list of pregions in the shared address block"); the PRDA stays
+// private. The block takes its own references on the creator's open files
+// and directories. The creator's share mask becomes PR_SALL ("the original
+// process in a share group is given a mask indicating that all resources
+// are shared").
+func NewWithOptions(creator *proc.Proc, opts Options) *ShAddr {
+	sa := &ShAddr{
+		FupdSema:    klock.NewSema(1),
+		ASID:        creator.ASID,
+		nextStack:   vm.SprocStackBase,
+		nextShm:     creator.NextShm,
+		memberStack: map[*proc.Proc]memberStack{},
+		stackFree:   map[int][]hw.VAddr{},
+		shmFree:     map[int][]hw.VAddr{},
+		opts:        opts,
+	}
+
+	// Move sharable pregions to the shared list.
+	var private []*vm.PRegion
+	for _, pr := range creator.Private {
+		if pr.Reg.Type == vm.RPRDA {
+			private = append(private, pr)
+			continue
+		}
+		sa.regions = append(sa.regions, pr)
+	}
+	creator.Private = private
+
+	// Shadow the environment, bumping reference counts for the block.
+	creator.Mu.Lock()
+	sa.ofile = make([]*fs.File, len(creator.Fd))
+	sa.pofile = make([]uint8, len(creator.FdFlags))
+	copy(sa.pofile, creator.FdFlags)
+	for i, f := range creator.Fd {
+		if f != nil {
+			sa.ofile[i] = f.Hold()
+		}
+	}
+	if creator.Cdir != nil {
+		sa.cdir = creator.Cdir.Hold()
+	}
+	if creator.Rdir != nil {
+		sa.rdir = creator.Rdir.Hold()
+	}
+	sa.cmask = creator.Umask
+	sa.limit = creator.Ulimit
+	sa.uid = creator.Uid
+	sa.gid = creator.Gid
+	creator.Mu.Unlock()
+
+	sa.members = []*proc.Proc{creator}
+	sa.refcnt = 1
+	creator.SetShare(sa)
+	creator.SetShMask(proc.PRSALL)
+	return sa
+}
+
+// AddMember links p into the group.
+func (sa *ShAddr) AddMember(p *proc.Proc) {
+	sa.listLock.Lock()
+	sa.members = append(sa.members, p)
+	sa.refcnt++
+	sa.listLock.Unlock()
+	p.SetShare(sa)
+}
+
+// memberStack records the stack sproc carved for a member.
+type memberStack struct {
+	pr     *vm.PRegion
+	pages  int // carved size, for range recycling
+	shared bool
+}
+
+// Leave removes p from the group (exit or exec). The last member out
+// tears the block down, releasing the block's own references. If p shares
+// the address space, the stack sproc carved for it is detached from the
+// shared list under the update lock — other members may still be running,
+// so the detach follows the full shootdown protocol. The stack's address
+// range is recycled for future sproc children either way.
+func (sa *ShAddr) Leave(p *proc.Proc) {
+	if ms := sa.takeMemberStack(p); ms.pr != nil {
+		if ms.shared {
+			sa.Acc.Lock(p)
+			sa.regions = vm.Remove(sa.regions, ms.pr)
+			sa.Acc.Unlock()
+			ms.pr.Reg.Detach()
+		}
+		sa.listLock.Lock()
+		sa.stackFree[ms.pages] = append(sa.stackFree[ms.pages], ms.pr.Base)
+		sa.listLock.Unlock()
+	}
+
+	sa.listLock.Lock()
+	for i, m := range sa.members {
+		if m == p {
+			sa.members = append(sa.members[:i], sa.members[i+1:]...)
+			break
+		}
+	}
+	sa.refcnt--
+	last := sa.refcnt == 0
+	sa.listLock.Unlock()
+	p.SetShare(nil)
+	p.SetShMask(0)
+
+	if last {
+		sa.teardown()
+	}
+}
+
+func (sa *ShAddr) takeMemberStack(p *proc.Proc) memberStack {
+	sa.listLock.Lock()
+	defer sa.listLock.Unlock()
+	ms := sa.memberStack[p]
+	delete(sa.memberStack, p)
+	return ms
+}
+
+// teardown releases everything the block holds. Only the last leaving
+// member calls it, so no locks are needed.
+func (sa *ShAddr) teardown() {
+	for _, pr := range sa.regions {
+		pr.Reg.Detach()
+	}
+	sa.regions = nil
+	for i, f := range sa.ofile {
+		if f != nil {
+			f.Release()
+			sa.ofile[i] = nil
+		}
+	}
+	sa.cdir.Release()
+	sa.rdir.Release()
+	sa.cdir, sa.rdir = nil, nil
+}
+
+// Size returns the number of members.
+func (sa *ShAddr) Size() int {
+	sa.listLock.Lock()
+	defer sa.listLock.Unlock()
+	return sa.refcnt
+}
+
+// Members returns a snapshot of the member list.
+func (sa *ShAddr) Members() []*proc.Proc {
+	sa.listLock.Lock()
+	defer sa.listLock.Unlock()
+	out := make([]*proc.Proc, len(sa.members))
+	copy(out, sa.members)
+	return out
+}
+
+// markOthers sets sync bits on every sharing member except the updater.
+// This is the p_flag update walk of §6.3. In the eager-sync ablation the
+// update is pushed into every member's user area immediately instead.
+func (sa *ShAddr) markOthers(updater *proc.Proc, mask proc.Mask, bits uint32) {
+	if sa.opts.EagerAttrSync {
+		sa.pushOthers(updater, mask, bits)
+		return
+	}
+	sa.listLock.Lock()
+	for _, m := range sa.members {
+		if m != updater && m.ShMask()&mask != 0 {
+			m.SetSyncBits(bits)
+		}
+	}
+	sa.listLock.Unlock()
+	sa.Propagations.Add(1)
+}
+
+// pushOthers is the eager-sync ablation: apply the change to every member
+// now, while it may be running, sleeping, or waiting on a resource the
+// updater holds. For descriptor pushes the caller holds FupdSema.
+func (sa *ShAddr) pushOthers(updater *proc.Proc, mask proc.Mask, bits uint32) {
+	for _, m := range sa.Members() {
+		if m == updater || m.ShMask()&mask == 0 {
+			continue
+		}
+		if bits&proc.FSyncFds != 0 {
+			sa.syncFdsLocked(m)
+		}
+		if rest := bits &^ proc.FSyncFds; rest != 0 {
+			sa.syncAttrs(m, rest)
+		}
+		sa.Syncs.Add(1)
+	}
+	sa.Propagations.Add(1)
+}
+
+func (sa *ShAddr) String() string {
+	sa.listLock.Lock()
+	n := sa.refcnt
+	sa.listLock.Unlock()
+	return fmt.Sprintf("shaddr{members=%d, regions=%d, asid=%d}", n, len(sa.regions), sa.ASID)
+}

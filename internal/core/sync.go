@@ -1,0 +1,214 @@
+package core
+
+import (
+	"repro/internal/fs"
+	"repro/internal/proc"
+)
+
+// SyncEntry reconciles p's private copies of shared resources from the
+// shared address block. The kernel calls it when the single test of p's
+// p_flag word finds sync bits set on kernel entry (paper §6.3: "when a
+// shared process enters the system via a system call, the collection of
+// bits in p_flag is checked in a single test; if any are set then a
+// routine to handle the synchronization is called").
+func (sa *ShAddr) SyncEntry(p *proc.Proc) {
+	bits := p.TakeSyncBits()
+	if bits == 0 {
+		return
+	}
+	sa.Syncs.Add(1)
+	if bits&proc.FSyncFds != 0 && p.ShMask()&proc.PRSFDS != 0 {
+		sa.FupdSema.P(p, "shaddr: fd table sync")
+		sa.syncFdsLocked(p)
+		sa.FupdSema.V()
+	}
+	if bits&(proc.FSyncDir|proc.FSyncUmask|proc.FSyncUlimit|proc.FSyncID) != 0 {
+		sa.syncAttrs(p, bits)
+	}
+}
+
+// syncFdsLocked copies the block's descriptor table into p's, adjusting
+// reference counts. Caller holds FupdSema.
+func (sa *ShAddr) syncFdsLocked(p *proc.Proc) {
+	p.Mu.Lock()
+	for i := range sa.ofile {
+		if i >= len(p.Fd) {
+			break
+		}
+		blk := sa.ofile[i]
+		if p.Fd[i] == blk {
+			p.FdFlags[i] = sa.pofile[i]
+			continue
+		}
+		if p.Fd[i] != nil {
+			p.Fd[i].Release()
+		}
+		if blk != nil {
+			p.Fd[i] = blk.Hold()
+		} else {
+			p.Fd[i] = nil
+		}
+		p.FdFlags[i] = sa.pofile[i]
+	}
+	p.Mu.Unlock()
+}
+
+// syncAttrs copies directory, umask, ulimit and identity shadows into p,
+// honouring p's share mask.
+func (sa *ShAddr) syncAttrs(p *proc.Proc, bits uint32) {
+	sa.rupdLock.Lock()
+	cdir, rdir := sa.cdir, sa.rdir
+	cmask, limit := sa.cmask, sa.limit
+	uid, gid := sa.uid, sa.gid
+	if bits&proc.FSyncDir != 0 && p.ShMask()&proc.PRSDIR != 0 {
+		cdir.Hold()
+		rdir.Hold()
+	}
+	sa.rupdLock.Unlock()
+
+	p.Mu.Lock()
+	if bits&proc.FSyncDir != 0 && p.ShMask()&proc.PRSDIR != 0 {
+		old, oldr := p.Cdir, p.Rdir
+		p.Cdir, p.Rdir = cdir, rdir
+		old.Release()
+		oldr.Release()
+	}
+	if bits&proc.FSyncUmask != 0 && p.ShMask()&proc.PRSUMASK != 0 {
+		p.Umask = cmask
+	}
+	if bits&proc.FSyncUlimit != 0 && p.ShMask()&proc.PRSULIMIT != 0 {
+		p.Ulimit = limit
+	}
+	if bits&proc.FSyncID != 0 && p.ShMask()&proc.PRSID != 0 {
+		p.Uid, p.Gid = uid, gid
+	}
+	p.Mu.Unlock()
+}
+
+// BeginFdUpdate single-threads a descriptor-table change (paper: "semaphore
+// for single threading open file updating"). After acquiring the semaphore
+// it re-synchronizes the caller if another member updated in the meantime
+// — "it is important that the second process be synchronized prior to
+// being allowed to update the resource. This is handled by also checking
+// the synchronization bits after acquiring the lock."
+func (sa *ShAddr) BeginFdUpdate(p *proc.Proc) {
+	sa.FupdSema.P(p, "shaddr: fd update")
+	// Clear only the fd bit; other dirty resources are reconciled at the
+	// next kernel entry as usual.
+	for {
+		old := p.Flag.Load()
+		if old&proc.FSyncFds == 0 {
+			return
+		}
+		if p.Flag.CompareAndSwap(old, old&^proc.FSyncFds) {
+			break
+		}
+	}
+	sa.syncFdsLocked(p)
+}
+
+// EndFdUpdate publishes p's descriptor slot fd into the block (the block
+// takes its own reference) and marks every other sharing member dirty.
+// Caller holds the update semaphore via BeginFdUpdate; EndFdUpdate
+// releases it.
+func (sa *ShAddr) EndFdUpdate(p *proc.Proc, fds ...int) {
+	p.Mu.Lock()
+	for _, fd := range fds {
+		if fd < 0 || fd >= len(sa.ofile) {
+			continue
+		}
+		old := sa.ofile[fd]
+		var now *fs.File
+		if fd < len(p.Fd) && p.Fd[fd] != nil {
+			now = p.Fd[fd]
+		}
+		if old != now {
+			if now != nil {
+				sa.ofile[fd] = now.Hold()
+			} else {
+				sa.ofile[fd] = nil
+			}
+			if old != nil {
+				old.Release()
+			}
+		}
+		if fd < len(p.FdFlags) {
+			sa.pofile[fd] = p.FdFlags[fd]
+		}
+	}
+	p.Mu.Unlock()
+	sa.markOthers(p, proc.PRSFDS, proc.FSyncFds)
+	sa.FupdSema.V()
+}
+
+// PropagateDir publishes p's current and root directory into the block and
+// marks sharing members dirty. p's own Cdir/Rdir are already updated.
+func (sa *ShAddr) PropagateDir(p *proc.Proc) {
+	p.Mu.Lock()
+	cdir, rdir := p.Cdir.Hold(), p.Rdir.Hold()
+	p.Mu.Unlock()
+	sa.rupdLock.Lock()
+	old, oldr := sa.cdir, sa.rdir
+	sa.cdir, sa.rdir = cdir, rdir
+	sa.rupdLock.Unlock()
+	old.Release()
+	oldr.Release()
+	sa.markOthers(p, proc.PRSDIR, proc.FSyncDir)
+}
+
+// PropagateUmask publishes p's umask.
+func (sa *ShAddr) PropagateUmask(p *proc.Proc) {
+	p.Mu.Lock()
+	v := p.Umask
+	p.Mu.Unlock()
+	sa.rupdLock.Lock()
+	sa.cmask = v
+	sa.rupdLock.Unlock()
+	sa.markOthers(p, proc.PRSUMASK, proc.FSyncUmask)
+}
+
+// PropagateUlimit publishes p's ulimit.
+func (sa *ShAddr) PropagateUlimit(p *proc.Proc) {
+	p.Mu.Lock()
+	v := p.Ulimit
+	p.Mu.Unlock()
+	sa.rupdLock.Lock()
+	sa.limit = v
+	sa.rupdLock.Unlock()
+	sa.markOthers(p, proc.PRSULIMIT, proc.FSyncUlimit)
+}
+
+// PropagateID publishes p's uid/gid.
+func (sa *ShAddr) PropagateID(p *proc.Proc) {
+	p.Mu.Lock()
+	uid, gid := p.Uid, p.Gid
+	p.Mu.Unlock()
+	sa.rupdLock.Lock()
+	sa.uid, sa.gid = uid, gid
+	sa.rupdLock.Unlock()
+	sa.markOthers(p, proc.PRSID, proc.FSyncID)
+}
+
+// ShadowEnv returns the block's current shadow attribute values (for
+// diagnostics and for initializing sproc children).
+func (sa *ShAddr) ShadowEnv() (cdir, rdir *fs.Inode, umask uint16, ulimit int64, uid, gid uint16) {
+	sa.rupdLock.Lock()
+	defer sa.rupdLock.Unlock()
+	return sa.cdir, sa.rdir, sa.cmask, sa.limit, sa.uid, sa.gid
+}
+
+// ShadowFds returns a copy of the block's descriptor table with references
+// held for the caller (the sproc child initialization path).
+func (sa *ShAddr) ShadowFds(p *proc.Proc) ([]*fs.File, []uint8) {
+	sa.FupdSema.P(p, "shaddr: fd snapshot")
+	fds := make([]*fs.File, len(sa.ofile))
+	flags := make([]uint8, len(sa.pofile))
+	copy(flags, sa.pofile)
+	for i, f := range sa.ofile {
+		if f != nil {
+			fds[i] = f.Hold()
+		}
+	}
+	sa.FupdSema.V()
+	return fds, flags
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// ErrTextWrite reports a store into a shared text region.
+var ErrTextWrite = vm.ErrTextWrite
+
+// ResolveShared resolves a page fault against the shared pregion list
+// under the shared read lock — the hot path of §6.2. Multiple members
+// fault concurrently; an updater excludes them all. found is false when no
+// shared pregion covers va.
+func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.PFN, writable bool, res vm.FillResult, found bool, err error) {
+	if sa.opts.ExclusiveVMLock {
+		// Ablation: the rejected design — faults serialize on one lock.
+		sa.Acc.Lock(p)
+		defer sa.Acc.Unlock()
+		pr := vm.Find(sa.regions, va)
+		if pr == nil {
+			return hw.NoPFN, false, vm.FillCached, false, nil
+		}
+		pfn, writable, res, err = pr.Reg.Fill(pr.PageIndex(va), write)
+		return pfn, writable, res, true, err
+	}
+	sa.Acc.RLock(p)
+	pr := vm.Find(sa.regions, va)
+	if pr == nil {
+		sa.Acc.RUnlock()
+		return hw.NoPFN, false, vm.FillCached, false, nil
+	}
+	pfn, writable, res, err = pr.Reg.Fill(pr.PageIndex(va), write)
+	sa.Acc.RUnlock()
+	return pfn, writable, res, true, err
+}
+
+// UnshareVM detaches p from the shared address space (§8 "stop sharing"):
+// p gets a copy-on-write private image of everything it could see, a fresh
+// address-space identifier, and its sproc stack is withdrawn from the
+// shared list. The whole transition happens under the update lock with a
+// shootdown, exactly like a shrink.
+func (sa *ShAddr) UnshareVM(p *proc.Proc, shoot func()) []*vm.PRegion {
+	sa.Acc.Lock(p)
+	img := vm.DupList(p.Private)
+	img = append(img, vm.DupList(sa.regions)...)
+	// Withdraw p's own stack from the shared space; p keeps the COW dup.
+	sa.listLock.Lock()
+	ms := sa.memberStack[p]
+	delete(sa.memberStack, p)
+	sa.listLock.Unlock()
+	if ms.pr != nil && ms.shared {
+		sa.regions = vm.Remove(sa.regions, ms.pr)
+		defer ms.pr.Reg.Detach()
+	}
+	shoot()
+	sa.Shootdowns.Add(1)
+	sa.Acc.Unlock()
+	return img
+}
+
+// FindShared locates the shared pregion containing va under the read lock
+// (for syscalls that validate an address without filling it).
+func (sa *ShAddr) FindShared(p *proc.Proc, va hw.VAddr) *vm.PRegion {
+	sa.Acc.RLock(p)
+	pr := vm.Find(sa.regions, va)
+	sa.Acc.RUnlock()
+	return pr
+}
+
+// Regions returns a snapshot of the shared pregion list (diagnostics).
+func (sa *ShAddr) RegionList(p *proc.Proc) []*vm.PRegion {
+	sa.Acc.RLock(p)
+	out := make([]*vm.PRegion, len(sa.regions))
+	copy(out, sa.regions)
+	sa.Acc.RUnlock()
+	return out
+}
+
+// AttachShared adds a pregion to the shared list under the update lock
+// (mmap/shmat by a VM-sharing member: "if one process adds a pregion, all
+// other share group members will immediately see that new virtual
+// region"). Attaching never frees pages, so no shootdown is needed.
+func (sa *ShAddr) AttachShared(p *proc.Proc, pr *vm.PRegion) error {
+	sa.Acc.Lock(p)
+	defer sa.Acc.Unlock()
+	if vm.Overlaps(sa.regions, pr.Base, pr.Reg.Pages()) {
+		return fmt.Errorf("core: attach overlaps existing shared region at %#x", uint32(pr.Base))
+	}
+	sa.regions = append(sa.regions, pr)
+	return nil
+}
+
+// DetachShared removes a pregion from the shared list and frees its pages,
+// following the §6.2 protocol exactly: take the update lock (any member
+// that faults now sleeps on the shared read lock), synchronously flush the
+// TLBs of all processors via shoot, and only then release the physical
+// pages.
+func (sa *ShAddr) DetachShared(p *proc.Proc, pr *vm.PRegion, shoot func()) error {
+	sa.Acc.Lock(p)
+	defer sa.Acc.Unlock()
+	before := len(sa.regions)
+	sa.regions = vm.Remove(sa.regions, pr)
+	if len(sa.regions) == before {
+		return fmt.Errorf("core: detach of pregion not on shared list")
+	}
+	shoot()
+	sa.Shootdowns.Add(1)
+	if pr.Reg.Type == vm.RShm && pr.Base >= vm.ShmBase && pr.Base < vm.SprocStackBase {
+		sa.shmFree[pr.Reg.Pages()] = append(sa.shmFree[pr.Reg.Pages()], pr.Base)
+	}
+	pr.Reg.Detach()
+	return nil
+}
+
+// GrowShared extends a shared region by n pages under the update lock
+// (the sbrk path). Growth exposes new demand-zero pages; no pages die, so
+// no shootdown is required — but the lock guarantees the §5.1 rule that by
+// the time the grower returns, every member sees the new size.
+func (sa *ShAddr) GrowShared(p *proc.Proc, pr *vm.PRegion, n int) {
+	sa.Acc.Lock(p)
+	pr.Reg.Grow(n)
+	sa.Acc.Unlock()
+}
+
+// ShrinkShared removes the last n pages of a shared region: update lock,
+// machine-wide TLB flush, then the frames are freed. Returns the number of
+// resident frames released.
+func (sa *ShAddr) ShrinkShared(p *proc.Proc, pr *vm.PRegion, n int, shoot func()) int {
+	sa.Acc.Lock(p)
+	defer sa.Acc.Unlock()
+	shoot()
+	sa.Shootdowns.Add(1)
+	return pr.Reg.Shrink(n)
+}
+
+// CarveStack allocates a non-overlapping stack range in the shared space
+// for a new sproc child (paper §5.1: "a new stack is automatically created
+// for the child process ... visible to all other processes in the share
+// group, and will automatically grow in size as needed"). The stack is a
+// demand-zero region of maxPages; it is attached to the shared list when
+// shared is true (PR_SADDR child) and recorded so Leave can detach it.
+func (sa *ShAddr) CarveStack(child *proc.Proc, mem *hw.Memory, maxPages int, shared bool) *vm.PRegion {
+	sa.Acc.Lock(child)
+	defer sa.Acc.Unlock()
+	// Recycle the range of a departed member's stack when one fits;
+	// otherwise carve fresh address space.
+	sa.listLock.Lock()
+	var base hw.VAddr
+	if free := sa.stackFree[maxPages]; len(free) > 0 {
+		base = free[len(free)-1]
+		sa.stackFree[maxPages] = free[:len(free)-1]
+	} else {
+		base = sa.nextStack
+		sa.nextStack += hw.VAddr((maxPages + StackGapPages) * hw.PageSize)
+	}
+	sa.listLock.Unlock()
+	pr := &vm.PRegion{Reg: vm.NewRegion(mem, vm.RStack, maxPages), Base: base}
+	sa.listLock.Lock()
+	sa.memberStack[child] = memberStack{pr: pr, pages: maxPages, shared: shared}
+	sa.listLock.Unlock()
+	if shared {
+		sa.regions = append(sa.regions, pr)
+	}
+	return pr
+}
+
+// AttachAnon carves a fresh range in the group's mapping arena and
+// attaches reg there on the shared list (the mmap path for VM-sharing
+// members). It returns the base address.
+func (sa *ShAddr) AttachAnon(p *proc.Proc, reg *vm.Region) hw.VAddr {
+	sa.Acc.Lock(p)
+	defer sa.Acc.Unlock()
+	base := sa.carveShmLocked(reg.Pages())
+	sa.regions = append(sa.regions, &vm.PRegion{Reg: reg, Base: base})
+	return base
+}
+
+// carveShmLocked hands out an arena range, recycling released ranges so
+// long-running map/unmap churn cannot exhaust the 32-bit space. Caller
+// holds the update lock.
+func (sa *ShAddr) carveShmLocked(npages int) hw.VAddr {
+	if free := sa.shmFree[npages]; len(free) > 0 {
+		base := free[len(free)-1]
+		sa.shmFree[npages] = free[:len(free)-1]
+		return base
+	}
+	base := sa.nextShm
+	sa.nextShm += hw.VAddr((npages + 1) * hw.PageSize)
+	return base
+}
+
+// AttachPrivateRange carves a range from the group's mapping arena without
+// attaching anything to the shared list — the address space bookkeeping
+// half of a member-private mapping (the §8 selective-sharing extension).
+// Reserving the range in the shared arena keeps future shared mappings
+// from colliding with it.
+func (sa *ShAddr) AttachPrivateRange(p *proc.Proc, npages int) hw.VAddr {
+	sa.Acc.Lock(p)
+	defer sa.Acc.Unlock()
+	return sa.carveShmLocked(npages)
+}
+
+// COWImage builds a copy-on-write private image of the group's address
+// space for a child that does not share VM (fork by a member, or sproc
+// without PR_SADDR): the parent's private pregions plus the whole shared
+// list are duplicated. Duplication raises frame reference counts, so any
+// writable translations cached for the shared space are now stale; the
+// image is built under the update lock and shoot flushes every processor
+// before the lock is released.
+func (sa *ShAddr) COWImage(parent *proc.Proc, shoot func()) []*vm.PRegion {
+	sa.Acc.Lock(parent)
+	defer sa.Acc.Unlock()
+	img := vm.DupList(parent.Private)
+	img = append(img, vm.DupList(sa.regions)...)
+	shoot()
+	sa.Shootdowns.Add(1)
+	return img
+}

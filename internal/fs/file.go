@@ -1,0 +1,197 @@
+package fs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/klock"
+)
+
+// Open flags.
+const (
+	ORead   = 1 << 0
+	OWrite  = 1 << 1
+	OAppend = 1 << 2
+	OCreat  = 1 << 3
+	OTrunc  = 1 << 4
+)
+
+// Seek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Stream is a non-regular file endpoint (pipe end, socket end). Reads and
+// writes may sleep, so they take the calling thread; wakeups are addressed
+// to specific threads through klock.WaitList.
+type Stream interface {
+	Read(t klock.Thread, p []byte) (int, error)
+	Write(t klock.Thread, p []byte) (int, error)
+	Close()
+}
+
+// File is an open-file table entry: an inode (or stream), the open flags,
+// and the shared offset. Descriptors in per-process fd tables point here;
+// dup, fork and share-group descriptor sharing all alias the same entry,
+// so the offset is shared, exactly as on V.3.
+type File struct {
+	mu     sync.Mutex
+	Inode  *Inode // held reference; nil only for anonymous streams
+	Stream Stream // nil for regular files
+	Flags  int
+	offset int64
+	ref    atomic.Int32
+
+	Reads  atomic.Int64
+	Writes atomic.Int64
+}
+
+// NewFile wraps an inode (already held by the caller on the file's behalf)
+// in an open-file entry with reference count one.
+func NewFile(ip *Inode, stream Stream, flags int) *File {
+	f := &File{Inode: ip, Stream: stream, Flags: flags}
+	f.ref.Store(1)
+	return f
+}
+
+// Hold takes a reference (dup, fork, share-block copy).
+func (f *File) Hold() *File {
+	f.ref.Add(1)
+	return f
+}
+
+// Release drops a reference; the last release closes the stream and
+// releases the inode.
+func (f *File) Release() {
+	if f == nil {
+		return
+	}
+	n := f.ref.Add(-1)
+	if n < 0 {
+		panic("fs: file reference count underflow")
+	}
+	if n == 0 {
+		if f.Stream != nil {
+			f.Stream.Close()
+		}
+		f.Inode.Release()
+	}
+}
+
+// Ref returns the current reference count.
+func (f *File) Ref() int32 { return f.ref.Load() }
+
+// Offset returns the current file offset.
+func (f *File) Offset() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.offset
+}
+
+// Read reads from the file at the shared offset, advancing it.
+func (f *File) Read(t klock.Thread, p []byte) (int, error) {
+	if f.Flags&ORead == 0 {
+		return 0, ErrBadFd
+	}
+	f.Reads.Add(1)
+	if f.Stream != nil {
+		return f.Stream.Read(t, p)
+	}
+	if f.Inode.IsDir() {
+		return 0, ErrIsDir
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.Inode.ReadAt(p, f.offset)
+	f.offset += int64(n)
+	return n, nil
+}
+
+// Write writes at the shared offset (or end-of-file with OAppend),
+// enforcing the caller's ulimit.
+func (f *File) Write(t klock.Thread, p []byte, ulimit int64) (int, error) {
+	if f.Flags&OWrite == 0 {
+		return 0, ErrBadFd
+	}
+	f.Writes.Add(1)
+	if f.Stream != nil {
+		return f.Stream.Write(t, p)
+	}
+	if f.Inode.IsDir() {
+		return 0, ErrIsDir
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	off := f.offset
+	if f.Flags&OAppend != 0 {
+		off = f.Inode.Size()
+	}
+	n, err := f.Inode.WriteAt(p, off, ulimit)
+	if err != nil {
+		return 0, err
+	}
+	f.offset = off + int64(n)
+	return n, nil
+}
+
+// Seek repositions the shared offset.
+func (f *File) Seek(off int64, whence int) (int64, error) {
+	if f.Stream != nil {
+		return 0, ErrInval
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.offset
+	case SeekEnd:
+		base = f.Inode.Size()
+	default:
+		return 0, ErrInval
+	}
+	if base+off < 0 {
+		return 0, ErrInval
+	}
+	f.offset = base + off
+	return f.offset, nil
+}
+
+// Open opens (optionally creating) the file at path under cred c.
+func (f *FS) Open(c Cred, path string, flags int, mode uint16) (*File, error) {
+	var ip *Inode
+	var err error
+	if flags&OCreat != 0 {
+		ip, err = f.Create(c, path, mode)
+	} else {
+		ip, err = f.Lookup(c, path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var want uint16
+	if flags&ORead != 0 {
+		want |= 4
+	}
+	if flags&OWrite != 0 {
+		want |= 2
+	}
+	// Creation grants the creator access regardless of the masked mode,
+	// matching creat(2); otherwise check permissions.
+	if flags&OCreat == 0 {
+		if err := ip.Access(c.Uid, c.Gid, want); err != nil {
+			return nil, err
+		}
+	}
+	if flags&OWrite != 0 && ip.IsDir() {
+		return nil, ErrIsDir
+	}
+	if flags&OTrunc != 0 && !ip.IsDir() {
+		ip.Truncate()
+	}
+	return NewFile(ip.Hold(), nil, flags), nil
+}

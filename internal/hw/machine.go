@@ -1,0 +1,162 @@
+package hw
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Costs is the cycle cost model. Every kernel and memory operation charges
+// cycles to the CPU it runs on, so experiments can report simulated cycles
+// alongside wall-clock time. The defaults are scaled from the R2000 era
+// (roughly 16 MHz, cache-less memory at a few cycles per access); only the
+// ratios matter for reproducing the paper's shapes.
+type Costs struct {
+	MemAccess     int64 // one user load/store that hits the TLB
+	TLBRefill     int64 // software TLB refill (fast path, no fault)
+	PageFault     int64 // full fault: trap, pregion scan, validate
+	PageZero      int64 // demand zero-fill of one page
+	PageCopy      int64 // copy-on-write copy of one page
+	SyscallEntry  int64 // trap into the kernel
+	SyscallExit   int64 // return to user mode
+	ContextSwitch int64 // dispatch a different process on a CPU
+	IPI           int64 // one inter-processor interrupt (TLB shootdown)
+	SemaSleep     int64 // block on a kernel semaphore
+	SemaWakeup    int64 // wake a kernel semaphore sleeper
+	ProcCreate    int64 // proc-table entry, u-area, kernel stack
+	ThreadCreate  int64 // Mach baseline: kernel stack + thread context only
+	RegionDup     int64 // per-page cost of duplicating a page table (fork)
+	FDTableCopy   int64 // per-descriptor cost of copying the fd table
+	AttrSync      int64 // reconciling one dirty shared attribute on entry
+}
+
+// DefaultCosts returns the standard cost table.
+func DefaultCosts() Costs {
+	return Costs{
+		MemAccess:     1,
+		TLBRefill:     20,
+		PageFault:     500,
+		PageZero:      1024,
+		PageCopy:      2048,
+		SyscallEntry:  100,
+		SyscallExit:   60,
+		ContextSwitch: 1000,
+		IPI:           400,
+		SemaSleep:     300,
+		SemaWakeup:    250,
+		ProcCreate:    4000,
+		ThreadCreate:  800,
+		RegionDup:     16,
+		FDTableCopy:   8,
+		AttrSync:      150,
+	}
+}
+
+// CPU is one processor of the machine: an ID, a private software-managed
+// TLB, and a cycle accumulator.
+type CPU struct {
+	ID     int
+	TLB    TLB
+	Cycles atomic.Int64
+
+	Switches atomic.Int64 // context switches dispatched here
+	Faults   atomic.Int64 // page faults taken here
+}
+
+// Charge adds n cycles to the CPU's accumulator.
+func (c *CPU) Charge(n int64) { c.Cycles.Add(n) }
+
+// Machine is the simulated multiprocessor: NCPU processors sharing one
+// physical memory.
+type Machine struct {
+	CPUs []*CPU
+	Mem  *Memory
+	Cost Costs
+
+	// Trace is the kernel event ring; nil disables tracing (the zero
+	// cost path — every Record on a nil ring is a no-op).
+	Trace *trace.Ring
+
+	ShootdownOps atomic.Int64 // machine-wide shootdown operations
+	nextASID     atomic.Uint32
+}
+
+// NewMachine builds a machine with ncpu processors and memFrames page
+// frames of physical memory.
+func NewMachine(ncpu, memFrames int) *Machine {
+	if ncpu <= 0 {
+		panic("hw: machine needs at least one CPU")
+	}
+	m := &Machine{
+		CPUs: make([]*CPU, ncpu),
+		Mem:  NewMemory(memFrames),
+		Cost: DefaultCosts(),
+	}
+	for i := range m.CPUs {
+		m.CPUs[i] = &CPU{ID: i}
+	}
+	m.nextASID.Store(uint32(NoASID))
+	return m
+}
+
+// NCPU returns the number of processors.
+func (m *Machine) NCPU() int { return len(m.CPUs) }
+
+// AllocASID hands out a fresh address-space identifier.
+func (m *Machine) AllocASID() ASID {
+	return ASID(m.nextASID.Add(1))
+}
+
+// ShootdownSpace synchronously flushes every CPU's TLB entries for the
+// given address space, charging the initiating CPU one IPI per remote
+// processor. This is the paper's §6.2 protocol: because the R2000 TLB is
+// software managed, the kernel can flush all processors while holding the
+// share group's update lock; running members immediately take TLB-miss
+// exceptions, attempt the shared read lock, and sleep until the update is
+// complete.
+func (m *Machine) ShootdownSpace(initiator *CPU, space ASID) {
+	m.ShootdownOps.Add(1)
+	cpu := int32(-1)
+	if initiator != nil {
+		cpu = int32(initiator.ID)
+	}
+	m.Trace.Record(trace.EvShootdown, 0, cpu, uint64(space), 0)
+	for _, c := range m.CPUs {
+		c.TLB.FlushSpace(space)
+		if c != initiator {
+			c.TLB.Shootdowns.Add(1)
+			if initiator != nil {
+				initiator.Charge(m.Cost.IPI)
+			}
+		}
+	}
+}
+
+// ShootdownPage flushes one page of one space on every CPU.
+func (m *Machine) ShootdownPage(initiator *CPU, vpn uint32, space ASID) {
+	m.ShootdownOps.Add(1)
+	for _, c := range m.CPUs {
+		c.TLB.FlushPage(vpn, space)
+		if c != initiator {
+			c.TLB.Shootdowns.Add(1)
+			if initiator != nil {
+				initiator.Charge(m.Cost.IPI)
+			}
+		}
+	}
+}
+
+// TotalCycles sums the cycle counters of all CPUs.
+func (m *Machine) TotalCycles() int64 {
+	var n int64
+	for _, c := range m.CPUs {
+		n += c.Cycles.Load()
+	}
+	return n
+}
+
+// String summarizes the machine configuration.
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine{ncpu=%d, mem=%dKiB}", len(m.CPUs), m.Mem.Capacity()*PageSize/1024)
+}

@@ -1,0 +1,220 @@
+// Package hw simulates the hardware substrate the paper's kernel runs on: a
+// MIPS R2000-style shared-memory multiprocessor with per-CPU software-managed
+// TLBs, a physical page-frame pool, and a cycle cost model.
+//
+// The simulation is faithful to the two hardware properties the share-group
+// design actually depends on: the TLB is refilled and flushed entirely by
+// kernel software (which makes the synchronous shootdown protocol of paper
+// §6.2 possible), and memory words support atomic compare-and-swap (which
+// makes user-level busy-wait synchronization possible).
+package hw
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Page geometry. 4 KiB pages, 32-bit virtual addresses, matching the R2000.
+const (
+	PageShift    = 12
+	PageSize     = 1 << PageShift
+	PageMask     = PageSize - 1
+	WordsPerPage = PageSize / 4
+)
+
+// VAddr is a 32-bit virtual address.
+type VAddr uint32
+
+// PFN is a physical page frame number.
+type PFN uint32
+
+// NoPFN marks a page-table slot with no frame assigned (demand fill pending).
+const NoPFN PFN = ^PFN(0)
+
+// VPN returns the virtual page number of va.
+func (va VAddr) VPN() uint32 { return uint32(va) >> PageShift }
+
+// Offset returns the byte offset of va within its page.
+func (va VAddr) Offset() uint32 { return uint32(va) & PageMask }
+
+// PageBase returns the address of the first byte of va's page.
+func (va VAddr) PageBase() VAddr { return va &^ VAddr(PageMask) }
+
+// Memory is the machine's physical memory: a pool of page frames with
+// per-frame reference counts. Reference counts above one arise from
+// copy-on-write duplication (paper §6.2): a frame is writable through a
+// mapping only while its count is exactly one.
+type Memory struct {
+	mu       sync.Mutex
+	frames   [][]uint32 // frame storage, allocated lazily
+	refs     []int32    // per-frame reference counts
+	free     []PFN      // recycled frames
+	capacity int        // maximum number of frames
+	inUse    int
+
+	// Statistics.
+	Allocs atomic.Int64
+	Frees  atomic.Int64
+	Copies atomic.Int64
+}
+
+// NewMemory creates a physical memory of capacity page frames.
+func NewMemory(capacity int) *Memory {
+	if capacity <= 0 {
+		panic("hw: memory capacity must be positive")
+	}
+	return &Memory{capacity: capacity}
+}
+
+// Capacity returns the total number of frames the memory can hold.
+func (m *Memory) Capacity() int { return m.capacity }
+
+// InUse returns the number of frames currently allocated.
+func (m *Memory) InUse() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inUse
+}
+
+// ErrNoMemory is returned when the frame pool is exhausted.
+var ErrNoMemory = fmt.Errorf("hw: out of physical memory")
+
+// Alloc allocates a zeroed frame with reference count one.
+func (m *Memory) Alloc() (PFN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inUse >= m.capacity {
+		return NoPFN, ErrNoMemory
+	}
+	m.inUse++
+	m.Allocs.Add(1)
+	if n := len(m.free); n > 0 {
+		pfn := m.free[n-1]
+		m.free = m.free[:n-1]
+		clear(m.frames[pfn])
+		m.refs[pfn] = 1
+		return pfn, nil
+	}
+	pfn := PFN(len(m.frames))
+	m.frames = append(m.frames, make([]uint32, WordsPerPage))
+	m.refs = append(m.refs, 1)
+	return pfn, nil
+}
+
+// IncRef increments the reference count of pfn (copy-on-write duplication).
+func (m *Memory) IncRef(pfn PFN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.refs[pfn] <= 0 {
+		panic("hw: IncRef on free frame")
+	}
+	m.refs[pfn]++
+}
+
+// DecRef decrements the reference count of pfn, releasing the frame when it
+// reaches zero. It returns the remaining count.
+func (m *Memory) DecRef(pfn PFN) int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.refs[pfn] <= 0 {
+		panic("hw: DecRef on free frame")
+	}
+	m.refs[pfn]--
+	n := m.refs[pfn]
+	if n == 0 {
+		m.free = append(m.free, pfn)
+		m.inUse--
+		m.Frees.Add(1)
+	}
+	return n
+}
+
+// Ref returns the current reference count of pfn.
+func (m *Memory) Ref(pfn PFN) int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refs[pfn]
+}
+
+// frame returns the word slice backing pfn. Frames are never reallocated
+// once created, so the returned slice stays valid; the refs table says
+// whether its content is live.
+func (m *Memory) frame(pfn PFN) []uint32 {
+	m.mu.Lock()
+	f := m.frames[pfn]
+	m.mu.Unlock()
+	return f
+}
+
+// CopyFrame allocates a new frame holding a copy of src (the copy-on-write
+// copy path) and returns it with reference count one.
+func (m *Memory) CopyFrame(src PFN) (PFN, error) {
+	dst, err := m.Alloc()
+	if err != nil {
+		return NoPFN, err
+	}
+	s, d := m.frame(src), m.frame(dst)
+	for i := range s {
+		atomic.StoreUint32(&d[i], atomic.LoadUint32(&s[i]))
+	}
+	m.Copies.Add(1)
+	return dst, nil
+}
+
+// LoadWord atomically loads the 32-bit word at the given word offset of pfn.
+func (m *Memory) LoadWord(pfn PFN, word uint32) uint32 {
+	return atomic.LoadUint32(&m.frame(pfn)[word])
+}
+
+// StoreWord atomically stores v at the given word offset of pfn.
+func (m *Memory) StoreWord(pfn PFN, word uint32, v uint32) {
+	atomic.StoreUint32(&m.frame(pfn)[word], v)
+}
+
+// CASWord performs an atomic compare-and-swap on a word of pfn. This models
+// the hardware interlocked operation that user-level spinlocks are built on
+// (paper §3: "some form of hardware supported lock is usually best").
+func (m *Memory) CASWord(pfn PFN, word uint32, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(&m.frame(pfn)[word], old, new)
+}
+
+// AddWord atomically adds delta to a word of pfn and returns the new value.
+func (m *Memory) AddWord(pfn PFN, word uint32, delta uint32) uint32 {
+	return atomic.AddUint32(&m.frame(pfn)[word], delta)
+}
+
+// ReadBytes copies len(dst) bytes from pfn starting at byte offset off.
+// The range must lie within one page.
+func (m *Memory) ReadBytes(pfn PFN, off uint32, dst []byte) {
+	if int(off)+len(dst) > PageSize {
+		panic("hw: ReadBytes crosses page boundary")
+	}
+	f := m.frame(pfn)
+	for i := range dst {
+		b := off + uint32(i)
+		w := atomic.LoadUint32(&f[b>>2])
+		dst[i] = byte(w >> ((b & 3) * 8))
+	}
+}
+
+// WriteBytes copies src into pfn starting at byte offset off.
+// The range must lie within one page.
+func (m *Memory) WriteBytes(pfn PFN, off uint32, src []byte) {
+	if int(off)+len(src) > PageSize {
+		panic("hw: WriteBytes crosses page boundary")
+	}
+	f := m.frame(pfn)
+	for i := range src {
+		b := off + uint32(i)
+		w := b >> 2
+		shift := (b & 3) * 8
+		for {
+			old := atomic.LoadUint32(&f[w])
+			new := old&^(0xff<<shift) | uint32(src[i])<<shift
+			if atomic.CompareAndSwapUint32(&f[w], old, new) {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package hw
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TLBSize is the number of entries in each CPU's TLB. The MIPS R2000 has a
+// 64-entry, fully associative, software-refilled TLB [MIPS 1986].
+const TLBSize = 64
+
+// ASID identifies an address space. The R2000 tags TLB entries with a
+// process identifier so the TLB need not be flushed on context switch; we
+// give every address space (and therefore every share group that shares its
+// VM image) a distinct ASID. The simulated ASID space is wide enough that
+// identifiers are never recycled, so a stale TLB entry can never match a
+// new address space (real kernels flush on ASID rollover instead).
+type ASID uint32
+
+// NoASID is never assigned to an address space.
+const NoASID ASID = 0
+
+// TLBEntry is one translation: virtual page -> physical frame for an
+// address space, with a writable bit. A clear writable bit on a resident
+// page means a store must trap (the copy-on-write path).
+type TLBEntry struct {
+	VPN      uint32
+	Space    ASID
+	Frame    PFN
+	Writable bool
+	Valid    bool
+}
+
+// TLB is a CPU's translation lookaside buffer. It is software managed: the
+// kernel inserts entries on miss and the kernel flushes entries when
+// translations die. Lookups and flushes may race (another CPU shooting this
+// one down), so the structure is locked.
+type TLB struct {
+	mu      sync.Mutex
+	entries [TLBSize]TLBEntry
+	next    int // round-robin replacement victim
+
+	Hits       atomic.Int64
+	Misses     atomic.Int64
+	Flushes    atomic.Int64 // full or ASID flushes
+	Shootdowns atomic.Int64 // flushes initiated by another CPU
+}
+
+// Lookup probes the TLB for (vpn, space). On a hit it returns the frame and
+// writability of the mapping.
+func (t *TLB) Lookup(vpn uint32, space ASID) (pfn PFN, writable, ok bool) {
+	t.mu.Lock()
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.VPN == vpn && e.Space == space {
+			pfn, writable = e.Frame, e.Writable
+			t.mu.Unlock()
+			t.Hits.Add(1)
+			return pfn, writable, true
+		}
+	}
+	t.mu.Unlock()
+	t.Misses.Add(1)
+	return NoPFN, false, false
+}
+
+// Insert adds a translation, evicting the round-robin victim if needed. Any
+// existing entry for (vpn, space) is replaced, so an upgrade to writable
+// after a copy-on-write copy takes effect immediately.
+func (t *TLB) Insert(vpn uint32, space ASID, pfn PFN, writable bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot := -1
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.VPN == vpn && e.Space == space {
+			slot = i
+			break
+		}
+		if !e.Valid && slot < 0 {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		slot = t.next
+		t.next = (t.next + 1) % TLBSize
+	}
+	t.entries[slot] = TLBEntry{VPN: vpn, Space: space, Frame: pfn, Writable: writable, Valid: true}
+}
+
+// FlushAll invalidates every entry.
+func (t *TLB) FlushAll() {
+	t.mu.Lock()
+	for i := range t.entries {
+		t.entries[i].Valid = false
+	}
+	t.mu.Unlock()
+	t.Flushes.Add(1)
+}
+
+// FlushSpace invalidates every entry belonging to the given address space.
+func (t *TLB) FlushSpace(space ASID) {
+	t.mu.Lock()
+	for i := range t.entries {
+		if t.entries[i].Space == space {
+			t.entries[i].Valid = false
+		}
+	}
+	t.mu.Unlock()
+	t.Flushes.Add(1)
+}
+
+// FlushPage invalidates the entry for (vpn, space) if present.
+func (t *TLB) FlushPage(vpn uint32, space ASID) {
+	t.mu.Lock()
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.VPN == vpn && e.Space == space {
+			e.Valid = false
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Resident reports whether a valid entry for (vpn, space) is present.
+func (t *TLB) Resident(vpn uint32, space ASID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.VPN == vpn && e.Space == space {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidCount returns the number of valid entries (for tests and sgtop).
+func (t *TLB) ValidCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			n++
+		}
+	}
+	return n
+}

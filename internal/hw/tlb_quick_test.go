@@ -1,0 +1,69 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the TLB behaves like a bounded cache over a model map — a hit
+// must return exactly what the model holds; a flush must remove precisely
+// the targeted entries. (Misses are always allowed: the TLB may evict.)
+func TestQuickTLBAgainstModel(t *testing.T) {
+	type key struct {
+		vpn   uint32
+		space ASID
+	}
+	type val struct {
+		pfn      PFN
+		writable bool
+	}
+	f := func(seed int64, ops []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tlb TLB
+		model := map[key]val{}
+		for _, op := range ops {
+			vpn := uint32(rng.Intn(8))
+			space := ASID(1 + rng.Intn(3))
+			switch op % 5 {
+			case 0, 1: // insert
+				v := val{pfn: PFN(rng.Intn(64)), writable: rng.Intn(2) == 0}
+				tlb.Insert(vpn, space, v.pfn, v.writable)
+				model[key{vpn, space}] = v
+			case 2: // lookup: hit must match the model exactly
+				pfn, w, ok := tlb.Lookup(vpn, space)
+				if ok {
+					mv, in := model[key{vpn, space}]
+					if !in || mv.pfn != pfn || mv.writable != w {
+						return false
+					}
+				}
+			case 3: // flush one space
+				tlb.FlushSpace(space)
+				for k := range model {
+					if k.space == space {
+						delete(model, k)
+					}
+				}
+			case 4: // flush one page
+				tlb.FlushPage(vpn, space)
+				delete(model, key{vpn, space})
+			}
+			// Global invariant: no resident entry disagrees with the model.
+			for k, mv := range model {
+				if pfn, w, ok := tlb.Lookup(k.vpn, k.space); ok {
+					if pfn != mv.pfn || w != mv.writable {
+						return false
+					}
+				}
+			}
+			if tlb.ValidCount() > TLBSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package ipc implements the queueing IPC mechanisms the paper contrasts
+// share groups against: pipes (the Version 7 model), System V message
+// queues, semaphores and shared memory (the System V model of Figure 2),
+// and stream socket pairs (the BSD model). All of them move data through
+// kernel buffers with sleep/wakeup synchronization — the data copying and
+// kernel interaction whose cost motivates the shared-memory/busy-wait
+// model of paper §3.
+//
+// Blocking uses targeted wait lists (klock.WaitList): every wakeup is
+// addressed to a specific thread, so a wakeup can never be stolen by a
+// waiter whose condition is still false.
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fs"
+	"repro/internal/klock"
+)
+
+// PipeCap is a pipe's kernel buffer capacity (ten 1 KiB blocks, as in
+// classic UNIX).
+const PipeCap = 10240
+
+// Pipe is a bounded kernel byte queue with blocking reads and writes.
+type Pipe struct {
+	mu      sync.Mutex
+	buf     []byte
+	readers int32
+	writers int32
+	rwait   klock.WaitList
+	wwait   klock.WaitList
+
+	BytesMoved atomic.Int64
+}
+
+// NewPipe creates a pipe with one reader and one writer end open.
+func NewPipe() *Pipe {
+	return &Pipe{readers: 1, writers: 1}
+}
+
+// read implements the reader end: block while empty (unless all writers
+// are gone: EOF), then drain up to len(b) bytes.
+func (p *Pipe) read(t klock.Thread, b []byte) (int, error) {
+	p.mu.Lock()
+	for len(p.buf) == 0 {
+		if p.writers == 0 {
+			p.mu.Unlock()
+			return 0, nil // EOF
+		}
+		p.rwait.Append(t)
+		p.mu.Unlock()
+		t.Block("pipe read")
+		p.mu.Lock()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	p.BytesMoved.Add(int64(n))
+	p.wwait.WakeAll()
+	p.mu.Unlock()
+	return n, nil
+}
+
+// write implements the writer end: block while full; EPIPE when no
+// readers remain.
+func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
+	total := 0
+	p.mu.Lock()
+	for len(b) > 0 {
+		if p.readers == 0 {
+			p.mu.Unlock()
+			return total, fs.ErrPipe
+		}
+		space := PipeCap - len(p.buf)
+		if space == 0 {
+			p.wwait.Append(t)
+			p.mu.Unlock()
+			t.Block("pipe write")
+			p.mu.Lock()
+			continue
+		}
+		n := space
+		if n > len(b) {
+			n = len(b)
+		}
+		p.buf = append(p.buf, b[:n]...)
+		b = b[n:]
+		total += n
+		p.rwait.WakeAll()
+	}
+	p.mu.Unlock()
+	return total, nil
+}
+
+// closeEnd closes one end, waking sleepers so they observe EOF/EPIPE.
+func (p *Pipe) closeEnd(read bool) {
+	p.mu.Lock()
+	if read {
+		p.readers--
+	} else {
+		p.writers--
+	}
+	p.rwait.WakeAll()
+	p.wwait.WakeAll()
+	p.mu.Unlock()
+}
+
+// Buffered returns the number of bytes queued in the pipe.
+func (p *Pipe) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+// pipeEnd adapts one end of a pipe to fs.Stream.
+type pipeEnd struct {
+	p    *Pipe
+	read bool
+}
+
+func (e *pipeEnd) Read(t klock.Thread, b []byte) (int, error) {
+	if !e.read {
+		return 0, fs.ErrBadFd
+	}
+	return e.p.read(t, b)
+}
+
+func (e *pipeEnd) Write(t klock.Thread, b []byte) (int, error) {
+	if e.read {
+		return 0, fs.ErrBadFd
+	}
+	return e.p.write(t, b)
+}
+
+func (e *pipeEnd) Close() { e.p.closeEnd(e.read) }
+
+// Ends returns the reader and writer fs.Streams of a pipe.
+func (p *Pipe) Ends() (r, w fs.Stream) {
+	return &pipeEnd{p: p, read: true}, &pipeEnd{p: p, read: false}
+}
+
+// duplexEnd is one endpoint of a connected stream pair: it reads from one
+// pipe and writes to the other (the socketpair model).
+type duplexEnd struct {
+	in  *Pipe
+	out *Pipe
+}
+
+func (d *duplexEnd) Read(t klock.Thread, b []byte) (int, error)  { return d.in.read(t, b) }
+func (d *duplexEnd) Write(t klock.Thread, b []byte) (int, error) { return d.out.write(t, b) }
+func (d *duplexEnd) Close() {
+	d.in.closeEnd(true)
+	d.out.closeEnd(false)
+}
+
+// SocketPair creates a connected pair of duplex byte streams, modelling
+// socketpair(2) on a UNIX-domain stream socket.
+func SocketPair() (a, b fs.Stream) {
+	p1, p2 := NewPipe(), NewPipe()
+	return &duplexEnd{in: p1, out: p2}, &duplexEnd{in: p2, out: p1}
+}

@@ -1,0 +1,44 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression stress for the semop ping-pong deadlock: two parties
+// alternate P/V on two semaphores of one set at high volume.
+func TestSemPingPongStress(t *testing.T) {
+	r := NewRegistry()
+	s, _ := r.Sem(r.Semget(0, 2))
+	const rounds = 200000
+	done := make(chan struct{})
+	go func() {
+		th := newGoThread()
+		for i := 0; i < rounds; i++ {
+			if err := s.Op(th, 0, -1); err != nil {
+				t.Errorf("ponger P: %v", err)
+				return
+			}
+			s.Op(th, 1, 1)
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		th := newGoThread()
+		for i := 0; i < rounds; i++ {
+			s.Op(th, 0, 1)
+			if err := s.Op(th, 1, -1); err != nil {
+				t.Errorf("pinger P: %v", err)
+				return
+			}
+		}
+		done <- struct{}{}
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("ping-pong deadlocked (vals: %d %d)", s.Val(0), s.Val(1))
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package ipc
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/klock"
+)
+
+// Socket-layer errors.
+var (
+	ErrAddrInUse = errors.New("ipc: address already in use") // EADDRINUSE
+	ErrNoListen  = errors.New("ipc: connection refused")     // ECONNREFUSED
+	ErrClosed    = errors.New("ipc: listener closed")
+)
+
+// Listener accepts stream connections on a name — an abstract-namespace
+// UNIX-domain listening socket.
+type Listener struct {
+	name    string
+	net     *NetNames
+	mu      sync.Mutex
+	pending []fs.Stream
+	waiters klock.WaitList
+	closed  bool
+}
+
+// Accept blocks until a client connects, returning the server-side stream.
+func (l *Listener) Accept(t klock.Thread) (fs.Stream, error) {
+	l.mu.Lock()
+	for {
+		if len(l.pending) > 0 {
+			s := l.pending[0]
+			l.pending = l.pending[1:]
+			l.mu.Unlock()
+			return s, nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return nil, ErrClosed
+		}
+		l.waiters.Append(t)
+		l.mu.Unlock()
+		t.Block("accept: wait for connection")
+		l.mu.Lock()
+	}
+}
+
+// Close stops the listener and wakes pending accepts.
+func (l *Listener) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.waiters.WakeAll()
+	l.mu.Unlock()
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.name)
+	l.net.mu.Unlock()
+}
+
+// NetNames is the abstract socket namespace.
+type NetNames struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+}
+
+// NewNetNames creates an empty namespace.
+func NewNetNames() *NetNames {
+	return &NetNames{listeners: map[string]*Listener{}}
+}
+
+// Listen binds a listener to name.
+func (n *NetNames) Listen(name string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[name]; ok {
+		return nil, ErrAddrInUse
+	}
+	l := &Listener{name: name, net: n}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Connect establishes a stream to the listener bound at name, returning
+// the client-side stream.
+func (n *NetNames) Connect(t klock.Thread, name string) (fs.Stream, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[name]
+	n.mu.Unlock()
+	if !ok {
+		return nil, ErrNoListen
+	}
+	client, server := SocketPair()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrNoListen
+	}
+	l.pending = append(l.pending, server)
+	l.waiters.WakeOne()
+	l.mu.Unlock()
+	return client, nil
+}

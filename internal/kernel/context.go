@@ -1,0 +1,324 @@
+package kernel
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/hw"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Context is the user-mode execution surface of one process: memory
+// accesses run through the per-CPU software TLB and region fault handler,
+// and system calls pass the kernel entry/exit points. A Context is only
+// valid on the goroutine of the process it belongs to.
+type Context struct {
+	S *System
+	P *proc.Proc
+}
+
+// ErrFault is the base of address faults surfaced to programs that catch
+// SIGSEGV; programs without a handler are terminated instead.
+type FaultError struct {
+	VA    hw.VAddr
+	Write bool
+	Cause error
+}
+
+func (e *FaultError) Error() string {
+	kind := "load"
+	if e.Write {
+		kind = "store"
+	}
+	if e.Cause != nil {
+		return fmt.Sprintf("fault: %s at %#x: %v", kind, uint32(e.VA), e.Cause)
+	}
+	return fmt.Sprintf("fault: %s at %#x: no region", kind, uint32(e.VA))
+}
+
+// cpu returns the CPU the process is currently executing on.
+func (c *Context) cpu() *hw.CPU { return c.S.Sched.CurrentCPU(c.P) }
+
+// charge accounts n cycles to the current CPU and takes the preemption
+// check when the time slice runs out. It also latches SIGKILL promptly.
+func (c *Context) charge(n int64) {
+	c.cpu().Charge(n)
+	c.P.Cycles.Add(n)
+	if c.P.SliceLeft.Add(-n) <= 0 {
+		c.S.Sched.Yield(c.P)
+	}
+	if c.P.Killed.Load() {
+		panic(processExit{status: 128 + proc.SIGKILL})
+	}
+}
+
+// EnterKernel is the system-call trap: charge the entry cost and perform
+// the single-test synchronization check of paper §6.3.
+func (c *Context) EnterKernel() {
+	c.charge(c.S.Machine.Cost.SyscallEntry)
+	if c.P.Flag.Load()&proc.FSyncAny != 0 {
+		if sa := c.P.ShareGrp(); sa != nil {
+			c.cpu().Charge(c.S.Machine.Cost.AttrSync)
+			c.S.Machine.Trace.Record(trace.EvSync, int32(c.P.PID), c.P.CPU.Load(), uint64(c.P.Flag.Load()), 0)
+			sa.SyncEntry(c.P)
+		}
+	}
+}
+
+// ExitKernel is the return-to-user path: charge the exit cost and deliver
+// pending signals.
+func (c *Context) ExitKernel() {
+	c.cpu().Charge(c.S.Machine.Cost.SyscallExit)
+	c.DeliverSignals()
+}
+
+// DeliverSignals runs pending, unmasked signal actions: handlers execute
+// on this process's own context; fatal defaults terminate it.
+func (c *Context) DeliverSignals() {
+	for {
+		sig := c.P.PendingSignal()
+		if sig == 0 {
+			return
+		}
+		h, fatal := c.P.SignalAction(sig)
+		c.S.Machine.Trace.Record(trace.EvSignal, int32(c.P.PID), c.P.CPU.Load(), uint64(sig), 0)
+		switch {
+		case h != nil:
+			h(sig)
+		case fatal:
+			panic(processExit{status: 128 + sig})
+		}
+	}
+}
+
+// translate resolves va for the given access kind, consulting the TLB
+// first and falling back to the fault path. The private pregion list is
+// scanned first, then the share group's shared list under the shared read
+// lock (paper §6.2).
+func (c *Context) translate(va hw.VAddr, write bool) (hw.PFN, error) {
+	cpu := c.cpu()
+	c.charge(c.S.Machine.Cost.MemAccess)
+	if va >= vm.PRDABase && va < vm.PRDABase+hw.VAddr(vm.PRDAPages*hw.PageSize) {
+		return c.translatePRDA(va, write)
+	}
+	vpn := va.VPN()
+	if pfn, w, ok := cpu.TLB.Lookup(vpn, c.P.ASID); ok && (!write || w) {
+		return pfn, nil
+	}
+	return c.fault(va, write)
+}
+
+// translatePRDA resolves the process data area. Every VM-sharing member
+// runs under the group's ASID yet has a private page at the same fixed
+// virtual address (paper §5.1), so the translation can never be cached in
+// the ordinary TLB — IRIX wires it into a reserved, per-process TLB slot
+// reloaded on context switch, modelled here as a fixed-cost lookup that
+// bypasses the shared TLB.
+func (c *Context) translatePRDA(va hw.VAddr, write bool) (hw.PFN, error) {
+	pr := vm.Find(c.P.Private, va)
+	if pr == nil {
+		return hw.NoPFN, c.segv(va, write, fmt.Errorf("no PRDA"))
+	}
+	pfn, _, res, err := pr.Reg.Fill(pr.PageIndex(va), write)
+	if err != nil {
+		return hw.NoPFN, c.segv(va, write, err)
+	}
+	if res == vm.FillZeroed {
+		c.cpu().Charge(c.S.Machine.Cost.PageFault + c.S.Machine.Cost.PageZero)
+	}
+	return pfn, nil
+}
+
+// fault is the TLB-miss / protection-fault handler.
+func (c *Context) fault(va hw.VAddr, write bool) (hw.PFN, error) {
+	cpu := c.cpu()
+	cpu.Faults.Add(1)
+	c.S.Machine.Trace.Record(trace.EvFault, int32(c.P.PID), int32(cpu.ID), uint64(va), 0)
+
+	var pfn hw.PFN
+	var writable bool
+	var res vm.FillResult
+	var err error
+	found := false
+
+	if pr := vm.Find(c.P.Private, va); pr != nil {
+		pfn, writable, res, err = pr.Reg.Fill(pr.PageIndex(va), write)
+		found = true
+	} else if sa := groupOf(c.P); sa != nil {
+		pfn, writable, res, found, err = sa.ResolveShared(c.P, va, write)
+	}
+	if !found {
+		return hw.NoPFN, c.segv(va, write, nil)
+	}
+	if err != nil {
+		return hw.NoPFN, c.segv(va, write, err)
+	}
+
+	switch res {
+	case vm.FillCached:
+		cpu.Charge(c.S.Machine.Cost.TLBRefill)
+	case vm.FillZeroed:
+		cpu.Charge(c.S.Machine.Cost.PageFault + c.S.Machine.Cost.PageZero)
+	case vm.FillCopied:
+		cpu.Charge(c.S.Machine.Cost.PageFault + c.S.Machine.Cost.PageCopy)
+	}
+	cpu.TLB.Insert(va.VPN(), c.P.ASID, pfn, writable)
+	return pfn, nil
+}
+
+// segv delivers the address fault: a process with a SIGSEGV handler gets
+// the handler plus an error return; anything else dies.
+func (c *Context) segv(va hw.VAddr, write bool, cause error) error {
+	ferr := &FaultError{VA: va, Write: write, Cause: cause}
+	if h, _ := c.P.SignalAction(proc.SIGSEGV); h != nil {
+		h(proc.SIGSEGV)
+		return ferr
+	}
+	panic(processExit{status: 128 + proc.SIGSEGV})
+}
+
+// Load32 loads the 32-bit word at va (va must be word aligned).
+func (c *Context) Load32(va hw.VAddr) (uint32, error) {
+	if va&3 != 0 {
+		return 0, c.segv(va, false, fmt.Errorf("unaligned load"))
+	}
+	pfn, err := c.translate(va, false)
+	if err != nil {
+		return 0, err
+	}
+	return c.S.Machine.Mem.LoadWord(pfn, va.Offset()>>2), nil
+}
+
+// Store32 stores v at word-aligned va.
+func (c *Context) Store32(va hw.VAddr, v uint32) error {
+	if va&3 != 0 {
+		return c.segv(va, true, fmt.Errorf("unaligned store"))
+	}
+	pfn, err := c.translate(va, true)
+	if err != nil {
+		return err
+	}
+	c.S.Machine.Mem.StoreWord(pfn, va.Offset()>>2, v)
+	return nil
+}
+
+// CAS32 performs the hardware interlocked compare-and-swap at va — the
+// primitive user-level busy-wait locks are built on (paper §3).
+func (c *Context) CAS32(va hw.VAddr, old, new uint32) (bool, error) {
+	if va&3 != 0 {
+		return false, c.segv(va, true, fmt.Errorf("unaligned CAS"))
+	}
+	pfn, err := c.translate(va, true)
+	if err != nil {
+		return false, err
+	}
+	return c.S.Machine.Mem.CASWord(pfn, va.Offset()>>2, old, new), nil
+}
+
+// Add32 atomically adds delta at va, returning the new value.
+func (c *Context) Add32(va hw.VAddr, delta uint32) (uint32, error) {
+	if va&3 != 0 {
+		return 0, c.segv(va, true, fmt.Errorf("unaligned add"))
+	}
+	pfn, err := c.translate(va, true)
+	if err != nil {
+		return 0, err
+	}
+	return c.S.Machine.Mem.AddWord(pfn, va.Offset()>>2, delta), nil
+}
+
+// LoadBytes copies len(dst) bytes from va, crossing pages as needed.
+func (c *Context) LoadBytes(va hw.VAddr, dst []byte) error {
+	for len(dst) > 0 {
+		pfn, err := c.translate(va, false)
+		if err != nil {
+			return err
+		}
+		n := hw.PageSize - int(va.Offset())
+		if n > len(dst) {
+			n = len(dst)
+		}
+		c.S.Machine.Mem.ReadBytes(pfn, va.Offset(), dst[:n])
+		c.charge(int64(n / 64)) // bulk transfer cost beyond the first access
+		dst = dst[n:]
+		va += hw.VAddr(n)
+	}
+	return nil
+}
+
+// StoreBytes copies src to va, crossing pages as needed.
+func (c *Context) StoreBytes(va hw.VAddr, src []byte) error {
+	for len(src) > 0 {
+		pfn, err := c.translate(va, true)
+		if err != nil {
+			return err
+		}
+		n := hw.PageSize - int(va.Offset())
+		if n > len(src) {
+			n = len(src)
+		}
+		c.S.Machine.Mem.WriteBytes(pfn, va.Offset(), src[:n])
+		c.charge(int64(n / 64))
+		src = src[n:]
+		va += hw.VAddr(n)
+	}
+	return nil
+}
+
+// SpinWait32 busy-waits until pred is true of the word at va and returns
+// the observed value. It models a processor spinning on a cached word
+// (paper §3: "processes that attempt to acquire the lock simply loop"):
+// the first access and periodic refreshes go through the MMU at full cost,
+// but failed polls run against the local cache and cost almost nothing.
+// A small periodic charge keeps the spinner preemptible, so a descheduled
+// partner can still be dispatched — the situation gang scheduling (§8)
+// exists to avoid.
+func (c *Context) SpinWait32(va hw.VAddr, pred func(uint32) bool) (uint32, error) {
+	for {
+		// Full-cost access: re-translates, honouring remaps, and keeps
+		// the TLB entry warm.
+		v, err := c.Load32(va)
+		if err != nil {
+			return 0, err
+		}
+		if pred(v) {
+			return v, nil
+		}
+		pfn, err := c.translate(va, false)
+		if err != nil {
+			return 0, err
+		}
+		word := va.Offset() >> 2
+		for i := 0; i < 4096; i++ {
+			v = c.S.Machine.Mem.LoadWord(pfn, word)
+			if pred(v) {
+				return v, nil
+			}
+			if i&7 == 7 {
+				// Cache spin: near-zero cost per poll, but enough drip
+				// charge that a spinner exhausts its slice and can be
+				// preempted in reasonable time when CPUs are overcommitted.
+				c.charge(1)
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// StackBase returns the lowest address of this process's stack region.
+func (c *Context) StackBase() hw.VAddr {
+	if c.P.Stack != nil {
+		return c.P.Stack.Base
+	}
+	return 0
+}
+
+// StackTop returns the first address above this process's stack region.
+func (c *Context) StackTop() hw.VAddr {
+	if c.P.Stack != nil {
+		return c.P.Stack.End()
+	}
+	return 0
+}

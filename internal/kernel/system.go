@@ -1,0 +1,305 @@
+// Package kernel is the system-call layer tying the substrates together:
+// it boots a simulated machine, owns the process table, dispatches
+// processes through the scheduler, and implements the V.3 system-call
+// surface extended with the paper's sproc(2) and prctl(2).
+//
+// A simulated program is a Go closure of type Main executing against a
+// Context, which stands in for the user-mode CPU state: every memory
+// access goes through the per-CPU software TLB and the region fault
+// handler, and every system call passes the kernel entry point where the
+// p_flag synchronization bits are checked in a single test (paper §6.3).
+package kernel
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/hw"
+	"repro/internal/ipc"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Config describes the simulated system.
+type Config struct {
+	NCPU      int   // processors (default 4)
+	MemFrames int   // physical page frames (default 16384 = 64 MiB)
+	TimeSlice int64 // charge units per slice (default sched.DefaultSlice)
+	MaxProcs  int   // per-user process limit, PR_MAXPROCS (default 256)
+	Gang      bool  // gang-schedule share groups (paper §8 extension)
+
+	// Image geometry for fresh processes.
+	TextPages int // default 16
+	DataPages int // default 64
+
+	// Ablation switches (DESIGN.md §6): the designs the paper rejected.
+	ExclusiveVMLock bool // exclusive lock on the shared pregion list
+	EagerAttrSync   bool // push attribute updates instead of deferring
+
+	// TraceEvents enables the kernel event ring with the given capacity
+	// (0 disables tracing entirely).
+	TraceEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NCPU == 0 {
+		c.NCPU = 4
+	}
+	if c.MemFrames == 0 {
+		c.MemFrames = 16384
+	}
+	if c.MaxProcs == 0 {
+		c.MaxProcs = 256
+	}
+	if c.TextPages == 0 {
+		c.TextPages = 16
+	}
+	if c.DataPages == 0 {
+		c.DataPages = 64
+	}
+	return c
+}
+
+// Main is a user program: the code a process executes.
+type Main func(*Context)
+
+// System is the booted kernel.
+type System struct {
+	Machine *hw.Machine
+	FS      *fs.FS
+	Sched   *sched.Sched
+	IPC     *ipc.Registry
+	Net     *ipc.NetNames
+	cfg     Config
+
+	mu      sync.Mutex
+	procs   map[int]*proc.Proc
+	mains   map[int]Main // pending images for Exec
+	nextPID int
+
+	wg sync.WaitGroup // live processes
+}
+
+// NewSystem boots a machine and kernel with the given configuration.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	m := hw.NewMachine(cfg.NCPU, cfg.MemFrames)
+	s := &System{
+		Machine: m,
+		FS:      fs.New(),
+		Sched:   sched.New(m, cfg.TimeSlice),
+		IPC:     ipc.NewRegistry(),
+		Net:     ipc.NewNetNames(),
+		cfg:     cfg,
+		procs:   map[int]*proc.Proc{},
+		mains:   map[int]Main{},
+	}
+	s.Sched.SetGang(cfg.Gang)
+	if cfg.TraceEvents > 0 {
+		m.Trace = trace.New(cfg.TraceEvents)
+	}
+	return s
+}
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// allocPID hands out the next process id.
+func (s *System) allocPID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextPID++
+	return s.nextPID
+}
+
+// register adds p to the process table.
+func (s *System) register(p *proc.Proc) {
+	s.mu.Lock()
+	s.procs[p.PID] = p
+	s.mu.Unlock()
+}
+
+// unregister removes p from the process table.
+func (s *System) unregister(p *proc.Proc) {
+	s.mu.Lock()
+	delete(s.procs, p.PID)
+	s.mu.Unlock()
+}
+
+// Lookup finds a process by pid.
+func (s *System) Lookup(pid int) (*proc.Proc, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.procs[pid]
+	return p, ok
+}
+
+// NProcs returns the number of live process-table entries.
+func (s *System) NProcs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.procs)
+}
+
+// Procs returns a snapshot of the process table.
+func (s *System) Procs() []*proc.Proc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*proc.Proc, 0, len(s.procs))
+	for _, p := range s.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// newImage builds a standard fresh address space: text, data, stack at the
+// top of the space, and a private PRDA at its fixed location.
+func (s *System) newImage(p *proc.Proc) {
+	mem := s.Machine.Mem
+	stackBase := vm.MainStackTop - hw.VAddr(p.StackMax*hw.PageSize)
+	p.Private = []*vm.PRegion{
+		{Reg: vm.NewRegion(mem, vm.RText, s.cfg.TextPages), Base: vm.TextBase},
+		{Reg: vm.NewRegion(mem, vm.RData, s.cfg.DataPages), Base: vm.DataBase},
+		{Reg: vm.NewRegion(mem, vm.RStack, p.StackMax), Base: stackBase},
+		{Reg: vm.NewRegion(mem, vm.RPRDA, vm.PRDAPages), Base: vm.PRDABase},
+	}
+	p.Stack = vm.Find(p.Private, stackBase)
+}
+
+// Run starts a fresh top-level process executing main and returns its pid.
+// The process's cdir and rdir are the filesystem root; it owns a standard
+// image and runs as root.
+func (s *System) Run(name string, main Main) int {
+	p := proc.New(s.allocPID(), name)
+	p.Sched = s.Sched
+	p.ASID = s.Machine.AllocASID()
+	p.Cdir = s.FS.Root().Hold()
+	p.Rdir = s.FS.Root().Hold()
+	s.newImage(p)
+	s.register(p)
+	s.startProc(p, main)
+	return p.PID
+}
+
+// processExit unwinds a process's stack on exit(2) or a fatal signal.
+type processExit struct{ status int }
+
+// processExec unwinds a process's stack on exec(2), carrying the new image.
+type processExec struct {
+	name string
+	main Main
+}
+
+// startProc launches p's goroutine: dispatch, run images until the process
+// exits, then reap.
+func (s *System) startProc(p *proc.Proc, main Main) {
+	s.wg.Add(1)
+	s.Sched.Spawn(p, func() {
+		defer s.wg.Done()
+		status := 0
+		img := main
+		for img != nil {
+			next, st := s.runImage(p, img)
+			img, status = next, st
+		}
+		s.reap(p, status)
+	})
+}
+
+// runImage executes one program image, converting the exit/exec panics
+// into control flow. It returns the next image to run (exec) or nil (exit)
+// with the exit status.
+func (s *System) runImage(p *proc.Proc, img Main) (next Main, status int) {
+	defer func() {
+		r := recover()
+		switch e := r.(type) {
+		case nil:
+		case processExit:
+			next, status = nil, e.status
+		case processExec:
+			p.Name = e.name
+			next, status = e.main, 0
+		default:
+			panic(r)
+		}
+	}()
+	img(&Context{S: s, P: p})
+	return nil, 0
+}
+
+// reap performs the kernel half of exit(2): release the image and
+// descriptors, leave the share group, reparent children, notify the
+// parent. The proc-table entry survives as a zombie until the parent waits
+// (or is removed immediately if no one can wait).
+func (s *System) reap(p *proc.Proc, status int) {
+	// Leave the share group first: the group must survive member exit,
+	// and the member's sproc stack is detached under the update lock
+	// with a full shootdown (paper §6.2).
+	if sa := p.ShareGrp(); sa != nil {
+		sa.Leave(p)
+	}
+
+	p.Mu.Lock()
+	p.CloseAllFds()
+	cdir, rdir := p.Cdir, p.Rdir
+	p.Cdir, p.Rdir = nil, nil
+	p.ExitStatus = status
+	p.Mu.Unlock()
+	cdir.Release()
+	rdir.Release()
+
+	vm.DetachList(p.Private)
+	p.Private = nil
+	s.Machine.ShootdownSpace(nil, p.ASID)
+
+	// Reparent children: orphans that are already zombies are discarded;
+	// live orphans will be discarded when they exit.
+	p.Mu.Lock()
+	children := p.Children
+	p.Children = nil
+	p.Mu.Unlock()
+	for _, c := range children {
+		c.Mu.Lock()
+		c.PPID = 0 // orphaned
+		c.Mu.Unlock()
+		select {
+		case <-c.Exited:
+			s.unregister(c)
+		default:
+		}
+	}
+
+	p.SetState(proc.SZomb)
+	s.Machine.Trace.Record(trace.EvExit, int32(p.PID), -1, uint64(status), 0)
+	close(p.Exited)
+
+	// Notify the parent.
+	s.mu.Lock()
+	parent := s.procs[p.PPID]
+	s.mu.Unlock()
+	if parent != nil {
+		parent.Post(proc.SIGCLD)
+		parent.DeadSema.V()
+	} else {
+		// Orphan: no one will wait; drop the table entry now. A signal
+		// death with nobody to observe it is reported like a shell
+		// would, so misbehaving programs are not silently lost.
+		if status >= 128 {
+			fmt.Fprintf(os.Stderr, "kernel: pid %d (%s) killed by signal %d\n", p.PID, p.Name, status-128)
+		}
+		s.unregister(p)
+	}
+}
+
+// WaitIdle blocks until every process has exited (test and example
+// teardown).
+func (s *System) WaitIdle() { s.wg.Wait() }
+
+// String summarizes the system.
+func (s *System) String() string {
+	return fmt.Sprintf("system{%v, procs=%d}", s.Machine, s.NProcs())
+}

@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// TestTraceIntegration checks that the kernel event ring records the
+// mechanisms of a known workload in the right quantities.
+func TestTraceIntegration(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceEvents = 2048
+	s := NewSystem(cfg)
+
+	s.Run("traced", func(c *Context) {
+		// One sproc, one fork, three fresh-page faults, one umask
+		// propagation reconciled by the member, one shrink shootdown,
+		// one caught signal.
+		done := make(chan struct{})
+		c.Sproc("member", func(cc *Context, _ int64) {
+			defer close(done)
+			for i := 0; i < 3; i++ {
+				cc.Store32(vm.DataBase+hw.VAddr(i*4096+8192), 1)
+			}
+			cc.Umask(0o033)
+		}, proc.PRSALL, 0)
+		<-done
+		c.Getpid() // reconcile -> EvSync
+		c.Wait()
+
+		c.Sbrk(4096)
+		c.Sbrk(-4096)
+
+		c.Signal(proc.SIGUSR1, func(int) {})
+		c.Kill(c.Getpid(), proc.SIGUSR1)
+		c.Getpid()
+
+		pid, _ := c.Fork("kid", func(cc *Context) {})
+		_ = pid
+		c.Wait()
+	})
+	s.WaitIdle()
+
+	ring := s.Machine.Trace
+	if ring == nil {
+		t.Fatal("trace ring not enabled")
+	}
+	if got := ring.CountKind(trace.EvCreate); got != 2 {
+		t.Errorf("creates = %d, want 2 (sproc + fork)", got)
+	}
+	if got := ring.CountKind(trace.EvExit); got != 3 {
+		t.Errorf("exits = %d, want 3", got)
+	}
+	if got := ring.CountKind(trace.EvFault); got < 3 {
+		t.Errorf("faults = %d, want >= 3", got)
+	}
+	if got := ring.CountKind(trace.EvSync); got < 1 {
+		t.Errorf("syncs = %d, want >= 1", got)
+	}
+	if got := ring.CountKind(trace.EvSignal); got < 1 {
+		t.Errorf("signals = %d, want >= 1", got)
+	}
+	// Shootdowns: member exit, the shrink, the fork COW, the final exits.
+	if got := ring.CountKind(trace.EvShootdown); got < 3 {
+		t.Errorf("shootdowns = %d, want >= 3", got)
+	}
+	// Dispatch events exist and sequence numbers are strictly increasing.
+	events, dropped := ring.Snapshot()
+	if dropped != 0 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	if ring.CountKind(trace.EvDispatch) < 3 {
+		t.Error("too few dispatches recorded")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatal("sequence not increasing")
+		}
+	}
+}
+
+// TestTraceDisabledByDefault: a default system must pay nothing and record
+// nothing.
+func TestTraceDisabledByDefault(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Run("p", func(c *Context) {
+		c.Fork("kid", func(cc *Context) {})
+		c.Wait()
+	})
+	waitIdle(t, s)
+	if s.Machine.Trace != nil {
+		t.Fatal("trace ring allocated without TraceEvents")
+	}
+}

@@ -1,0 +1,246 @@
+// Package klock provides the kernel synchronization primitives the share
+// group implementation is built from: spin locks (lock_t), sleeping
+// semaphores (sema_t), and the shared read lock of paper §6.2 composed from
+// a spin lock, two counters, and a semaphore — exactly the s_acclck /
+// s_acccnt / s_waitcnt / s_updwait fields of the shared address block.
+//
+// Sleeping primitives operate on a Thread, the minimal interface a
+// schedulable entity must provide. The process layer implements Thread so
+// that sleeping in the kernel releases the simulated CPU (design goal 2 of
+// paper §6: synchronization must proceed even though some members are not
+// available for execution).
+package klock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Thread is a schedulable entity that can be blocked and unblocked.
+// Unblock may be called before Block; the pair must still rendezvous
+// (no lost wakeups).
+type Thread interface {
+	// Block suspends the caller until Unblock is called. It must be
+	// invoked only by the thread itself.
+	Block(reason string)
+	// Unblock makes a past or future Block return. One Unblock releases
+	// exactly one Block.
+	Unblock()
+}
+
+// Spin is a busy-wait kernel lock (lock_t). Kernel spin locks protect short
+// critical sections; the holder never sleeps.
+type Spin struct {
+	state      atomic.Int32
+	Contention atomic.Int64 // acquisitions that had to spin
+}
+
+// Lock acquires the spin lock, busy-waiting until free.
+func (s *Spin) Lock() {
+	if s.state.CompareAndSwap(0, 1) {
+		return
+	}
+	s.Contention.Add(1)
+	for {
+		for s.state.Load() != 0 {
+			runtime.Gosched()
+		}
+		if s.state.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+// TryLock acquires the lock if it is free.
+func (s *Spin) TryLock() bool { return s.state.CompareAndSwap(0, 1) }
+
+// Unlock releases the spin lock.
+func (s *Spin) Unlock() {
+	if !s.state.CompareAndSwap(1, 0) {
+		panic("klock: unlock of unlocked Spin")
+	}
+}
+
+// WaitList is a FIFO of blocked threads, manipulated under the owner's
+// own lock. Wakeups target specific threads, so — unlike a counting
+// semaphore shared between waiters with different predicates — a wakeup
+// can never be consumed by a waiter it was not meant for. The owner's
+// pattern is:
+//
+//	mu.Lock()
+//	for !condition {
+//		list.Append(t)
+//		mu.Unlock()
+//		t.Block(reason)
+//		mu.Lock()
+//	}
+//
+// and wakers call WakeOne/WakeAll while holding mu. Thread.Unblock is
+// buffered, so a wake issued between Append and Block is not lost.
+type WaitList struct {
+	ts []Thread
+}
+
+// Append registers t as the newest waiter. Caller holds the owner's lock.
+func (w *WaitList) Append(t Thread) {
+	w.ts = append(w.ts, t)
+}
+
+// WakeOne unblocks the oldest waiter, reporting whether there was one.
+// Caller holds the owner's lock.
+func (w *WaitList) WakeOne() bool {
+	if len(w.ts) == 0 {
+		return false
+	}
+	t := w.ts[0]
+	w.ts = w.ts[1:]
+	t.Unblock()
+	return true
+}
+
+// WakeAll unblocks every waiter, returning how many. Caller holds the
+// owner's lock.
+func (w *WaitList) WakeAll() int {
+	n := len(w.ts)
+	for _, t := range w.ts {
+		t.Unblock()
+	}
+	w.ts = nil
+	return n
+}
+
+// Len returns the number of waiters. Caller holds the owner's lock.
+func (w *WaitList) Len() int { return len(w.ts) }
+
+// waiter is one thread sleeping on a semaphore.
+type waiter struct {
+	t           Thread
+	interrupted bool
+	granted     bool
+}
+
+// Sema is a counting sleep/wakeup semaphore (sema_t). P may block; V wakes
+// the longest sleeper first (FIFO).
+type Sema struct {
+	mu      sync.Mutex
+	count   int
+	waiters []*waiter
+
+	Sleeps  atomic.Int64
+	Wakeups atomic.Int64
+}
+
+// NewSema returns a semaphore with the given initial count.
+func NewSema(n int) *Sema { return &Sema{count: n} }
+
+// P decrements the semaphore, sleeping while the count is zero.
+func (s *Sema) P(t Thread, reason string) {
+	s.mu.Lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.Unlock()
+		return
+	}
+	w := &waiter{t: t}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	s.Sleeps.Add(1)
+	t.Block(reason)
+}
+
+// PInterruptible is P, but the sleep can be broken by Interrupt (signal
+// delivery to a process sleeping in the kernel). It reports whether the
+// semaphore was actually acquired (false means interrupted).
+func (s *Sema) PInterruptible(t Thread, reason string) bool {
+	s.mu.Lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.Unlock()
+		return true
+	}
+	w := &waiter{t: t}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	s.Sleeps.Add(1)
+	t.Block(reason)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !w.interrupted
+}
+
+// PInterruptibleIf is PInterruptible with an atomic pre-sleep abort check:
+// abort is evaluated under the semaphore's lock before the caller is added
+// to the wait list, so an Interrupt-triggering event that happens before
+// the sleep is never lost (the pause(2) race). It returns false without
+// sleeping when abort() is true.
+func (s *Sema) PInterruptibleIf(t Thread, reason string, abort func() bool) bool {
+	s.mu.Lock()
+	if abort != nil && abort() {
+		s.mu.Unlock()
+		return false
+	}
+	if s.count > 0 {
+		s.count--
+		s.mu.Unlock()
+		return true
+	}
+	w := &waiter{t: t}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	s.Sleeps.Add(1)
+	t.Block(reason)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !w.interrupted
+}
+
+// V increments the semaphore, waking the oldest sleeper if any.
+func (s *Sema) V() {
+	s.mu.Lock()
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.interrupted {
+			continue // already woken by Interrupt; grant to next
+		}
+		w.granted = true
+		s.mu.Unlock()
+		s.Wakeups.Add(1)
+		w.t.Unblock()
+		return
+	}
+	s.count++
+	s.mu.Unlock()
+}
+
+// Interrupt breaks t's sleep on the semaphore, if it is sleeping here.
+// It reports whether a sleep was broken.
+func (s *Sema) Interrupt(t Thread) bool {
+	s.mu.Lock()
+	for i, w := range s.waiters {
+		if w.t == t && !w.interrupted {
+			w.interrupted = true
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			s.mu.Unlock()
+			t.Unblock()
+			return true
+		}
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// Count returns the current count (for tests and diagnostics).
+func (s *Sema) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Waiting returns the number of sleeping threads.
+func (s *Sema) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}

@@ -1,0 +1,137 @@
+package klock
+
+import "sync/atomic"
+
+// MRLock is the shared read lock of paper §6.2, protecting the share
+// group's pregion list. Any number of processes may scan the list (page
+// fault, pager); a process that needs to update the list — or what it
+// points to — must wait until all scanners are done, and excludes scanners
+// while it works.
+//
+// The structure mirrors the shaddr_t fields:
+//
+//	s_acclck  — spin lock guarding the counters  -> acclck
+//	s_acccnt  — readers, or -1 while updating    -> acccnt
+//	s_waitcnt — processes waiting for the lock   -> waitcnt
+//	s_updwait — semaphore waiters sleep on       -> the rwait/wwait queues
+//
+// Updates are preferred over new readers so an updater is not starved by a
+// stream of page faults; the paper notes updates (fork, exec, mmap, sbrk)
+// are rare compared with scans, so the shared lock is almost always free.
+type MRLock struct {
+	acclck  Spin
+	acccnt  int // readers holding the lock; -1 = update in progress
+	waitcnt int // threads sleeping on the lock
+	rwait   []Thread
+	wwait   []Thread
+
+	RLocks  atomic.Int64 // read acquisitions
+	WLocks  atomic.Int64 // update acquisitions
+	RSleeps atomic.Int64 // read acquisitions that had to sleep
+	WSleeps atomic.Int64 // update acquisitions that had to sleep
+}
+
+// RLock acquires the lock for scanning. Multiple readers may hold it.
+func (l *MRLock) RLock(t Thread) {
+	l.RLocks.Add(1)
+	l.acclck.Lock()
+	if l.acccnt >= 0 && len(l.wwait) == 0 {
+		l.acccnt++
+		l.acclck.Unlock()
+		return
+	}
+	l.waitcnt++
+	l.rwait = append(l.rwait, t)
+	l.acclck.Unlock()
+	l.RSleeps.Add(1)
+	t.Block("mrlock: wait for update to finish")
+	// The waker granted us the read lock before Unblock.
+}
+
+// RUnlock releases a read hold. The last reader out hands the lock to a
+// waiting updater, if any.
+func (l *MRLock) RUnlock() {
+	l.acclck.Lock()
+	if l.acccnt <= 0 {
+		l.acclck.Unlock()
+		panic("klock: RUnlock without read hold")
+	}
+	l.acccnt--
+	if l.acccnt == 0 && len(l.wwait) > 0 {
+		w := l.wwait[0]
+		l.wwait = l.wwait[1:]
+		l.waitcnt--
+		l.acccnt = -1
+		l.acclck.Unlock()
+		w.Unblock()
+		return
+	}
+	l.acclck.Unlock()
+}
+
+// Lock acquires the lock for update, excluding all scanners.
+func (l *MRLock) Lock(t Thread) {
+	l.WLocks.Add(1)
+	l.acclck.Lock()
+	if l.acccnt == 0 {
+		l.acccnt = -1
+		l.acclck.Unlock()
+		return
+	}
+	l.waitcnt++
+	l.wwait = append(l.wwait, t)
+	l.acclck.Unlock()
+	l.WSleeps.Add(1)
+	t.Block("mrlock: wait for scanners to drain")
+}
+
+// Unlock releases an update hold, handing the lock to the next updater if
+// one waits, otherwise admitting every waiting reader at once.
+func (l *MRLock) Unlock() {
+	l.acclck.Lock()
+	if l.acccnt != -1 {
+		l.acclck.Unlock()
+		panic("klock: Unlock without update hold")
+	}
+	if len(l.wwait) > 0 {
+		w := l.wwait[0]
+		l.wwait = l.wwait[1:]
+		l.waitcnt--
+		// acccnt stays -1: ownership passes directly.
+		l.acclck.Unlock()
+		w.Unblock()
+		return
+	}
+	rs := l.rwait
+	l.rwait = nil
+	l.waitcnt -= len(rs)
+	l.acccnt = len(rs)
+	l.acclck.Unlock()
+	for _, r := range rs {
+		r.Unblock()
+	}
+}
+
+// Readers returns the number of current read holders (0 during an update).
+func (l *MRLock) Readers() int {
+	l.acclck.Lock()
+	defer l.acclck.Unlock()
+	if l.acccnt < 0 {
+		return 0
+	}
+	return l.acccnt
+}
+
+// UpdateHeld reports whether an update is in progress.
+func (l *MRLock) UpdateHeld() bool {
+	l.acclck.Lock()
+	defer l.acclck.Unlock()
+	return l.acccnt == -1
+}
+
+// WaitCount returns the number of threads sleeping on the lock.
+func (l *MRLock) WaitCount() int {
+	l.acclck.Lock()
+	defer l.acclck.Unlock()
+	return l.waitcnt
+}

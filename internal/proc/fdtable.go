@@ -1,0 +1,85 @@
+package proc
+
+import (
+	"repro/internal/fs"
+)
+
+// Descriptor flag bits (per-fd, not shared through dup).
+const (
+	FdCloseOnExec uint8 = 1 << 0
+)
+
+// AllocFd installs f in the lowest free descriptor slot, growing the table
+// up to NOFILE only (V.3 has a fixed table). It returns the descriptor or
+// an error when the table is full. The caller holds p.Mu.
+func (p *Proc) AllocFd(f *fs.File) (int, error) {
+	for i, slot := range p.Fd {
+		if slot == nil {
+			p.Fd[i] = f
+			p.FdFlags[i] = 0
+			return i, nil
+		}
+	}
+	return -1, fs.ErrBadFd
+}
+
+// GetFd returns the open file at descriptor fd. The caller holds p.Mu.
+func (p *Proc) GetFd(fd int) (*fs.File, error) {
+	if fd < 0 || fd >= len(p.Fd) || p.Fd[fd] == nil {
+		return nil, fs.ErrBadFd
+	}
+	return p.Fd[fd], nil
+}
+
+// SetFd stores f at descriptor fd (used when synchronizing the table from
+// the share block). The caller holds p.Mu.
+func (p *Proc) SetFd(fd int, f *fs.File) {
+	p.Fd[fd] = f
+}
+
+// ClearFd removes the descriptor without releasing the file (the caller
+// owns the release). The caller holds p.Mu.
+func (p *Proc) ClearFd(fd int) (*fs.File, error) {
+	f, err := p.GetFd(fd)
+	if err != nil {
+		return nil, err
+	}
+	p.Fd[fd] = nil
+	p.FdFlags[fd] = 0
+	return f, nil
+}
+
+// DupFdTable returns a copy of the descriptor table with every open file's
+// reference count bumped — the fork(2) path. The caller holds p.Mu.
+func (p *Proc) DupFdTable() ([]*fs.File, []uint8) {
+	fds := make([]*fs.File, len(p.Fd))
+	flags := make([]uint8, len(p.FdFlags))
+	copy(flags, p.FdFlags)
+	for i, f := range p.Fd {
+		if f != nil {
+			fds[i] = f.Hold()
+		}
+	}
+	return fds, flags
+}
+
+// CloseAllFds releases every descriptor (exit path). The caller holds p.Mu.
+func (p *Proc) CloseAllFds() {
+	for i, f := range p.Fd {
+		if f != nil {
+			f.Release()
+			p.Fd[i] = nil
+		}
+	}
+}
+
+// OpenFdCount counts live descriptors. The caller holds p.Mu.
+func (p *Proc) OpenFdCount() int {
+	n := 0
+	for _, f := range p.Fd {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,289 @@
+// Package sched is the multiprocessor scheduler: it multiplexes simulated
+// processes (each a goroutine) onto the machine's NCPU processors, so true
+// parallelism is capped at NCPU exactly as on the paper's hardware, sleeping
+// in the kernel releases the processor, and the time-slice preemption that
+// motivates the deferred-synchronization design really happens.
+//
+// It also implements the gang-scheduling extension sketched in the paper's
+// §8 ("the shared address block ... provides a convenient handle for making
+// scheduling decisions about the process group as a whole"): in gang mode
+// the dispatcher prefers runnable processes whose share group already has a
+// member running, so busy-wait synchronization inside a group completes
+// quickly instead of spinning against a descheduled partner.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/proc"
+	"repro/internal/trace"
+)
+
+// DefaultSlice is the time-slice length in charge units (simulated cycles
+// of user work between preemption checks).
+const DefaultSlice = 20000
+
+// Sched dispatches processes onto CPUs.
+type Sched struct {
+	mu      sync.Mutex
+	machine *hw.Machine
+	runq    []*proc.Proc // ready processes, scanned by priority
+	cpuProc []*proc.Proc // what each CPU is running (nil = idle)
+	idle    []int        // idle CPU ids
+	gang    bool
+	slice   int64
+
+	Dispatches  atomic.Int64
+	Preemptions atomic.Int64
+	StickyHolds atomic.Int64 // preemptions suppressed by gang stickiness
+}
+
+// New creates a scheduler for the machine. slice is the time-slice length
+// in charge units; 0 selects DefaultSlice.
+func New(machine *hw.Machine, slice int64) *Sched {
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+	s := &Sched{
+		machine: machine,
+		cpuProc: make([]*proc.Proc, machine.NCPU()),
+		slice:   slice,
+	}
+	for i := machine.NCPU() - 1; i >= 0; i-- {
+		s.idle = append(s.idle, i)
+	}
+	return s
+}
+
+// SetGang enables or disables gang-mode dispatch.
+func (s *Sched) SetGang(on bool) {
+	s.mu.Lock()
+	s.gang = on
+	s.mu.Unlock()
+}
+
+// Slice returns the configured time-slice length.
+func (s *Sched) Slice() int64 { return s.slice }
+
+// Spawn runs body as the process p: the goroutine waits for its first
+// dispatch, runs, and releases its CPU on return. The caller must have set
+// p.Sched to this scheduler.
+func (s *Sched) Spawn(p *proc.Proc, body func()) {
+	go func() {
+		<-p.RunGate
+		body()
+		s.Exit(p)
+	}()
+	s.Ready(p)
+}
+
+// Ready makes p runnable, dispatching it immediately if a CPU is idle.
+func (s *Sched) Ready(p *proc.Proc) {
+	s.mu.Lock()
+	p.SetState(proc.SReady)
+	if n := len(s.idle); n > 0 {
+		cpu := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.dispatch(p, cpu)
+		s.mu.Unlock()
+		return
+	}
+	s.runq = append(s.runq, p)
+	s.mu.Unlock()
+}
+
+// dispatch hands cpu to p. Caller holds s.mu.
+func (s *Sched) dispatch(p *proc.Proc, cpu int) {
+	s.cpuProc[cpu] = p
+	p.SetState(proc.SRun)
+	p.CPU.Store(int32(cpu))
+	p.Dispatched.Add(1)
+	p.SliceLeft.Store(s.slice)
+	c := s.machine.CPUs[cpu]
+	c.Switches.Add(1)
+	c.Charge(s.machine.Cost.ContextSwitch)
+	s.Dispatches.Add(1)
+	s.machine.Trace.Record(trace.EvDispatch, int32(p.PID), int32(cpu), 0, 0)
+	p.RunGate <- cpu
+}
+
+// releaseCPU takes p off its CPU, handing the CPU to the best ready
+// process or marking it idle. Caller holds s.mu.
+func (s *Sched) releaseCPU(p *proc.Proc) {
+	cpu := int(p.CPU.Swap(-1))
+	if cpu < 0 {
+		return
+	}
+	s.cpuProc[cpu] = nil
+	if next := s.pickNext(); next != nil {
+		s.dispatch(next, cpu)
+		return
+	}
+	s.idle = append(s.idle, cpu)
+}
+
+// pickNext removes and returns the best ready process: highest priority,
+// FIFO within a priority, with a gang-affinity boost when enabled. Caller
+// holds s.mu.
+func (s *Sched) pickNext() *proc.Proc {
+	if len(s.runq) == 0 {
+		return nil
+	}
+	best := 0
+	bestScore := s.score(s.runq[0])
+	for i := 1; i < len(s.runq); i++ {
+		if sc := s.score(s.runq[i]); sc > bestScore {
+			best, bestScore = i, sc
+		}
+	}
+	p := s.runq[best]
+	s.runq = append(s.runq[:best], s.runq[best+1:]...)
+	return p
+}
+
+// score ranks a ready process. Caller holds s.mu.
+func (s *Sched) score(p *proc.Proc) int {
+	sc := int(p.Prio.Load()) * 2
+	grp := p.ShareGrp()
+	if grp != nil && (s.gang || grp.Gang()) {
+		for _, r := range s.cpuProc {
+			if r != nil && r.ShareGrp() == grp {
+				sc++
+				break
+			}
+		}
+	}
+	return sc
+}
+
+// Block implements proc.Scheduler: release the CPU, sleep until Unblock,
+// then contend for a CPU again. Called by p's own goroutine.
+func (s *Sched) Block(p *proc.Proc, reason string) {
+	p.LastSleep.Store(reason)
+	if c := s.cpuOf(p); c != nil {
+		c.Charge(s.machine.Cost.SemaSleep)
+	}
+	s.mu.Lock()
+	s.releaseCPU(p)
+	p.SetState(proc.SSleep)
+	s.mu.Unlock()
+	p.WaitWake()
+	s.Ready(p)
+	<-p.RunGate
+}
+
+// Unblock implements proc.Scheduler: deposit the wakeup token. The sleeping
+// goroutine re-enters the run queue itself.
+func (s *Sched) Unblock(p *proc.Proc) {
+	p.NotifyWake()
+}
+
+// gangSticky reports whether p should keep its CPU at a preemption point:
+// p is a gang-scheduled group member, a group-mate is running on another
+// CPU, and no member of the same group is waiting in the run queue. This
+// is the co-scheduling half of the §8 extension — rotating a member out in
+// favour of an unrelated process would leave its spinning partners running
+// against a descheduled peer. Caller holds s.mu.
+func (s *Sched) gangSticky(p *proc.Proc) bool {
+	grp := p.ShareGrp()
+	if grp == nil || !(s.gang || grp.Gang()) {
+		return false
+	}
+	mateRunning := false
+	for _, r := range s.cpuProc {
+		if r != nil && r != p && r.ShareGrp() == grp {
+			mateRunning = true
+			break
+		}
+	}
+	if !mateRunning {
+		return false
+	}
+	for _, q := range s.runq {
+		if q.ShareGrp() == grp {
+			return false // a group-mate needs the slot more than p does
+		}
+	}
+	return true
+}
+
+// Yield is the preemption point: when p's slice is exhausted and another
+// process is ready, p surrenders its CPU and waits to be dispatched again.
+func (s *Sched) Yield(p *proc.Proc) {
+	s.mu.Lock()
+	if len(s.runq) == 0 {
+		p.SliceLeft.Store(s.slice)
+		s.mu.Unlock()
+		return
+	}
+	if s.gangSticky(p) {
+		s.StickyHolds.Add(1)
+		p.SliceLeft.Store(s.slice)
+		s.mu.Unlock()
+		return
+	}
+	cpu := int(p.CPU.Swap(-1))
+	if cpu < 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.cpuProc[cpu] = nil
+	next := s.pickNext()
+	s.dispatch(next, cpu)
+	p.SetState(proc.SReady)
+	s.runq = append(s.runq, p)
+	s.Preemptions.Add(1)
+	s.machine.Trace.Record(trace.EvPreempt, int32(p.PID), int32(cpu), 0, 0)
+	s.mu.Unlock()
+	<-p.RunGate
+}
+
+// Exit releases p's CPU for good and marks it a zombie.
+func (s *Sched) Exit(p *proc.Proc) {
+	s.mu.Lock()
+	s.releaseCPU(p)
+	p.SetState(proc.SZomb)
+	s.mu.Unlock()
+}
+
+// cpuOf returns the hw.CPU p is running on, or nil.
+func (s *Sched) cpuOf(p *proc.Proc) *hw.CPU {
+	if cpu := p.CPU.Load(); cpu >= 0 {
+		return s.machine.CPUs[cpu]
+	}
+	return nil
+}
+
+// CurrentCPU returns the hw.CPU p occupies; it panics if p is not running
+// (kernel code must be entered from the process itself).
+func (s *Sched) CurrentCPU(p *proc.Proc) *hw.CPU {
+	if c := s.cpuOf(p); c != nil {
+		return c
+	}
+	panic("sched: process not on a CPU")
+}
+
+// RunqLen returns the number of ready, undispatched processes.
+func (s *Sched) RunqLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runq)
+}
+
+// IdleCPUs returns the number of idle processors.
+func (s *Sched) IdleCPUs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idle)
+}
+
+// Running returns a snapshot of what each CPU is running (nil = idle).
+func (s *Sched) Running() []*proc.Proc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*proc.Proc, len(s.cpuProc))
+	copy(out, s.cpuProc)
+	return out
+}

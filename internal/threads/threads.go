@@ -1,0 +1,50 @@
+// Package threads is the Mach-style lightweight-process baseline the paper
+// compares against (§2, Figure 3): a task is one address space and
+// resource set; threads are execution contexts inside it that share
+// everything. Thread creation pays only for a kernel stack and thread
+// context, which is why "the Mach kernel can create and destroy threads at
+// 10 times the rate of the fork() system call" (§3) — and also why the
+// model offers no selective sharing: every thread sees every resource.
+//
+// The package is a deliberately thin veneer over the kernel's full-share
+// machinery. That is the paper's own observation: a thread is exactly a
+// process that shares everything, so a kernel with share groups gets
+// threads for free.
+package threads
+
+import (
+	"sync/atomic"
+
+	"repro/internal/kernel"
+)
+
+// Task is a Mach task: the resource container threads run inside.
+type Task struct {
+	ctx     *kernel.Context
+	Threads atomic.Int32 // live threads (including the bootstrap thread)
+}
+
+// NewTask adopts the calling process as a task's bootstrap thread.
+func NewTask(ctx *kernel.Context) *Task {
+	t := &Task{ctx: ctx}
+	t.Threads.Store(1)
+	return t
+}
+
+// ThreadCreate starts a new thread in the task executing entry(arg). All
+// task resources — address space, descriptors, identity, directories,
+// limits — are visible to it.
+func (t *Task) ThreadCreate(entry func(*kernel.Context, int64), arg int64) (int, error) {
+	t.Threads.Add(1)
+	return t.ctx.ThreadCreate("thread", func(c *kernel.Context, a int64) {
+		defer t.Threads.Add(-1)
+		entry(c, a)
+	}, arg)
+}
+
+// Join waits for n threads to exit.
+func (t *Task) Join(n int) {
+	for i := 0; i < n; i++ {
+		t.ctx.Wait()
+	}
+}

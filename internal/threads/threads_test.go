@@ -1,0 +1,97 @@
+package threads
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+func runSystem(t *testing.T, main kernel.Main) *kernel.System {
+	t.Helper()
+	s := kernel.NewSystem(kernel.Config{NCPU: 4, MemFrames: 8192, TimeSlice: 300})
+	s.Run("main", main)
+	done := make(chan struct{})
+	go func() { s.WaitIdle(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock")
+	}
+	return s
+}
+
+func TestThreadsShareEverything(t *testing.T) {
+	runSystem(t, func(c *kernel.Context) {
+		task := NewTask(c)
+		const n = 4
+		for i := 0; i < n; i++ {
+			if _, err := task.ThreadCreate(func(cc *kernel.Context, arg int64) {
+				cc.Add32(vm.DataBase, uint32(1+arg)) // shared address space
+			}, int64(i)); err != nil {
+				t.Errorf("ThreadCreate: %v", err)
+			}
+		}
+		task.Join(n)
+		if v, _ := c.Load32(vm.DataBase); v != 1+2+3+4 {
+			t.Errorf("shared sum = %d, want 10", v)
+		}
+		if task.Threads.Load() != 1 {
+			t.Errorf("thread count = %d", task.Threads.Load())
+		}
+	})
+}
+
+func TestThreadSeesTaskFds(t *testing.T) {
+	runSystem(t, func(c *kernel.Context) {
+		fd, err := c.Creat("/task-file", 0o644)
+		if err != nil {
+			t.Errorf("creat: %v", err)
+			return
+		}
+		task := NewTask(c)
+		var ok atomic.Bool
+		task.ThreadCreate(func(cc *kernel.Context, _ int64) {
+			cc.P.Mu.Lock()
+			_, err := cc.P.GetFd(fd)
+			cc.P.Mu.Unlock()
+			ok.Store(err == nil)
+		}, 0)
+		task.Join(1)
+		if !ok.Load() {
+			t.Error("thread does not see task descriptor")
+		}
+	})
+}
+
+func TestThreadCreationCheaperThanFork(t *testing.T) {
+	// The §3 claim: thread creation is roughly an order of magnitude
+	// cheaper than fork. Compare charged cycles.
+	s := runSystem(t, func(c *kernel.Context) {
+		task := NewTask(c)
+		startThreads := s0(c)
+		const n = 16
+		for i := 0; i < n; i++ {
+			task.ThreadCreate(func(cc *kernel.Context, _ int64) {}, 0)
+		}
+		task.Join(n)
+		threadCost := s0(c) - startThreads
+
+		startForks := s0(c)
+		for i := 0; i < n; i++ {
+			c.Fork("forked", func(cc *kernel.Context) {})
+			c.Wait()
+		}
+		forkCost := s0(c) - startForks
+
+		if forkCost < 4*threadCost {
+			t.Errorf("fork/thread cycle ratio too small: fork=%d thread=%d", forkCost, threadCost)
+		}
+	})
+	_ = s
+}
+
+// s0 reads the machine's total cycle counter via the context's system.
+func s0(c *kernel.Context) int64 { return c.S.Machine.TotalCycles() }

@@ -1,0 +1,157 @@
+// Package trace is a bounded in-kernel event ring, in the spirit of the
+// ktrace/par facilities that shipped with IRIX: subsystems append
+// fixed-size events (process creation, dispatch, fault, shootdown, signal,
+// share-group synchronization) and tools drain a consistent snapshot. The
+// ring is lock-protected and loss-counting: when full it overwrites the
+// oldest events and records how many were dropped.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	EvNone      Kind = iota
+	EvCreate         // process created (Arg: child pid, Aux: creation kind)
+	EvExit           // process exited (Arg: status)
+	EvDispatch       // process placed on a CPU (Arg: cpu)
+	EvPreempt        // process preempted (Arg: cpu)
+	EvFault          // page fault (Arg: virtual address)
+	EvShootdown      // machine-wide TLB shootdown (Arg: address-space id)
+	EvSignal         // signal delivered (Arg: signal number)
+	EvSyscall        // selected system call (Arg: code, Aux: detail)
+	EvPropagate      // shared-resource update pushed to the block (Arg: bits)
+	EvSync           // member reconciled shared state on entry (Arg: bits)
+)
+
+var kindNames = [...]string{
+	"none", "create", "exit", "dispatch", "preempt", "fault",
+	"shootdown", "signal", "syscall", "propagate", "sync",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Creation kinds for EvCreate's Aux field.
+const (
+	CreateFork uint32 = iota + 1
+	CreateSproc
+	CreateThread
+	CreateExec
+)
+
+// Event is one fixed-size trace record.
+type Event struct {
+	Seq  uint64 // monotonically increasing sequence number
+	Kind Kind
+	PID  int32  // the process the event concerns
+	CPU  int32  // CPU it happened on, -1 if not applicable
+	Arg  uint64 // kind-specific payload
+	Aux  uint32 // kind-specific secondary payload
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %-9s pid=%-3d cpu=%-2d arg=%#x aux=%d",
+		e.Seq, e.Kind, e.PID, e.CPU, e.Arg, e.Aux)
+}
+
+// Ring is the bounded event buffer. A nil *Ring is a valid, disabled ring:
+// every method is a cheap no-op, so instrumentation sites need no guards.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+	enabled atomic.Bool
+}
+
+// New creates a ring holding up to size events, enabled.
+func New(size int) *Ring {
+	if size <= 0 {
+		size = 4096
+	}
+	r := &Ring{buf: make([]Event, size)}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled turns recording on or off (draining stays possible).
+func (r *Ring) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether the ring records.
+func (r *Ring) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Record appends an event. Safe on a nil or disabled ring.
+func (r *Ring) Record(kind Kind, pid int32, cpu int32, arg uint64, aux uint32) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	seq := r.seq.Add(1)
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped.Add(1)
+	}
+	r.buf[r.next] = Event{Seq: seq, Kind: kind, PID: pid, CPU: cpu, Arg: arg, Aux: aux}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered events in sequence order and the count of
+// events lost to wrap-around.
+func (r *Ring) Snapshot() (events []Event, dropped uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		events = append(events, r.buf[r.next:]...)
+	}
+	events = append(events, r.buf[:r.next]...)
+	return events, r.dropped.Load()
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// CountKind counts buffered events of the given kind.
+func (r *Ring) CountKind(kind Kind) int {
+	events, _ := r.Snapshot()
+	n := 0
+	for _, e := range events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

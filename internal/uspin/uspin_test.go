@@ -1,0 +1,169 @@
+package uspin
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+func runSystem(t *testing.T, main kernel.Main) *kernel.System {
+	t.Helper()
+	s := kernel.NewSystem(kernel.Config{NCPU: 4, MemFrames: 8192, TimeSlice: 300})
+	s.Run("main", main)
+	done := make(chan struct{})
+	go func() { s.WaitIdle(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock")
+	}
+	return s
+}
+
+func TestMutexExcludesAcrossMembers(t *testing.T) {
+	const workers = 4
+	const iters = 200
+	runSystem(t, func(c *kernel.Context) {
+		m := Mutex{VA: vm.DataBase}
+		counterVA := vm.DataBase + 64 // non-atomic counter guarded by m
+		m.Init(c)
+		c.Store32(counterVA, 0)
+		for i := 0; i < workers; i++ {
+			c.Sproc("locker", func(cc *kernel.Context, _ int64) {
+				for j := 0; j < iters; j++ {
+					if err := m.Lock(cc); err != nil {
+						t.Errorf("lock: %v", err)
+						return
+					}
+					v, _ := cc.Load32(counterVA)
+					cc.Store32(counterVA, v+1)
+					m.Unlock(cc)
+				}
+			}, proc.PRSALL, 0)
+		}
+		for i := 0; i < workers; i++ {
+			c.Wait()
+		}
+		if v, _ := c.Load32(counterVA); v != workers*iters {
+			t.Errorf("counter = %d, want %d (lost updates => lock broken)", v, workers*iters)
+		}
+	})
+}
+
+func TestMutexTryLock(t *testing.T) {
+	runSystem(t, func(c *kernel.Context) {
+		m := Mutex{VA: vm.DataBase}
+		m.Init(c)
+		if ok, _ := m.TryLock(c); !ok {
+			t.Error("TryLock on free lock failed")
+		}
+		if ok, _ := m.TryLock(c); ok {
+			t.Error("TryLock on held lock succeeded")
+		}
+		m.Unlock(c)
+		if ok, _ := m.TryLock(c); !ok {
+			t.Error("TryLock after unlock failed")
+		}
+	})
+}
+
+func TestBarrierRounds(t *testing.T) {
+	const workers = 4
+	const rounds = 10
+	runSystem(t, func(c *kernel.Context) {
+		b := Barrier{VA: vm.DataBase, N: workers}
+		b.Init(c)
+		// Each worker bumps a per-round slot; after each barrier, every
+		// worker checks that all slots of the round are complete.
+		for w := 0; w < workers; w++ {
+			c.Sproc("barrier-worker", func(cc *kernel.Context, _ int64) {
+				for r := 0; r < rounds; r++ {
+					va := vm.DataBase + 64 + hw.VAddr(4*r)
+					cc.Add32(va, 1)
+					if err := b.Enter(cc); err != nil {
+						t.Errorf("barrier: %v", err)
+						return
+					}
+					if v, _ := cc.Load32(va); v != workers {
+						t.Errorf("round %d incomplete at barrier exit: %d", r, v)
+						return
+					}
+				}
+			}, proc.PRSALL, int64(w))
+		}
+		for w := 0; w < workers; w++ {
+			c.Wait()
+		}
+	})
+}
+
+func TestCounterSelfScheduling(t *testing.T) {
+	const workers = 5
+	const items = 500
+	runSystem(t, func(c *kernel.Context) {
+		cursor := Counter{VA: vm.DataBase}
+		doneVA := vm.DataBase + 8
+		for w := 0; w < workers; w++ {
+			c.Sproc("claimer", func(cc *kernel.Context, _ int64) {
+				for {
+					n, err := cursor.Next(cc)
+					if err != nil {
+						t.Errorf("next: %v", err)
+						return
+					}
+					if n > items {
+						return
+					}
+					cc.Add32(doneVA, 1)
+				}
+			}, proc.PRSALL, 0)
+		}
+		for w := 0; w < workers; w++ {
+			c.Wait()
+		}
+		if v, _ := c.Load32(doneVA); v != items {
+			t.Errorf("processed %d items, want %d", v, items)
+		}
+	})
+}
+
+func TestCounterValue(t *testing.T) {
+	runSystem(t, func(c *kernel.Context) {
+		ct := Counter{VA: vm.DataBase}
+		if v, err := ct.Value(c); err != nil || v != 0 {
+			t.Errorf("fresh Value = (%d,%v)", v, err)
+		}
+		for i := 1; i <= 5; i++ {
+			if n, _ := ct.Next(c); n != uint32(i) {
+				t.Errorf("Next = %d, want %d", n, i)
+			}
+		}
+		if v, _ := ct.Value(c); v != 5 {
+			t.Errorf("Value = %d", v)
+		}
+	})
+}
+
+func TestBarrierReuseAcrossGenerations(t *testing.T) {
+	// A single participant: every Enter is the last arrival, so the
+	// barrier must reset and advance its generation each time.
+	runSystem(t, func(c *kernel.Context) {
+		b := Barrier{VA: vm.DataBase, N: 1}
+		b.Init(c)
+		for i := 0; i < 50; i++ {
+			if err := b.Enter(c); err != nil {
+				t.Fatalf("round %d: %v", i, err)
+			}
+		}
+		if gen, _ := c.Load32(vm.DataBase + 4); gen != 50 {
+			t.Errorf("generation = %d", gen)
+		}
+		if count, _ := c.Load32(vm.DataBase); count != 0 {
+			t.Errorf("count = %d", count)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Virtual address space layout. A 32-bit space laid out the way the IRIX
+// implementation does: fixed text and data bases, the PRDA at a fixed
+// virtual location in every process so shared code can reach private data
+// (paper §5.1), an mmap/shm arena, sproc stacks allocated non-overlapping
+// below the main stack, and the initial stack at the top growing down.
+const (
+	TextBase       hw.VAddr = 0x0040_0000
+	DataBase       hw.VAddr = 0x1000_0000
+	PRDABase       hw.VAddr = 0x2000_0000
+	ShmBase        hw.VAddr = 0x3000_0000
+	SprocStackBase hw.VAddr = 0x5000_0000
+	MainStackTop   hw.VAddr = 0x7fff_f000
+)
+
+// PRDAPages is the size of the process data area: "a small amount of
+// memory (typically less than a page in size)" — one page here.
+const PRDAPages = 1
+
+// PRegion attaches a Region to an address space at a base virtual address.
+// Private pregions hang off the proc; shared pregions hang off the share
+// group's shared address block and are protected by its shared read lock.
+type PRegion struct {
+	Reg  *Region
+	Base hw.VAddr
+}
+
+// End returns the first address past the pregion's current extent.
+func (p *PRegion) End() hw.VAddr {
+	return p.Base + hw.VAddr(p.Reg.Pages()*hw.PageSize)
+}
+
+// Contains reports whether va falls inside the pregion's current extent.
+func (p *PRegion) Contains(va hw.VAddr) bool {
+	return va >= p.Base && va < p.End()
+}
+
+// PageIndex returns the region page index of va, which must be contained.
+func (p *PRegion) PageIndex(va hw.VAddr) int {
+	return int((va - p.Base) >> hw.PageShift)
+}
+
+func (p *PRegion) String() string {
+	return fmt.Sprintf("pregion{%s %#x..%#x, %d pages, refs %d}",
+		p.Reg.Type, uint32(p.Base), uint32(p.End()), p.Reg.Pages(), p.Reg.Refs())
+}
+
+// Find scans a pregion list for the one containing va. This is the scan
+// the paper protects with the shared read lock: "the shared pregion list
+// is protected via the shared lock in all places that the pregion list is
+// accessed".
+func Find(list []*PRegion, va hw.VAddr) *PRegion {
+	for _, pr := range list {
+		if pr.Contains(va) {
+			return pr
+		}
+	}
+	return nil
+}
+
+// Overlaps reports whether a new attachment [base, base+pages) would
+// collide with any pregion in the list.
+func Overlaps(list []*PRegion, base hw.VAddr, pages int) bool {
+	end := base + hw.VAddr(pages*hw.PageSize)
+	for _, pr := range list {
+		if base < pr.End() && pr.Base < end {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes pr from list, returning the shortened list. It is the
+// caller's job to hold whatever lock protects the list and to detach the
+// region afterwards.
+func Remove(list []*PRegion, pr *PRegion) []*PRegion {
+	for i, q := range list {
+		if q == pr {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// DupList copy-on-write-duplicates a pregion list (the fork path). Text
+// regions are shared rather than duplicated — System V shares text on fork
+// — and shm regions stay attached to the same segment, matching System V
+// shared-memory semantics (a segment remains shared across fork).
+func DupList(list []*PRegion) []*PRegion {
+	out := make([]*PRegion, 0, len(list))
+	for _, pr := range list {
+		if pr.Reg.Type == RText || pr.Reg.Type == RShm {
+			pr.Reg.Attach()
+			out = append(out, &PRegion{Reg: pr.Reg, Base: pr.Base})
+			continue
+		}
+		out = append(out, &PRegion{Reg: pr.Reg.Dup(), Base: pr.Base})
+	}
+	return out
+}
+
+// DetachList detaches every region in the list.
+func DetachList(list []*PRegion) {
+	for _, pr := range list {
+		pr.Reg.Detach()
+	}
+}
+
+// ResidentPages sums the demand-filled pages across a list.
+func ResidentPages(list []*PRegion) int {
+	n := 0
+	for _, pr := range list {
+		n += pr.Reg.Resident()
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+// Package vm implements the System V.3 region model of virtual memory
+// [Bach 1986] that the share-group implementation is built on: regions
+// describe contiguous virtual spaces and hold the page-table information;
+// pregions are linked per process (or, for a share group, per shared
+// address block) and describe where a region is attached.
+//
+// The package supplies the pieces the paper's §6.2 needs: copy-on-write
+// duplication for fork and non-VM-sharing sproc, demand zero-fill, region
+// grow/shrink for sbrk and stack autogrow, and fault resolution that scans
+// a private pregion list first and a shared list second.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/hw"
+)
+
+// ErrTextWrite reports a store into a text region, which is never
+// writable: System V shares text between processes, so a breakpoint-style
+// modification requires a private text region instead.
+var ErrTextWrite = errors.New("vm: store to text region")
+
+// RegionType classifies a region.
+type RegionType int
+
+const (
+	RText  RegionType = iota // program text (read-only, shared on fork)
+	RData                    // heap/data (grows up via brk)
+	RStack                   // stack (grows down, autogrow)
+	RShm                     // System V shared memory / mmap
+	RPRDA                    // process data area: always private (paper §5.1)
+)
+
+var regionTypeNames = map[RegionType]string{
+	RText: "text", RData: "data", RStack: "stack", RShm: "shm", RPRDA: "prda",
+}
+
+func (t RegionType) String() string {
+	if s, ok := regionTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("region(%d)", int(t))
+}
+
+// Region is a contiguous virtual space: its page table (frame per page,
+// NoPFN until demand-filled), a type, and a reference count of attachments.
+// A region attached by several pregions (shared text, SysV shm, a share
+// group's shared list) is one object; copy-on-write duplication creates a
+// second Region whose slots alias the same frames with bumped frame
+// reference counts.
+type Region struct {
+	mu    sync.Mutex
+	Type  RegionType
+	pages []hw.PFN
+	refs  int32 // pregion attachments
+	mem   *hw.Memory
+}
+
+// NewRegion creates a region of npages demand-zero pages.
+func NewRegion(mem *hw.Memory, typ RegionType, npages int) *Region {
+	r := &Region{Type: typ, pages: make([]hw.PFN, npages), refs: 1, mem: mem}
+	for i := range r.pages {
+		r.pages[i] = hw.NoPFN
+	}
+	return r
+}
+
+// Pages returns the current length of the region in pages.
+func (r *Region) Pages() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pages)
+}
+
+// Refs returns the attachment count.
+func (r *Region) Refs() int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refs
+}
+
+// Attach bumps the attachment count (a new pregion references the region).
+func (r *Region) Attach() {
+	r.mu.Lock()
+	r.refs++
+	r.mu.Unlock()
+}
+
+// Detach drops one attachment; the last detach frees every resident frame.
+// It returns the remaining count.
+func (r *Region) Detach() int32 {
+	r.mu.Lock()
+	r.refs--
+	n := r.refs
+	if n < 0 {
+		r.mu.Unlock()
+		panic("vm: Detach below zero")
+	}
+	if n == 0 {
+		for i, pfn := range r.pages {
+			if pfn != hw.NoPFN {
+				r.mem.DecRef(pfn)
+				r.pages[i] = hw.NoPFN
+			}
+		}
+	}
+	r.mu.Unlock()
+	return n
+}
+
+// Frame returns the frame backing page idx, or NoPFN if not yet filled.
+func (r *Region) Frame(idx int) hw.PFN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx < 0 || idx >= len(r.pages) {
+		return hw.NoPFN
+	}
+	return r.pages[idx]
+}
+
+// Resident counts demand-filled pages.
+func (r *Region) Resident() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, p := range r.pages {
+		if p != hw.NoPFN {
+			n++
+		}
+	}
+	return n
+}
+
+// FillResult says how a fault was resolved, so the fault handler can
+// charge the right cost.
+type FillResult int
+
+const (
+	FillCached FillResult = iota // frame was already resident and adequate
+	FillZeroed                   // demand zero-fill allocated a frame
+	FillCopied                   // copy-on-write broke an alias
+)
+
+// Fill resolves a fault on page idx for the given access. It demand-fills
+// an absent page with a zero frame and, on a write to a frame whose
+// reference count exceeds one (a copy-on-write alias created by Dup),
+// replaces it with a private copy. It returns the frame to map and whether
+// the mapping may be writable. writable is true exactly when this region
+// holds the sole reference to the frame, so a TLB entry installed from the
+// result can never allow a store to an aliased frame.
+func (r *Region) Fill(idx int, write bool) (pfn hw.PFN, writable bool, res FillResult, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx < 0 || idx >= len(r.pages) {
+		return hw.NoPFN, false, FillCached, fmt.Errorf("vm: page %d outside %s region of %d pages", idx, r.Type, len(r.pages))
+	}
+	if r.Type == RText && write {
+		return hw.NoPFN, false, FillCached, ErrTextWrite
+	}
+	pfn = r.pages[idx]
+	if pfn == hw.NoPFN {
+		pfn, err = r.mem.Alloc()
+		if err != nil {
+			return hw.NoPFN, false, FillCached, err
+		}
+		r.pages[idx] = pfn
+		return pfn, r.Type != RText, FillZeroed, nil
+	}
+	if r.Type == RText {
+		return pfn, false, FillCached, nil
+	}
+	if r.mem.Ref(pfn) == 1 {
+		return pfn, true, FillCached, nil
+	}
+	if !write {
+		return pfn, false, FillCached, nil
+	}
+	// Copy-on-write: break the alias.
+	copy, err := r.mem.CopyFrame(pfn)
+	if err != nil {
+		return hw.NoPFN, false, FillCached, err
+	}
+	r.mem.DecRef(pfn)
+	r.pages[idx] = copy
+	return copy, true, FillCopied, nil
+}
+
+// Dup creates a copy-on-write duplicate of the region: a new Region whose
+// page table aliases the same frames with incremented frame reference
+// counts. Subsequent writes through either region break the alias page by
+// page (the fork path of paper §6.2). The caller is responsible for
+// flushing stale writable TLB entries for the source space.
+func (r *Region) Dup() *Region {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := &Region{Type: r.Type, pages: make([]hw.PFN, len(r.pages)), refs: 1, mem: r.mem}
+	for i, pfn := range r.pages {
+		d.pages[i] = pfn
+		if pfn != hw.NoPFN {
+			r.mem.IncRef(pfn)
+		}
+	}
+	return d
+}
+
+// Grow extends the region by n demand-zero pages (sbrk, stack autogrow).
+func (r *Region) Grow(n int) {
+	if n < 0 {
+		panic("vm: Grow with negative count")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < n; i++ {
+		r.pages = append(r.pages, hw.NoPFN)
+	}
+}
+
+// Shrink removes the last n pages, releasing their frames. The caller must
+// hold the share group's update lock and complete a TLB shootdown before
+// the freed frames can be considered unreachable (paper §6.2: the physical
+// pages must not be freed until all members have agreed not to reference
+// them; the synchronous shootdown provides that agreement). It returns the
+// number of frames released.
+func (r *Region) Shrink(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 0 || n > len(r.pages) {
+		panic("vm: Shrink out of range")
+	}
+	freed := 0
+	for i := len(r.pages) - n; i < len(r.pages); i++ {
+		if r.pages[i] != hw.NoPFN {
+			r.mem.DecRef(r.pages[i])
+			freed++
+		}
+	}
+	r.pages = r.pages[:len(r.pages)-n]
+	return freed
+}

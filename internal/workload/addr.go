@@ -1,0 +1,14 @@
+package workload
+
+import (
+	"repro/internal/hw"
+	"repro/internal/vm"
+)
+
+// Address helpers shared by the drivers.
+type hwVAddr = hw.VAddr
+
+const (
+	pageSize = hw.PageSize
+	dataBase = vm.DataBase
+)

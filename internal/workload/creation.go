@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/proc"
+)
+
+// CreateKind selects a process-creation primitive for E1/E4.
+type CreateKind string
+
+const (
+	CreateFork     CreateKind = "fork"      // fork(2): full COW image + fd copy
+	CreateSproc    CreateKind = "sproc"     // sproc(PR_SALL): shared VM, no copying
+	CreateSprocNVM CreateKind = "sproc-nvm" // sproc without PR_SADDR: COW image
+	CreateThread   CreateKind = "thread"    // Mach-baseline thread_create
+)
+
+// Creation measures n create+join cycles of the given kind (E1, E4). The
+// creator dirties dataPages pages first so fork-style duplication has a
+// real page table to copy. Stacks are limited to 64 KiB so address-space
+// consumption stays bounded at bench scale.
+func Creation(cfg kernel.Config, kind CreateKind, dataPages, n int) Metrics {
+	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
+		c.Prctl(kernel.PRSetStackSize, 64*1024)
+		for i := 0; i < dataPages && i < cfg.DataPages; i++ {
+			c.Store32(dataVA(i), uint32(i))
+		}
+		noopMain := func(cc *kernel.Context) {}
+		noopEntry := func(cc *kernel.Context, _ int64) {}
+
+		s.start()
+		for i := 0; i < n; i++ {
+			var err error
+			switch kind {
+			case CreateFork:
+				_, err = c.Fork("child", noopMain)
+			case CreateSproc:
+				_, err = c.Sproc("child", noopEntry, proc.PRSALL, 0)
+			case CreateSprocNVM:
+				_, err = c.Sproc("child", noopEntry, proc.PRSALL&^proc.PRSADDR, 0)
+			case CreateThread:
+				_, err = c.ThreadCreate("child", noopEntry, 0)
+			default:
+				panic(fmt.Sprintf("workload: unknown create kind %q", kind))
+			}
+			if err != nil {
+				panic(fmt.Sprintf("workload: %s create %d: %v", kind, i, err))
+			}
+			if _, _, err := c.Wait(); err != nil {
+				panic(fmt.Sprintf("workload: wait %d: %v", i, err))
+			}
+		}
+		s.stop()
+	})
+}
+
+func dataVA(page int) (va hwVAddr) {
+	return dataBase + hwVAddr(page*pageSize)
+}

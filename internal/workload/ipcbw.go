@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+)
+
+// Mech selects a data-passing mechanism for the E5 bandwidth comparison.
+type Mech string
+
+const (
+	MechPipe   Mech = "pipe"   // V7 queueing model
+	MechMsgq   Mech = "msgq"   // System V message queue
+	MechSocket Mech = "socket" // BSD stream socket pair
+	MechShm    Mech = "shm"    // share group memory + busy-wait flags
+)
+
+// IPCBandwidth moves total bytes from a producer to a consumer in chunk-
+// sized units through the chosen mechanism and reports cycles per chunk
+// (Ops = chunks). The shared-memory variant is the paper's §3 argument:
+// it crosses the kernel only for page faults, while every queueing
+// mechanism pays two copies plus sleep/wakeup per chunk.
+func IPCBandwidth(cfg kernel.Config, mech Mech, chunk, total int) Metrics {
+	chunks := total / chunk
+	return runMeasured(cfg, int64(chunks), func(c *kernel.Context, s *session) {
+		switch mech {
+		case MechPipe:
+			ipcPipe(c, s, chunk, chunks)
+		case MechMsgq:
+			ipcMsgq(c, s, chunk, chunks)
+		case MechSocket:
+			ipcSocket(c, s, chunk, chunks)
+		case MechShm:
+			ipcShm(c, s, chunk, chunks)
+		default:
+			panic(fmt.Sprintf("workload: unknown mech %q", mech))
+		}
+	})
+}
+
+// srcVA/dstVA are private buffers the producer fills and the consumer
+// drains, so every mechanism pays the same user-side touch cost.
+const (
+	srcVA = dataBase
+	dstVA = dataBase + 64*1024
+)
+
+func ipcPipe(c *kernel.Context, s *session, chunk, chunks int) {
+	rfd, wfd, err := c.Pipe()
+	if err != nil {
+		panic(err)
+	}
+	c.StoreBytes(srcVA, make([]byte, chunk))
+	c.Fork("consumer", func(cc *kernel.Context) {
+		got := 0
+		for got < chunk*chunks {
+			n, err := cc.Read(rfd, dstVA, chunk)
+			if err != nil || n == 0 {
+				return
+			}
+			got += n
+		}
+	})
+	s.start()
+	for i := 0; i < chunks; i++ {
+		sent := 0
+		for sent < chunk {
+			n, err := c.Write(wfd, srcVA+hw.VAddr(sent), chunk-sent)
+			if err != nil {
+				panic(err)
+			}
+			sent += n
+		}
+	}
+	c.Wait()
+	s.stop()
+}
+
+func ipcMsgq(c *kernel.Context, s *session, chunk, chunks int) {
+	id := c.Msgget(0)
+	c.StoreBytes(srcVA, make([]byte, chunk))
+	c.Fork("consumer", func(cc *kernel.Context) {
+		for i := 0; i < chunks; i++ {
+			if _, _, err := cc.Msgrcv(id, 0, dstVA, chunk); err != nil {
+				return
+			}
+		}
+	})
+	s.start()
+	for i := 0; i < chunks; i++ {
+		if err := c.Msgsnd(id, 1, srcVA, chunk); err != nil {
+			panic(err)
+		}
+	}
+	c.Wait()
+	s.stop()
+}
+
+func ipcSocket(c *kernel.Context, s *session, chunk, chunks int) {
+	l, err := c.NetListen("bw")
+	if err != nil {
+		panic(err)
+	}
+	c.StoreBytes(srcVA, make([]byte, chunk))
+	c.Fork("consumer", func(cc *kernel.Context) {
+		fd, err := cc.NetConnect("bw")
+		if err != nil {
+			return
+		}
+		got := 0
+		for got < chunk*chunks {
+			n, err := cc.Read(fd, dstVA, chunk)
+			if err != nil || n == 0 {
+				return
+			}
+			got += n
+		}
+	})
+	fd, err := c.NetAccept(l)
+	if err != nil {
+		panic(err)
+	}
+	s.start()
+	for i := 0; i < chunks; i++ {
+		sent := 0
+		for sent < chunk {
+			n, err := c.Write(fd, srcVA+hw.VAddr(sent), chunk-sent)
+			if err != nil {
+				panic(err)
+			}
+			sent += n
+		}
+	}
+	c.Wait()
+	s.stop()
+}
+
+// ipcShm passes chunks through group-shared memory with busy-wait flags:
+// the producer writes each chunk directly into the shared buffer (its
+// production cost), raises the flag, and the consumer reads it in place.
+// No kernel copy, no sleep/wakeup — the paper's high-bandwidth path.
+func ipcShm(c *kernel.Context, s *session, chunk, chunks int) {
+	bufVA, err := c.Mmap((chunk+pageSize-1)/pageSize + 1)
+	if err != nil {
+		panic(err)
+	}
+	flagVA := bufVA // word 0: ready flag; data at +64
+	data := bufVA + 64
+	c.Sproc("consumer", func(cc *kernel.Context, _ int64) {
+		buf := make([]byte, chunk)
+		for i := 0; i < chunks; i++ {
+			if _, err := cc.SpinWait32(flagVA, func(v uint32) bool { return v == 1 }); err != nil {
+				return
+			}
+			cc.LoadBytes(data, buf) // consume in place
+			cc.Store32(flagVA, 0)
+		}
+	}, proc.PRSALL, 0)
+	s.start()
+	buf := make([]byte, chunk)
+	for i := 0; i < chunks; i++ {
+		if _, err := c.SpinWait32(flagVA, func(v uint32) bool { return v == 0 }); err != nil {
+			panic(err)
+		}
+		c.StoreBytes(data, buf) // produce directly into shared memory
+		c.Store32(flagVA, 1)
+	}
+	c.Wait()
+	s.stop()
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/proc"
+)
+
+// SyncMech selects a synchronization mechanism for the E6 latency
+// comparison.
+type SyncMech string
+
+const (
+	SyncSpin   SyncMech = "spinlock" // busy-wait on shared memory (§3's winner)
+	SyncSemop  SyncMech = "semop"    // System V semaphores (kernel interaction)
+	SyncPipe   SyncMech = "pipe"     // 1-byte pipe round trip
+	SyncSignal SyncMech = "signal"   // kill(2) + handler round trip
+)
+
+// SyncLatency ping-pongs between two processes for rounds rounds through
+// the chosen mechanism, reporting cycles per round trip.
+func SyncLatency(cfg kernel.Config, mech SyncMech, rounds int) Metrics {
+	return runMeasured(cfg, int64(rounds), func(c *kernel.Context, s *session) {
+		switch mech {
+		case SyncSpin:
+			latSpin(c, s, rounds)
+		case SyncSemop:
+			latSemop(c, s, rounds)
+		case SyncPipe:
+			latPipe(c, s, rounds)
+		case SyncSignal:
+			latSignal(c, s, rounds)
+		default:
+			panic(fmt.Sprintf("workload: unknown sync mech %q", mech))
+		}
+	})
+}
+
+// latSpin ping-pongs a shared word: each side waits for its parity.
+func latSpin(c *kernel.Context, s *session, rounds int) {
+	va := dataBase
+	c.Store32(va, 0)
+	c.Sproc("ponger", func(cc *kernel.Context, _ int64) {
+		for i := 0; i < rounds; i++ {
+			want := uint32(2*i + 1)
+			if _, err := cc.SpinWait32(va, func(v uint32) bool { return v == want }); err != nil {
+				return
+			}
+			cc.Store32(va, want+1)
+		}
+	}, proc.PRSALL, 0)
+	s.start()
+	for i := 0; i < rounds; i++ {
+		c.Store32(va, uint32(2*i+1))
+		want := uint32(2*i + 2)
+		if _, err := c.SpinWait32(va, func(v uint32) bool { return v == want }); err != nil {
+			panic(err)
+		}
+	}
+	s.stop()
+	c.Wait()
+}
+
+func latSemop(c *kernel.Context, s *session, rounds int) {
+	id := c.Semget(0, 2)
+	c.Sproc("ponger", func(cc *kernel.Context, _ int64) {
+		for i := 0; i < rounds; i++ {
+			if err := cc.Semop(id, 0, -1); err != nil {
+				return
+			}
+			cc.Semop(id, 1, 1)
+		}
+	}, proc.PRSALL, 0)
+	s.start()
+	for i := 0; i < rounds; i++ {
+		c.Semop(id, 0, 1)
+		if err := c.Semop(id, 1, -1); err != nil {
+			panic(err)
+		}
+	}
+	s.stop()
+	c.Wait()
+}
+
+func latPipe(c *kernel.Context, s *session, rounds int) {
+	r1, w1, err := c.Pipe()
+	if err != nil {
+		panic(err)
+	}
+	r2, w2, err := c.Pipe()
+	if err != nil {
+		panic(err)
+	}
+	c.Store32(dataBase, 0x2a)
+	c.Fork("ponger", func(cc *kernel.Context) {
+		for i := 0; i < rounds; i++ {
+			if n, err := cc.Read(r1, dataBase+64, 1); err != nil || n == 0 {
+				return
+			}
+			cc.Write(w2, dataBase+64, 1)
+		}
+	})
+	s.start()
+	for i := 0; i < rounds; i++ {
+		if _, err := c.Write(w1, dataBase, 1); err != nil {
+			panic(err)
+		}
+		if _, err := c.Read(r2, dataBase+128, 1); err != nil {
+			panic(err)
+		}
+	}
+	s.stop()
+	c.Wait()
+	_ = w2
+	_ = r1
+}
+
+// latSignal round-trips SIGUSR1/SIGUSR2 between parent and child. Handler
+// deliveries are counted host-side; the processes keep entering the kernel
+// so deliveries happen promptly.
+func latSignal(c *kernel.Context, s *session, rounds int) {
+	var parentGot, childGot atomic.Int64
+	var ready atomic.Bool
+	parentPID := c.Getpid()
+	childPID, _ := c.Fork("ponger", func(cc *kernel.Context) {
+		cc.Signal(proc.SIGUSR1, func(int) {
+			childGot.Add(1)
+			cc.Kill(parentPID, proc.SIGUSR2)
+		})
+		ready.Store(true)
+		for childGot.Load() < int64(rounds) {
+			cc.Getpid()
+			runtime.Gosched() // host politeness: keep the peer running
+		}
+	})
+	c.Signal(proc.SIGUSR2, func(int) { parentGot.Add(1) })
+	// The child must install its handler before the first shot, or the
+	// default action would kill it.
+	for !ready.Load() {
+		c.Getpid()
+		runtime.Gosched()
+	}
+	s.start()
+	for i := 1; i <= rounds; i++ {
+		c.Kill(childPID, proc.SIGUSR1)
+		for parentGot.Load() < int64(i) {
+			c.Getpid()
+			runtime.Gosched()
+		}
+	}
+	s.stop()
+	c.Wait()
+}

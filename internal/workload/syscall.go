@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+)
+
+// SyscallNull measures the null-system-call (getpid) cost for E3: a plain
+// process on a share-group kernel (group=false) against a clean share
+// group member (group=true). The paper's design goal 4 demands the plain
+// process pay nothing, and the member's fast path is a single flag test.
+func SyscallNull(cfg kernel.Config, group bool, n int) Metrics {
+	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
+		if group {
+			c.Sproc("bystander", func(cc *kernel.Context, _ int64) {}, proc.PRSALL, 0)
+			c.Wait()
+		}
+		s.start()
+		for i := 0; i < n; i++ {
+			c.Getpid()
+		}
+		s.stop()
+	})
+}
+
+// SyscallOpenClose measures an open+close pair for E3/E8. With storm set,
+// a sibling member performs its own open+close between each of the
+// measured pairs — in lockstep, so the driver deterministically pays the
+// dirty-descriptor synchronization path on every entry.
+func SyscallOpenClose(cfg kernel.Config, group, storm bool, n int) Metrics {
+	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
+		c.Creat("/victim", 0o644)
+		turn := dataBase
+		c.Store32(turn, 0)
+		stormers := 0
+		if group {
+			c.Sproc("bystander", func(cc *kernel.Context, _ int64) {}, proc.PRSALL, 0)
+			c.Wait()
+			if storm {
+				stormers = 1
+				c.Sproc("stormer", func(cc *kernel.Context, _ int64) {
+					for i := 0; i < n; i++ {
+						want := uint32(2*i + 1)
+						if _, err := cc.SpinWait32(turn, func(v uint32) bool { return v == want }); err != nil {
+							return
+						}
+						fd, err := cc.Open("/victim", fs.ORead, 0)
+						if err == nil {
+							cc.Close(fd)
+						}
+						cc.Store32(turn, want+1)
+					}
+				}, proc.PRSALL, 0)
+			}
+		}
+		s.start()
+		for i := 0; i < n; i++ {
+			if storm {
+				// Let the sibling dirty the table first.
+				c.Store32(turn, uint32(2*i+1))
+				want := uint32(2*i + 2)
+				if _, err := c.SpinWait32(turn, func(v uint32) bool { return v == want }); err != nil {
+					panic(err)
+				}
+			}
+			fd, err := c.Open("/victim", fs.ORead, 0)
+			if err != nil {
+				panic(err)
+			}
+			c.Close(fd)
+		}
+		s.stop()
+		for j := 0; j < stormers; j++ {
+			c.Wait()
+		}
+	})
+}
+
+// AttrSync measures E8's full propagate-and-reconcile round: the driver
+// publishes a new umask, then waits until every member has entered the
+// kernel, synchronized, and acknowledged seeing the new value. Lockstep
+// generations make the count of entry synchronizations deterministic:
+// members * n.
+func AttrSync(cfg kernel.Config, members, n int) Metrics {
+	var syncs, updater int64
+	m := runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
+		gen := dataBase     // generation word the driver advances
+		ack := dataBase + 4 // members increment after syncing
+		c.Store32(gen, 0)
+		c.Store32(ack, 0)
+		for i := 0; i < members; i++ {
+			c.Sproc("enterer", func(cc *kernel.Context, _ int64) {
+				for g := 1; g <= n; g++ {
+					want := uint32(g)
+					if _, err := cc.SpinWait32(gen, func(v uint32) bool { return v >= want }); err != nil {
+						return
+					}
+					cc.Getpid() // kernel entry: the single-test sync point
+					cc.P.Mu.Lock()
+					got := cc.P.Umask
+					cc.P.Mu.Unlock()
+					if got != uint16(g&0o777) {
+						panic("attr sync: member missed umask update")
+					}
+					cc.Add32(ack, 1)
+				}
+			}, proc.PRSALL, 0)
+		}
+		u0 := c.P.Cycles.Load()
+		s.start()
+		for g := 1; g <= n; g++ {
+			// The updater's own critical path is the umask call; the
+			// spin-wait that follows is measurement scaffolding, so it
+			// is excluded from the updater-cycles metric.
+			c.Umask(uint16(g & 0o777))
+			updater += c.P.Cycles.Load() - u0
+			c.Store32(gen, uint32(g))
+			want := uint32(g * members)
+			if _, err := c.SpinWait32(ack, func(v uint32) bool { return v >= want }); err != nil {
+				panic(err)
+			}
+			u0 = c.P.Cycles.Load()
+		}
+		s.stop()
+		if sa := kernel.GroupOf(c.P); sa != nil {
+			syncs = sa.Syncs.Load()
+		}
+		for i := 0; i < members; i++ {
+			c.Wait()
+		}
+	})
+	m.Syncs = syncs
+	m.Updater = updater
+	return m
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/uspin"
+)
+
+// FaultScaling measures demand-fault throughput for E2's hot path:
+// members' concurrent page faults all take the shared read lock. The
+// workload touches fresh pages of a shared mapping; to keep physical
+// memory bounded at any request size, it works through a fixed-size window
+// that is unmapped and remapped once filled (every touch therefore demand-
+// faults a never-before-seen page). members == 0 measures a solo,
+// non-group process for comparison (the private-list path).
+func FaultScaling(cfg kernel.Config, members, pagesEach int) Metrics {
+	const window = 256 // pages per mapping; well under physical memory
+	var rlocks, wlocks, sleeps int64
+	var ops int64
+	m := runMeasured(cfg, 0, func(c *kernel.Context, s *session) {
+		if members == 0 {
+			s.start()
+			left := pagesEach
+			for left > 0 {
+				n := window
+				if n > left {
+					n = left
+				}
+				va, err := c.Mmap(n)
+				if err != nil {
+					panic(err)
+				}
+				for i := 0; i < n; i++ {
+					c.Store32(va+hw.VAddr(i*pageSize), 1)
+				}
+				ops += int64(n)
+				left -= n
+				if err := c.Munmap(va); err != nil {
+					panic(err)
+				}
+			}
+			s.stop()
+			return
+		}
+
+		gate := uspin.Barrier{VA: dataBase, N: uint32(members) + 1}
+		gate.Init(c)
+		ctl := dataBase + 32 // words: per-round window base
+		stop := dataBase + 36
+		for mIdx := 0; mIdx < members; mIdx++ {
+			c.Sproc("faulter", func(cc *kernel.Context, arg int64) {
+				for {
+					gate.Enter(cc) // round start
+					if v, _ := cc.Load32(stop); v == 1 {
+						return
+					}
+					base, _ := cc.Load32(ctl)
+					per := window / members
+					lo := hw.VAddr(base) + hw.VAddr(int(arg)*per*pageSize)
+					for i := 0; i < per; i++ {
+						cc.Store32(lo+hw.VAddr(i*pageSize), 1)
+					}
+					gate.Enter(cc) // round done
+				}
+			}, proc.PRSALL, int64(mIdx))
+		}
+
+		per := window / members
+		rounds := (pagesEach + per - 1) / per
+		s.start()
+		for r := 0; r < rounds; r++ {
+			va, err := c.Mmap(window)
+			if err != nil {
+				panic(err)
+			}
+			c.Store32(ctl, uint32(va))
+			gate.Enter(c) // release the faulters
+			gate.Enter(c) // wait for the round
+			ops += int64(per * members)
+			if err := c.Munmap(va); err != nil {
+				panic(err)
+			}
+		}
+		c.Store32(stop, 1)
+		gate.Enter(c)
+		s.stop()
+		if sa := kernel.GroupOf(c.P); sa != nil {
+			rlocks = sa.Acc.RLocks.Load()
+			wlocks = sa.Acc.WLocks.Load()
+			sleeps = sa.Acc.RSleeps.Load() + sa.Acc.WSleeps.Load()
+		}
+		for mIdx := 0; mIdx < members; mIdx++ {
+			c.Wait()
+		}
+	})
+	m.Ops = ops
+	m.RLocks, m.WLocks, m.LockSleeps = rlocks, wlocks, sleeps
+	return m
+}
+
+// ShrinkShootdown measures E2's slow path: region shrink with the full
+// update-lock + machine-wide TLB shootdown protocol. The creator grows and
+// shrinks its data region n times while spinners occupy the other CPUs
+// with hot TLBs, so every shrink really invalidates remote state.
+func ShrinkShootdown(cfg kernel.Config, spinners, n int) Metrics {
+	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
+		stopVA := dataBase
+		c.Store32(stopVA, 0)
+		for i := 0; i < spinners; i++ {
+			c.Sproc("spinner", func(cc *kernel.Context, _ int64) {
+				cc.SpinWait32(stopVA, func(v uint32) bool { return v != 0 })
+			}, proc.PRSALL, 0)
+		}
+		s.start()
+		for i := 0; i < n; i++ {
+			if _, err := c.Sbrk(pageSize); err != nil {
+				panic(err)
+			}
+			end := c.Brk()
+			c.Store32(end-pageSize, 7) // make the page resident and cached
+			if _, err := c.Sbrk(-pageSize); err != nil {
+				panic(err)
+			}
+		}
+		s.stop()
+		c.Store32(stopVA, 1)
+		for i := 0; i < spinners; i++ {
+			c.Wait()
+		}
+	})
+}
+
+// GrowOnly is the cheap half of E2: sbrk growth takes the update lock but
+// needs no shootdown. To bound the address space at any request size, the
+// data region is shrunk back every windowful of growth (the give-back is a
+// small, amortized pollution of the metric, noted in EXPERIMENTS.md).
+func GrowOnly(cfg kernel.Config, n int) Metrics {
+	const window = 1024
+	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
+		c.Sproc("bystander", func(cc *kernel.Context, _ int64) {}, proc.PRSALL, 0)
+		c.Wait()
+		s.start()
+		for i := 0; i < n; i++ {
+			if _, err := c.Sbrk(pageSize); err != nil {
+				panic(err)
+			}
+			if (i+1)%window == 0 {
+				if _, err := c.Sbrk(-int64(window) * pageSize); err != nil {
+					panic(err)
+				}
+			}
+		}
+		s.stop()
+		c.Sbrk(-int64(n%window) * pageSize)
+	})
+}

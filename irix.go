@@ -1,0 +1,173 @@
+// Package irix reproduces the process share groups of Barton & Wagner,
+// "Enhanced Resource Sharing in UNIX" (Computing Systems 1(2), 1988; USENIX
+// Winter 1988): a System V.3-style UNIX kernel, simulated in user space on
+// a software-TLB multiprocessor, whose processes can selectively share the
+// virtual address space, open descriptors, current/root directory, umask,
+// ulimit and ids through the sproc(2)/prctl(2) interface.
+//
+// A simulated program is a Go closure running against a *Ctx, the
+// process's user-mode surface: every memory access goes through a per-CPU
+// software-managed TLB and the region fault handler, and every system call
+// crosses the kernel entry point where shared-resource synchronization
+// happens. Example:
+//
+//	sys := irix.New(irix.Config{NCPU: 4})
+//	sys.Start("main", func(c *irix.Ctx) {
+//		c.Sproc("worker", func(w *irix.Ctx, arg int64) {
+//			w.Add32(irix.DataBase, uint32(arg)) // shared memory
+//		}, irix.PRSADDR|irix.PRSFDS, 42)
+//		c.Wait()
+//	})
+//	sys.WaitIdle()
+//
+// The subsystem packages live under internal/: hw (machine), klock (kernel
+// locks incl. the shared read lock), vm (regions), fs, proc, sched, ipc,
+// threads (the Mach baseline), uspin (busy-wait sync), core (the shared
+// address block — the paper's contribution) and kernel (the syscall
+// layer). This package re-exports the programming surface.
+package irix
+
+import (
+	"repro/internal/fs"
+	"repro/internal/hw"
+	"repro/internal/ipc"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/threads"
+	"repro/internal/uspin"
+	"repro/internal/vm"
+)
+
+// Core programming surface.
+type (
+	// Config describes the simulated machine and kernel.
+	Config = kernel.Config
+	// Ctx is a process's user-mode execution surface (memory + syscalls).
+	Ctx = kernel.Context
+	// Main is a simulated program.
+	Main = kernel.Main
+	// Mask is a share mask for sproc.
+	Mask = proc.Mask
+	// VAddr is a 32-bit simulated virtual address.
+	VAddr = hw.VAddr
+	// Stat describes a file.
+	Stat = fs.Stat
+	// Handler is a signal handler.
+	Handler = proc.Handler
+	// Listener accepts stream connections (NetListen/NetAccept).
+	Listener = ipc.Listener
+	// Task is a Mach-style task (the lightweight-process baseline).
+	Task = threads.Task
+	// FaultError reports an unresolvable memory access (caught SIGSEGV).
+	FaultError = kernel.FaultError
+)
+
+// Share mask bits (paper §5.1).
+const (
+	PRSADDR   = proc.PRSADDR   // share the virtual address space
+	PRSULIMIT = proc.PRSULIMIT // share ulimit values
+	PRSUMASK  = proc.PRSUMASK  // share the umask value
+	PRSDIR    = proc.PRSDIR    // share current/root directory
+	PRSFDS    = proc.PRSFDS    // share open file descriptors
+	PRSID     = proc.PRSID     // share uid/gid
+	PRSALL    = proc.PRSALL    // share everything
+)
+
+// prctl options (paper §5.2).
+const (
+	PRMaxProcs     = kernel.PRMaxProcs
+	PRMaxPProcs    = kernel.PRMaxPProcs
+	PRSetStackSize = kernel.PRSetStackSize
+	PRGetStackSize = kernel.PRGetStackSize
+)
+
+// Inode mode bits (Stat.Mode).
+const (
+	ModeDir  = fs.ModeDir
+	ModeFile = fs.ModeFile
+	ModeFIFO = fs.ModeFIFO
+	ModeSock = fs.ModeSock
+	TypeMask = fs.TypeMask
+	PermMask = fs.PermMask
+)
+
+// Open flags and seek whences.
+const (
+	ORead   = fs.ORead
+	OWrite  = fs.OWrite
+	OAppend = fs.OAppend
+	OCreat  = fs.OCreat
+	OTrunc  = fs.OTrunc
+
+	SeekSet = fs.SeekSet
+	SeekCur = fs.SeekCur
+	SeekEnd = fs.SeekEnd
+)
+
+// Signals.
+const (
+	SIGHUP  = proc.SIGHUP
+	SIGINT  = proc.SIGINT
+	SIGKILL = proc.SIGKILL
+	SIGSEGV = proc.SIGSEGV
+	SIGPIPE = proc.SIGPIPE
+	SIGTERM = proc.SIGTERM
+	SIGUSR1 = proc.SIGUSR1
+	SIGUSR2 = proc.SIGUSR2
+	SIGCLD  = proc.SIGCLD
+)
+
+// Address-space geometry.
+const (
+	PageSize = hw.PageSize
+	TextBase = vm.TextBase
+	DataBase = vm.DataBase
+	PRDABase = vm.PRDABase
+	ShmBase  = vm.ShmBase
+)
+
+// Errors a program can observe.
+var (
+	ErrNoChildren = kernel.ErrNoChildren
+	ErrInterrupt  = kernel.ErrInterrupt
+	ErrNoProc     = kernel.ErrNoProc
+	ErrTooMany    = kernel.ErrTooMany
+	ErrPerm       = kernel.ErrPerm
+	ErrNoRegion   = kernel.ErrNoRegion
+	ErrNotExist   = fs.ErrNotExist
+	ErrExist      = fs.ErrExist
+	ErrBadFd      = fs.ErrBadFd
+	ErrFileLimit  = fs.ErrFileLimit
+	ErrPipe       = fs.ErrPipe
+)
+
+// User-level busy-wait synchronization in shared memory (paper §3).
+type (
+	// Spinlock is a busy-wait mutual-exclusion lock at a shared word.
+	Spinlock = uspin.Mutex
+	// Barrier is a sense-reversing spin barrier (two shared words).
+	Barrier = uspin.Barrier
+	// Counter is an atomic work-claiming cursor (self-scheduling).
+	Counter = uspin.Counter
+)
+
+// System is a booted simulated machine and kernel.
+type System struct {
+	*kernel.System
+}
+
+// New boots a system. The zero Config gives 4 CPUs, 64 MiB of memory and
+// default limits.
+func New(cfg Config) *System {
+	return &System{kernel.NewSystem(cfg)}
+}
+
+// Start launches a fresh top-level process executing main; it returns the
+// new pid immediately.
+func (s *System) Start(name string, main Main) int {
+	return s.Run(name, main)
+}
+
+// NewTask adopts the calling process as the bootstrap thread of a
+// Mach-style task (the lightweight-process baseline of paper §2).
+func NewTask(c *Ctx) *Task { return threads.NewTask(c) }
