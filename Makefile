@@ -1,0 +1,25 @@
+GO ?= go
+
+# Tier-1 gate: the whole tree must build and every test must pass.
+.PHONY: tier1
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the de-serialized MP substrates and everything
+# that drives them; slower than tier1 but catches sharding bugs.
+.PHONY: race
+race:
+	$(GO) test -race ./internal/hw/... ./internal/sched/... ./internal/trace/... ./internal/workload/... ./internal/kernel/...
+
+.PHONY: bench
+bench:
+	$(GO) test -run xxx -bench . -benchtime 100x .
+
+.PHONY: tables
+tables:
+	$(GO) run ./cmd/benchtab -quick

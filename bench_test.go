@@ -166,6 +166,48 @@ func BenchmarkGangScheduling(b *testing.B) {
 	}
 }
 
+// MP hot-path scaling — the de-serialized substrate (per-CPU frame caches,
+// per-CPU trace shards, per-CPU run queues with stealing) under storms that
+// hammer exactly one substrate from 1..8 processors. The total operation
+// count is fixed at b.N and split across the workers, so ns/op falling (or
+// holding) as NCPU grows is the de-serialization paying off; a global-lock
+// substrate shows ns/op rising with NCPU instead.
+func BenchmarkHotPathScaling(b *testing.B) {
+	ncpus := []int{1, 2, 4, 8}
+	mpCfg := func(ncpu int) kernel.Config {
+		c := cfg()
+		c.NCPU = ncpu
+		return c
+	}
+	for _, ncpu := range ncpus {
+		b.Run(fmt.Sprintf("fault-storm/ncpu=%d", ncpu), func(b *testing.B) {
+			per := b.N/ncpu + 1
+			report(b, workload.FaultStorm(mpCfg(ncpu), ncpu, per))
+		})
+	}
+	for _, ncpu := range ncpus {
+		b.Run(fmt.Sprintf("create-storm/ncpu=%d", ncpu), func(b *testing.B) {
+			per := b.N/ncpu + 1
+			report(b, workload.CreateStorm(mpCfg(ncpu), ncpu, per))
+		})
+	}
+	for _, ncpu := range ncpus {
+		b.Run(fmt.Sprintf("trace-storm/ncpu=%d", ncpu), func(b *testing.B) {
+			c := mpCfg(ncpu)
+			c.TraceEvents = 4096
+			per := b.N/ncpu + 1
+			report(b, workload.TraceStorm(c, ncpu, per))
+		})
+	}
+	for _, ncpu := range ncpus {
+		b.Run(fmt.Sprintf("dispatch-storm/ncpu=%d", ncpu), func(b *testing.B) {
+			procs := 2 * ncpu
+			per := b.N/procs + 1
+			report(b, workload.DispatchStorm(mpCfg(ncpu), procs, per))
+		})
+	}
+}
+
 // Ablations (DESIGN.md §6) — the designs the paper rejected, measured:
 // an exclusive lock on the shared pregion list serializes every member's
 // page fault; eager attribute pushing moves the whole propagation cost

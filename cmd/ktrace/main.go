@@ -57,4 +57,19 @@ func main() {
 	} {
 		fmt.Printf("  %-10s %d\n", k, sys.Machine.Trace.CountKind(k))
 	}
+
+	fmt.Println("\nper-CPU ring shards (drops to wrap-around):")
+	drops := sys.Machine.Trace.DropsByCPU()
+	for i, d := range drops {
+		label := fmt.Sprintf("cpu%d", i)
+		if i == len(drops)-1 {
+			label = "overflow" // events recorded without a CPU context
+		}
+		fmt.Printf("  %-10s %d dropped\n", label, d)
+	}
+	st := sys.Stats()
+	fmt.Printf("\nscheduler: dispatches=%d local=%d steals=%d preemptions=%d\n",
+		st.Dispatches, st.LocalPicks, st.Steals, st.Preemptions)
+	fmt.Printf("frames:    allocs=%d frees=%d cache-hits=%d refills=%d drains=%d\n",
+		st.FrameAllocs, st.FrameFrees, st.CacheHits, st.CacheRefills, st.CacheDrains)
 }

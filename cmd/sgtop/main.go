@@ -86,4 +86,13 @@ func dump(c *irix.Ctx) {
 			cpu.ID, cpu.Cycles.Load(), cpu.TLB.Hits.Load(), cpu.TLB.Misses.Load(),
 			cpu.TLB.Flushes.Load(), cpu.TLB.Shootdowns.Load())
 	}
+	st := c.S.Stats()
+	fmt.Println("  dispatcher (per-CPU run queues):")
+	fmt.Printf("    dispatches=%d local=%d steals=%d steal-scans=%d preemptions=%d sticky-holds=%d runq=%d idle=%d\n",
+		st.Dispatches, st.LocalPicks, st.Steals, st.StealScans,
+		st.Preemptions, st.StickyHolds, st.RunqLen, st.IdleCPUs)
+	fmt.Println("  frame allocator (per-CPU caches over the global pool):")
+	fmt.Printf("    allocs=%d frees=%d cow-copies=%d cache-hits=%d refills=%d drains=%d scavenges=%d pool-allocs=%d cached=%d\n",
+		st.FrameAllocs, st.FrameFrees, st.FrameCopies, st.CacheHits,
+		st.CacheRefills, st.CacheDrains, st.CacheScavenges, st.PoolAllocs, st.FramesCached)
 }

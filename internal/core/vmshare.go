@@ -24,7 +24,7 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 		if pr == nil {
 			return hw.NoPFN, false, vm.FillCached, false, nil
 		}
-		pfn, writable, res, err = pr.Reg.Fill(pr.PageIndex(va), write)
+		pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, int(p.CPU.Load()))
 		return pfn, writable, res, true, err
 	}
 	sa.Acc.RLock(p)
@@ -33,7 +33,7 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 		sa.Acc.RUnlock()
 		return hw.NoPFN, false, vm.FillCached, false, nil
 	}
-	pfn, writable, res, err = pr.Reg.Fill(pr.PageIndex(va), write)
+	pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, int(p.CPU.Load()))
 	sa.Acc.RUnlock()
 	return pfn, writable, res, true, err
 }

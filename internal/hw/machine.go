@@ -93,6 +93,7 @@ func NewMachine(ncpu, memFrames int) *Machine {
 		Mem:  NewMemory(memFrames),
 		Cost: DefaultCosts(),
 	}
+	m.Mem.AttachCaches(ncpu)
 	for i := range m.CPUs {
 		m.CPUs[i] = &CPU{ID: i}
 	}

@@ -11,6 +11,7 @@ package hw
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -41,116 +42,306 @@ func (va VAddr) Offset() uint32 { return uint32(va) & PageMask }
 // PageBase returns the address of the first byte of va's page.
 func (va VAddr) PageBase() VAddr { return va &^ VAddr(PageMask) }
 
+// frameArray is the word storage of one page frame.
+type frameArray [WordsPerPage]uint32
+
+// Frame-cache geometry: a CPU refills its cache with refillBatch frames at a
+// time and gives half back to the global pool when it accumulates more than
+// cacheMax, so frames circulate instead of pooling on one processor.
+const (
+	refillBatch = 16
+	cacheMax    = 2 * refillBatch
+)
+
+// frameCache is one CPU's private stock of free frames. Its lock is
+// effectively uncontended — only that CPU's allocations and frees touch it,
+// except for the rare scavenge pass when the global pool runs dry.
+type frameCache struct {
+	mu   sync.Mutex
+	free []PFN
+	_    [64]byte // keep neighbouring caches off the same cache line
+}
+
 // Memory is the machine's physical memory: a pool of page frames with
 // per-frame reference counts. Reference counts above one arise from
 // copy-on-write duplication (paper §6.2): a frame is writable through a
 // mapping only while its count is exactly one.
+//
+// The hot paths are deliberately lock-free or per-CPU: the frame and
+// refcount tables are preallocated at NewMemory so word access and
+// IncRef/DecRef/Ref never take a lock, and allocation is served from
+// per-CPU free-frame caches (AttachCaches) that refill from the global
+// pool in batches. Only the batch refill/drain path takes the pool lock.
 type Memory struct {
-	mu       sync.Mutex
-	frames   [][]uint32 // frame storage, allocated lazily
-	refs     []int32    // per-frame reference counts
-	free     []PFN      // recycled frames
-	capacity int        // maximum number of frames
-	inUse    int
+	capacity int
+	frames   []atomic.Pointer[frameArray] // frame storage, published once per frame
+	refs     []atomic.Int32               // per-frame reference counts
+	inUse    atomic.Int64                 // referenced frames (reservation counter)
+
+	pool struct {
+		mu    sync.Mutex
+		free  []PFN // recycled frames, already zeroed
+		fresh int   // next never-used frame index
+	}
+	caches []frameCache // per-CPU free-frame caches (nil before AttachCaches)
 
 	// Statistics.
-	Allocs atomic.Int64
-	Frees  atomic.Int64
-	Copies atomic.Int64
+	Allocs     atomic.Int64
+	Frees      atomic.Int64
+	Copies     atomic.Int64
+	CacheHits  atomic.Int64 // allocations served from a per-CPU cache
+	Refills    atomic.Int64 // batch refills of a per-CPU cache from the pool
+	Drains     atomic.Int64 // batch give-backs from a cache to the pool
+	Scavenges  atomic.Int64 // frames reclaimed from other CPUs' caches
+	PoolAllocs atomic.Int64 // allocations that went to the global pool
 }
 
-// NewMemory creates a physical memory of capacity page frames.
+// NewMemory creates a physical memory of capacity page frames. Frame
+// storage itself is still allocated on demand, but the frame and refcount
+// tables are preallocated so lookups never need the pool lock.
 func NewMemory(capacity int) *Memory {
 	if capacity <= 0 {
 		panic("hw: memory capacity must be positive")
 	}
-	return &Memory{capacity: capacity}
+	return &Memory{
+		capacity: capacity,
+		frames:   make([]atomic.Pointer[frameArray], capacity),
+		refs:     make([]atomic.Int32, capacity),
+	}
+}
+
+// AttachCaches equips the memory with ncpu per-CPU free-frame caches.
+// AllocOn/DecRefOn calls with a CPU id in range are then served from the
+// caller's cache; out-of-range ids (and the plain Alloc/DecRef forms) use
+// the global pool directly.
+func (m *Memory) AttachCaches(ncpu int) {
+	if ncpu <= 0 {
+		return
+	}
+	m.caches = make([]frameCache, ncpu)
 }
 
 // Capacity returns the total number of frames the memory can hold.
 func (m *Memory) Capacity() int { return m.capacity }
 
-// InUse returns the number of frames currently allocated.
-func (m *Memory) InUse() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.inUse
+// InUse returns the number of frames currently allocated (reference count
+// above zero). Frames parked in per-CPU caches are free, not in use.
+func (m *Memory) InUse() int { return int(m.inUse.Load()) }
+
+// CachedFrames returns the number of free frames parked in per-CPU caches.
+func (m *Memory) CachedFrames() int {
+	n := 0
+	for i := range m.caches {
+		c := &m.caches[i]
+		c.mu.Lock()
+		n += len(c.free)
+		c.mu.Unlock()
+	}
+	return n
 }
 
 // ErrNoMemory is returned when the frame pool is exhausted.
 var ErrNoMemory = fmt.Errorf("hw: out of physical memory")
 
-// Alloc allocates a zeroed frame with reference count one.
-func (m *Memory) Alloc() (PFN, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.inUse >= m.capacity {
-		return NoPFN, ErrNoMemory
+// cache returns cpu's frame cache, or nil when cpu has none.
+func (m *Memory) cache(cpu int) *frameCache {
+	if cpu < 0 || cpu >= len(m.caches) {
+		return nil
 	}
-	m.inUse++
+	return &m.caches[cpu]
+}
+
+// Alloc allocates a zeroed frame with reference count one from the global
+// pool (no CPU affinity).
+func (m *Memory) Alloc() (PFN, error) { return m.AllocOn(-1) }
+
+// AllocOn allocates a zeroed frame with reference count one, preferring
+// cpu's free-frame cache. Frames are zeroed when freed, so no zeroing
+// happens here and no lock is held while a frame's contents are cleared.
+func (m *Memory) AllocOn(cpu int) (PFN, error) {
+	// Reserve one frame against capacity. The counter includes in-flight
+	// reservations, so once the CAS succeeds a free frame is guaranteed to
+	// exist somewhere (pool, fresh range, or a cache) for every reserver.
+	for {
+		n := m.inUse.Load()
+		if int(n) >= m.capacity {
+			return NoPFN, ErrNoMemory
+		}
+		if m.inUse.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
 	m.Allocs.Add(1)
-	if n := len(m.free); n > 0 {
-		pfn := m.free[n-1]
-		m.free = m.free[:n-1]
-		clear(m.frames[pfn])
-		m.refs[pfn] = 1
-		return pfn, nil
+
+	if c := m.cache(cpu); c != nil {
+		c.mu.Lock()
+		if n := len(c.free); n > 0 {
+			pfn := c.free[n-1]
+			c.free = c.free[:n-1]
+			c.mu.Unlock()
+			m.CacheHits.Add(1)
+			m.refs[pfn].Store(1)
+			return pfn, nil
+		}
+		c.mu.Unlock()
+		// Cache empty: refill a batch from the pool (keeping one frame for
+		// the caller). No cache lock is held while the pool lock is taken.
+		for {
+			batch := m.takeFromPool(refillBatch)
+			if len(batch) == 0 {
+				batch = m.scavenge(cpu, refillBatch/2)
+			}
+			if len(batch) > 0 {
+				pfn := batch[0]
+				if rest := batch[1:]; len(rest) > 0 {
+					c.mu.Lock()
+					c.free = append(c.free, rest...)
+					c.mu.Unlock()
+				}
+				m.Refills.Add(1)
+				m.refs[pfn].Store(1)
+				return pfn, nil
+			}
+			// Every free frame is transiently in another allocator's hands;
+			// our reservation guarantees one will surface.
+			runtime.Gosched()
+		}
 	}
-	pfn := PFN(len(m.frames))
-	m.frames = append(m.frames, make([]uint32, WordsPerPage))
-	m.refs = append(m.refs, 1)
-	return pfn, nil
+
+	// No cache: serve one frame straight from the pool.
+	for {
+		batch := m.takeFromPool(1)
+		if len(batch) == 0 {
+			batch = m.scavenge(-1, 1)
+		}
+		if len(batch) > 0 {
+			m.PoolAllocs.Add(1)
+			pfn := batch[0]
+			m.refs[pfn].Store(1)
+			return pfn, nil
+		}
+		runtime.Gosched()
+	}
+}
+
+// takeFromPool removes up to want free frames from the global pool,
+// minting storage for never-used frames when the recycled list runs out.
+func (m *Memory) takeFromPool(want int) []PFN {
+	m.pool.mu.Lock()
+	defer m.pool.mu.Unlock()
+	var out []PFN
+	if n := len(m.pool.free); n > 0 {
+		take := want
+		if take > n {
+			take = n
+		}
+		out = append(out, m.pool.free[n-take:]...)
+		m.pool.free = m.pool.free[:n-take]
+	}
+	for len(out) < want && m.pool.fresh < m.capacity {
+		pfn := PFN(m.pool.fresh)
+		m.pool.fresh++
+		m.frames[pfn].Store(new(frameArray))
+		out = append(out, pfn)
+	}
+	return out
+}
+
+// scavenge pulls up to want free frames out of other CPUs' caches — the
+// path of last resort when the global pool is dry but cached frames exist.
+// It never holds the pool lock or more than one cache lock at a time.
+func (m *Memory) scavenge(cpu, want int) []PFN {
+	for i := range m.caches {
+		if i == cpu {
+			continue
+		}
+		c := &m.caches[i]
+		c.mu.Lock()
+		if n := len(c.free); n > 0 {
+			take := want
+			if take > n {
+				take = n
+			}
+			out := append([]PFN(nil), c.free[n-take:]...)
+			c.free = c.free[:n-take]
+			c.mu.Unlock()
+			m.Scavenges.Add(int64(len(out)))
+			return out
+		}
+		c.mu.Unlock()
+	}
+	return nil
 }
 
 // IncRef increments the reference count of pfn (copy-on-write duplication).
 func (m *Memory) IncRef(pfn PFN) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.refs[pfn] <= 0 {
+	if m.refs[pfn].Add(1) <= 1 {
 		panic("hw: IncRef on free frame")
 	}
-	m.refs[pfn]++
 }
 
-// DecRef decrements the reference count of pfn, releasing the frame when it
-// reaches zero. It returns the remaining count.
-func (m *Memory) DecRef(pfn PFN) int32 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.refs[pfn] <= 0 {
+// DecRef decrements the reference count of pfn, releasing the frame to the
+// global pool when it reaches zero. It returns the remaining count.
+func (m *Memory) DecRef(pfn PFN) int32 { return m.DecRefOn(pfn, -1) }
+
+// DecRefOn is DecRef with CPU affinity: a frame that dies is zeroed outside
+// any lock and parked in cpu's cache for reuse, draining a batch back to
+// the global pool when the cache overfills.
+func (m *Memory) DecRefOn(pfn PFN, cpu int) int32 {
+	n := m.refs[pfn].Add(-1)
+	if n < 0 {
 		panic("hw: DecRef on free frame")
 	}
-	m.refs[pfn]--
-	n := m.refs[pfn]
-	if n == 0 {
-		m.free = append(m.free, pfn)
-		m.inUse--
-		m.Frees.Add(1)
+	if n > 0 {
+		return n
 	}
-	return n
+	// Frame is dead: zero it now, outside every lock, so the next Alloc
+	// pays nothing and no other CPU stalls behind the clear.
+	clear(m.frames[pfn].Load()[:])
+	m.Frees.Add(1)
+	m.inUse.Add(-1)
+
+	if c := m.cache(cpu); c != nil {
+		c.mu.Lock()
+		c.free = append(c.free, pfn)
+		var spill []PFN
+		if len(c.free) > cacheMax {
+			h := len(c.free) - refillBatch
+			spill = append([]PFN(nil), c.free[h:]...)
+			c.free = c.free[:h]
+		}
+		c.mu.Unlock()
+		if spill != nil {
+			m.pool.mu.Lock()
+			m.pool.free = append(m.pool.free, spill...)
+			m.pool.mu.Unlock()
+			m.Drains.Add(1)
+		}
+		return 0
+	}
+	m.pool.mu.Lock()
+	m.pool.free = append(m.pool.free, pfn)
+	m.pool.mu.Unlock()
+	return 0
 }
 
 // Ref returns the current reference count of pfn.
-func (m *Memory) Ref(pfn PFN) int32 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.refs[pfn]
-}
+func (m *Memory) Ref(pfn PFN) int32 { return m.refs[pfn].Load() }
 
-// frame returns the word slice backing pfn. Frames are never reallocated
-// once created, so the returned slice stays valid; the refs table says
-// whether its content is live.
+// frame returns the word slice backing pfn without taking any lock: the
+// storage pointer is published atomically exactly once, when the frame is
+// first minted, and frames are never reallocated.
 func (m *Memory) frame(pfn PFN) []uint32 {
-	m.mu.Lock()
-	f := m.frames[pfn]
-	m.mu.Unlock()
-	return f
+	return m.frames[pfn].Load()[:]
 }
 
 // CopyFrame allocates a new frame holding a copy of src (the copy-on-write
 // copy path) and returns it with reference count one.
-func (m *Memory) CopyFrame(src PFN) (PFN, error) {
-	dst, err := m.Alloc()
+func (m *Memory) CopyFrame(src PFN) (PFN, error) { return m.CopyFrameOn(src, -1) }
+
+// CopyFrameOn is CopyFrame allocating from cpu's frame cache.
+func (m *Memory) CopyFrameOn(src PFN, cpu int) (PFN, error) {
+	dst, err := m.AllocOn(cpu)
 	if err != nil {
 		return NoPFN, err
 	}

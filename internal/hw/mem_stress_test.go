@@ -1,0 +1,121 @@
+package hw
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAllocFreeConservesFrames races allocation, copy-on-write
+// duplication, and freeing across every per-CPU cache: no frame may be
+// lost or double-freed, so after the dust settles InUse must be exactly
+// zero and a full-capacity sweep must still find every frame.
+func TestConcurrentAllocFreeConservesFrames(t *testing.T) {
+	const (
+		ncpu     = 4
+		capacity = 512
+		rounds   = 200
+		batch    = 8
+	)
+	m := NewMemory(capacity)
+	m.AttachCaches(ncpu)
+
+	var wg sync.WaitGroup
+	for g := 0; g < ncpu; g++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			held := make([]PFN, 0, 2*batch)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < batch; i++ {
+					pfn, err := m.AllocOn(cpu)
+					if err != nil {
+						continue // another goroutine holds the frames
+					}
+					m.StoreWord(pfn, 0, uint32(cpu)<<16|uint32(r))
+					held = append(held, pfn)
+				}
+				// Break a few aliases the COW way.
+				for i := 0; i < 2 && i < len(held); i++ {
+					if dup, err := m.CopyFrameOn(held[i], cpu); err == nil {
+						held = append(held, dup)
+					}
+				}
+				for _, pfn := range held {
+					m.DecRefOn(pfn, cpu)
+				}
+				held = held[:0]
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := m.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after all frees, want 0", got)
+	}
+	// Copies allocate through AllocOn, so Allocs already counts them.
+	if m.Allocs.Load() != m.Frees.Load() {
+		t.Fatalf("allocs(%d) != frees(%d)", m.Allocs.Load(), m.Frees.Load())
+	}
+
+	// Every frame must still be allocatable exactly once, and zeroed.
+	seen := map[PFN]bool{}
+	for i := 0; i < capacity; i++ {
+		pfn, err := m.AllocOn(i % ncpu)
+		if err != nil {
+			t.Fatalf("alloc %d/%d after storm: %v", i, capacity, err)
+		}
+		if seen[pfn] {
+			t.Fatalf("frame %d handed out twice", pfn)
+		}
+		seen[pfn] = true
+		if v := m.LoadWord(pfn, 0); v != 0 {
+			t.Fatalf("recycled frame %d not zeroed: %#x", pfn, v)
+		}
+	}
+	if _, err := m.AllocOn(0); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+}
+
+// TestConcurrentRefCountsConserve races IncRef/DecRef on shared frames —
+// the fork/COW alias pattern — and verifies the count comes back exact.
+func TestConcurrentRefCountsConserve(t *testing.T) {
+	const (
+		ncpu   = 4
+		frames = 16
+		rounds = 500
+	)
+	m := NewMemory(64)
+	m.AttachCaches(ncpu)
+	pfns := make([]PFN, frames)
+	for i := range pfns {
+		pfn, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfns[i] = pfn
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < ncpu; g++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pfn := pfns[(cpu+r)%frames]
+				m.IncRef(pfn)
+				m.DecRefOn(pfn, cpu)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for _, pfn := range pfns {
+		if got := m.Ref(pfn); got != 1 {
+			t.Fatalf("frame %d ref = %d, want 1", pfn, got)
+		}
+	}
+	if got := m.InUse(); got != frames {
+		t.Fatalf("InUse = %d, want %d", got, frames)
+	}
+}

@@ -121,7 +121,7 @@ func (c *Context) translatePRDA(va hw.VAddr, write bool) (hw.PFN, error) {
 	if pr == nil {
 		return hw.NoPFN, c.segv(va, write, fmt.Errorf("no PRDA"))
 	}
-	pfn, _, res, err := pr.Reg.Fill(pr.PageIndex(va), write)
+	pfn, _, res, err := pr.Reg.FillOn(pr.PageIndex(va), write, c.cpu().ID)
 	if err != nil {
 		return hw.NoPFN, c.segv(va, write, err)
 	}
@@ -144,7 +144,7 @@ func (c *Context) fault(va hw.VAddr, write bool) (hw.PFN, error) {
 	found := false
 
 	if pr := vm.Find(c.P.Private, va); pr != nil {
-		pfn, writable, res, err = pr.Reg.Fill(pr.PageIndex(va), write)
+		pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, cpu.ID)
 		found = true
 	} else if sa := groupOf(c.P); sa != nil {
 		pfn, writable, res, found, err = sa.ResolveShared(c.P, va, write)

@@ -1,0 +1,67 @@
+package kernel
+
+// Stats is a point-in-time snapshot of the kernel's hot-path counters: the
+// per-CPU dispatch, frame-cache, and trace-ring instrumentation added for
+// the MP-scalability work. All counters are cumulative since boot.
+type Stats struct {
+	// Scheduler.
+	Dispatches  int64 // processes placed on a CPU
+	Preemptions int64 // slice-expiry CPU handoffs
+	StickyHolds int64 // preemptions suppressed by gang stickiness
+	LocalPicks  int64 // dispatches served from the CPU's own run queue
+	Steals      int64 // dispatches taken from another CPU's run queue
+	StealScans  int64 // slow-path scans over all run queues
+	RunqLen     int   // ready, undispatched processes right now
+	IdleCPUs    int   // processors with nothing to run right now
+
+	// Frame allocator.
+	FrameAllocs    int64 // frames handed out
+	FrameFrees     int64 // frames returned (refcount reached zero)
+	FrameCopies    int64 // copy-on-write frame copies
+	CacheHits      int64 // allocations served by a per-CPU frame cache
+	CacheRefills   int64 // batch refills of a per-CPU cache from the pool
+	CacheDrains    int64 // batch give-backs from a cache to the pool
+	CacheScavenges int64 // frames reclaimed from other CPUs' caches
+	PoolAllocs     int64 // allocations that fell through to the global pool
+	FramesInUse    int   // referenced frames right now
+	FramesCached   int   // frames parked in per-CPU caches right now
+
+	// Trace ring.
+	TraceEvents  int      // events currently buffered across all shards
+	TraceDropped uint64   // events lost to ring wrap-around, total
+	TraceDrops   []uint64 // per-shard drops: index = CPU, last = overflow shard
+}
+
+// Stats snapshots the hot-path counters.
+func (s *System) Stats() Stats {
+	mem := s.Machine.Mem
+	st := Stats{
+		Dispatches:  s.Sched.Dispatches.Load(),
+		Preemptions: s.Sched.Preemptions.Load(),
+		StickyHolds: s.Sched.StickyHolds.Load(),
+		LocalPicks:  s.Sched.LocalPicks.Load(),
+		Steals:      s.Sched.Steals.Load(),
+		StealScans:  s.Sched.StealScans.Load(),
+		RunqLen:     s.Sched.RunqLen(),
+		IdleCPUs:    s.Sched.IdleCPUs(),
+
+		FrameAllocs:    mem.Allocs.Load(),
+		FrameFrees:     mem.Frees.Load(),
+		FrameCopies:    mem.Copies.Load(),
+		CacheHits:      mem.CacheHits.Load(),
+		CacheRefills:   mem.Refills.Load(),
+		CacheDrains:    mem.Drains.Load(),
+		CacheScavenges: mem.Scavenges.Load(),
+		PoolAllocs:     mem.PoolAllocs.Load(),
+		FramesInUse:    mem.InUse(),
+		FramesCached:   mem.CachedFrames(),
+	}
+	if r := s.Machine.Trace; r != nil {
+		st.TraceEvents = r.Len()
+		st.TraceDrops = r.DropsByCPU()
+		for _, d := range st.TraceDrops {
+			st.TraceDropped += d
+		}
+	}
+	return st
+}

@@ -100,7 +100,7 @@ func NewSystem(cfg Config) *System {
 	}
 	s.Sched.SetGang(cfg.Gang)
 	if cfg.TraceEvents > 0 {
-		m.Trace = trace.New(cfg.TraceEvents)
+		m.Trace = trace.NewMP(cfg.TraceEvents, cfg.NCPU)
 	}
 	return s
 }

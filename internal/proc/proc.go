@@ -167,6 +167,7 @@ type Proc struct {
 	Dispatched atomic.Int64 // times this process was placed on a CPU
 	Prio       atomic.Int32 // scheduling priority (higher runs first)
 	CPU        atomic.Int32 // current CPU, -1 when not running
+	LastCPU    atomic.Int32 // CPU of the most recent dispatch (run-queue affinity)
 	Sched      Scheduler
 	wake       chan struct{} // wakeup token (cap 1): Unblock before Block is safe
 	RunGate    chan int      // dispatch channel: scheduler sends the CPU id
@@ -210,6 +211,7 @@ func New(pid int, name string) *Proc {
 		Exited:   make(chan struct{}),
 	}
 	p.CPU.Store(-1)
+	p.LastCPU.Store(-1)
 	p.state.Store(int32(SIdle))
 	return p
 }

@@ -4,6 +4,16 @@
 // in the kernel releases the processor, and the time-slice preemption that
 // motivates the deferred-synchronization design really happens.
 //
+// Dispatch state is sharded per CPU so the common paths never funnel every
+// processor through one lock: each CPU owns a run queue (guarded by its own
+// rarely-contended lock), idle processors are tracked in an atomic bitmask,
+// and a CPU whose queue runs dry — or whose queue's best candidate is beaten
+// by another queue's priority hint — steals work from its peers. Priority
+// order, FIFO within a priority, and the gang-affinity boost are preserved:
+// a steal scan ranks candidates with the same score function the old global
+// scan used, so a higher-priority process or a gang-mate on another CPU's
+// queue still wins the processor.
+//
 // It also implements the gang-scheduling extension sketched in the paper's
 // §8 ("the shared address block ... provides a convenient handle for making
 // scheduling decisions about the process group as a whole"): in gang mode
@@ -13,6 +23,8 @@
 package sched
 
 import (
+	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -25,19 +37,54 @@ import (
 // of user work between preemption checks).
 const DefaultSlice = 20000
 
+// noPrio marks an empty queue's priority hint.
+const noPrio = math.MinInt32
+
+// noSeq marks an empty queue's age hint.
+const noSeq = math.MaxUint64
+
+// entry is one queued process stamped with its global ready sequence
+// number. The stamp makes FIFO-within-priority hold across the whole
+// machine, not just within one queue: without it, a CPU whose queue always
+// has a fresh candidate could rotate its own pair forever while an equal-
+// priority process ages on another queue.
+type entry struct {
+	p   *proc.Proc
+	seq uint64
+}
+
+// runQueue is one CPU's ready list. maxPrio and oldest are lock-free hints
+// — an upper bound on the queued priorities and the age of the queue's
+// oldest entry — letting other CPUs decide whether a steal scan could
+// possibly pay off without taking the lock.
+type runQueue struct {
+	mu      sync.Mutex
+	q       []entry
+	maxPrio atomic.Int32  // highest queued priority, noPrio when empty
+	oldest  atomic.Uint64 // ready stamp of the oldest entry, noSeq when empty
+	_       [64]byte      // keep neighbouring queues off the same cache line
+}
+
 // Sched dispatches processes onto CPUs.
 type Sched struct {
-	mu      sync.Mutex
 	machine *hw.Machine
-	runq    []*proc.Proc // ready processes, scanned by priority
-	cpuProc []*proc.Proc // what each CPU is running (nil = idle)
-	idle    []int        // idle CPU ids
-	gang    bool
 	slice   int64
+	gang    atomic.Bool // global gang-mode switch
+	sawGang atomic.Bool // a per-group gang flag has been seen (sticky)
+
+	queues   []*runQueue
+	cpuProc  []atomic.Pointer[proc.Proc] // what each CPU runs (nil = idle)
+	idle     []atomic.Uint64             // idle-CPU bitmask, 64 CPUs per word
+	queued   atomic.Int64                // ready, undispatched processes
+	rr       atomic.Uint32               // round-robin cursor for unplaced processes
+	readySeq atomic.Uint64               // global enqueue stamp (machine-wide FIFO)
 
 	Dispatches  atomic.Int64
 	Preemptions atomic.Int64
 	StickyHolds atomic.Int64 // preemptions suppressed by gang stickiness
+	Steals      atomic.Int64 // picks taken from another CPU's queue
+	LocalPicks  atomic.Int64 // picks served from the CPU's own queue
+	StealScans  atomic.Int64 // full steal scans (the slow pick path)
 }
 
 // New creates a scheduler for the machine. slice is the time-slice length
@@ -46,26 +93,80 @@ func New(machine *hw.Machine, slice int64) *Sched {
 	if slice <= 0 {
 		slice = DefaultSlice
 	}
+	ncpu := machine.NCPU()
 	s := &Sched{
 		machine: machine,
-		cpuProc: make([]*proc.Proc, machine.NCPU()),
 		slice:   slice,
+		queues:  make([]*runQueue, ncpu),
+		cpuProc: make([]atomic.Pointer[proc.Proc], ncpu),
+		idle:    make([]atomic.Uint64, (ncpu+63)/64),
 	}
-	for i := machine.NCPU() - 1; i >= 0; i-- {
-		s.idle = append(s.idle, i)
+	for i := range s.queues {
+		s.queues[i] = &runQueue{}
+		s.queues[i].maxPrio.Store(noPrio)
+		s.queues[i].oldest.Store(noSeq)
+	}
+	for cpu := 0; cpu < ncpu; cpu++ {
+		s.setIdle(cpu)
 	}
 	return s
 }
 
 // SetGang enables or disables gang-mode dispatch.
-func (s *Sched) SetGang(on bool) {
-	s.mu.Lock()
-	s.gang = on
-	s.mu.Unlock()
-}
+func (s *Sched) SetGang(on bool) { s.gang.Store(on) }
 
 // Slice returns the configured time-slice length.
 func (s *Sched) Slice() int64 { return s.slice }
+
+// gangActive reports whether gang affinity can influence dispatch at all:
+// either the global switch is on or some group has asked for it.
+func (s *Sched) gangActive() bool { return s.gang.Load() || s.sawGang.Load() }
+
+// ─── idle-CPU mask ───────────────────────────────────────────────────────
+
+// setIdle marks cpu idle.
+func (s *Sched) setIdle(cpu int) {
+	w, b := cpu/64, uint(cpu%64)
+	for {
+		v := s.idle[w].Load()
+		if s.idle[w].CompareAndSwap(v, v|1<<b) {
+			return
+		}
+	}
+}
+
+// claimIdle claims any idle CPU, returning its id or -1.
+func (s *Sched) claimIdle() int {
+	for w := range s.idle {
+		for {
+			v := s.idle[w].Load()
+			if v == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(v)
+			if s.idle[w].CompareAndSwap(v, v&^(1<<uint(b))) {
+				return w*64 + b
+			}
+		}
+	}
+	return -1
+}
+
+// claimThis claims the specific idle cpu; false if it was not idle.
+func (s *Sched) claimThis(cpu int) bool {
+	w, b := cpu/64, uint(cpu%64)
+	for {
+		v := s.idle[w].Load()
+		if v&(1<<b) == 0 {
+			return false
+		}
+		if s.idle[w].CompareAndSwap(v, v&^(1<<b)) {
+			return true
+		}
+	}
+}
+
+// ─── ready / dispatch ────────────────────────────────────────────────────
 
 // Spawn runs body as the process p: the goroutine waits for its first
 // dispatch, runs, and releases its CPU on return. The caller must have set
@@ -81,24 +182,64 @@ func (s *Sched) Spawn(p *proc.Proc, body func()) {
 
 // Ready makes p runnable, dispatching it immediately if a CPU is idle.
 func (s *Sched) Ready(p *proc.Proc) {
-	s.mu.Lock()
 	p.SetState(proc.SReady)
-	if n := len(s.idle); n > 0 {
-		cpu := s.idle[n-1]
-		s.idle = s.idle[:n-1]
+	if g := p.ShareGrp(); g != nil && g.Gang() {
+		s.sawGang.Store(true)
+	}
+	if cpu := s.claimIdle(); cpu >= 0 {
 		s.dispatch(p, cpu)
-		s.mu.Unlock()
 		return
 	}
-	s.runq = append(s.runq, p)
-	s.mu.Unlock()
+	s.enqueue(p)
+	// Close the lost-wakeup race: a CPU may have gone idle between the
+	// claim attempt above and the enqueue.
+	s.kickIdle()
 }
 
-// dispatch hands cpu to p. Caller holds s.mu.
+// enqueue places p on its last CPU's queue (cache affinity), or spreads
+// fresh processes round-robin.
+func (s *Sched) enqueue(p *proc.Proc) {
+	cpu := int(p.LastCPU.Load())
+	if cpu < 0 || cpu >= len(s.queues) {
+		cpu = int(s.rr.Add(1)) % len(s.queues)
+	}
+	q := s.queues[cpu]
+	seq := s.readySeq.Add(1)
+	q.mu.Lock()
+	q.q = append(q.q, entry{p: p, seq: seq})
+	if pr := p.Prio.Load(); pr > q.maxPrio.Load() {
+		q.maxPrio.Store(pr)
+	}
+	if o := q.oldest.Load(); seq < o {
+		q.oldest.Store(seq)
+	}
+	q.mu.Unlock()
+	s.queued.Add(1)
+}
+
+// kickIdle pairs queued work with idle CPUs until one of them runs out.
+func (s *Sched) kickIdle() {
+	for s.queued.Load() > 0 {
+		cpu := s.claimIdle()
+		if cpu < 0 {
+			return
+		}
+		next := s.pickNext(cpu)
+		if next == nil {
+			s.setIdle(cpu)
+			return
+		}
+		s.dispatch(next, cpu)
+	}
+}
+
+// dispatch hands cpu to p. The caller must own cpu exclusively (it claimed
+// the idle bit or is vacating the CPU itself).
 func (s *Sched) dispatch(p *proc.Proc, cpu int) {
-	s.cpuProc[cpu] = p
+	s.cpuProc[cpu].Store(p)
 	p.SetState(proc.SRun)
 	p.CPU.Store(int32(cpu))
+	p.LastCPU.Store(int32(cpu))
 	p.Dispatched.Add(1)
 	p.SliceLeft.Store(s.slice)
 	c := s.machine.CPUs[cpu]
@@ -110,46 +251,198 @@ func (s *Sched) dispatch(p *proc.Proc, cpu int) {
 }
 
 // releaseCPU takes p off its CPU, handing the CPU to the best ready
-// process or marking it idle. Caller holds s.mu.
+// process or marking it idle.
 func (s *Sched) releaseCPU(p *proc.Proc) {
 	cpu := int(p.CPU.Swap(-1))
 	if cpu < 0 {
 		return
 	}
-	s.cpuProc[cpu] = nil
-	if next := s.pickNext(); next != nil {
-		s.dispatch(next, cpu)
-		return
-	}
-	s.idle = append(s.idle, cpu)
+	s.cpuProc[cpu].Store(nil)
+	s.findWork(cpu)
 }
 
-// pickNext removes and returns the best ready process: highest priority,
-// FIFO within a priority, with a gang-affinity boost when enabled. Caller
-// holds s.mu.
-func (s *Sched) pickNext() *proc.Proc {
-	if len(s.runq) == 0 {
-		return nil
-	}
-	best := 0
-	bestScore := s.score(s.runq[0])
-	for i := 1; i < len(s.runq); i++ {
-		if sc := s.score(s.runq[i]); sc > bestScore {
-			best, bestScore = i, sc
+// findWork gives the vacated cpu to the best ready process, or marks it
+// idle — re-checking the queues after publishing the idle bit so an
+// enqueue racing with the release cannot strand work.
+func (s *Sched) findWork(cpu int) {
+	for {
+		if next := s.pickNext(cpu); next != nil {
+			s.dispatch(next, cpu)
+			return
+		}
+		s.setIdle(cpu)
+		if s.queued.Load() == 0 || !s.claimThis(cpu) {
+			return
 		}
 	}
-	p := s.runq[best]
-	s.runq = append(s.runq[:best], s.runq[best+1:]...)
+}
+
+// ─── picking and stealing ────────────────────────────────────────────────
+
+// ageSlack bounds how much machine-wide FIFO order a local pick may skip:
+// a CPU keeps serving its own queue until an equal-score process elsewhere
+// is more than this many enqueues older, then the steal scan fetches the
+// aged one. Small enough that no process starves behind a busy CPU's
+// private rotation, large enough that balanced load almost never scans.
+func (s *Sched) ageSlack() uint64 { return uint64(4 * len(s.queues)) }
+
+// pickNext removes and returns the best ready process for cpu: highest
+// score (priority doubled, plus the gang-affinity boost), oldest first
+// within a score — machine-wide. The fast path consults only cpu's own
+// queue, using the other queues' lock-free hints to prove no remote
+// candidate can beat (or is aged enough to displace) the local best; only
+// when a hint says otherwise does the slow steal scan run.
+func (s *Sched) pickNext(cpu int) *proc.Proc {
+	gangScan := s.gangActive()
+	own := s.queues[cpu]
+
+	own.mu.Lock()
+	li, lscore, lseq := s.bestOf(own)
+	steal := false
+	for i := range s.queues {
+		if i == cpu {
+			continue
+		}
+		h := s.queues[i].maxPrio.Load()
+		if h == noPrio {
+			continue
+		}
+		if li < 0 {
+			steal = true
+			break
+		}
+		bound := int(h) * 2
+		if gangScan {
+			bound++
+		}
+		if bound > lscore {
+			steal = true
+			break
+		}
+		if bound == lscore {
+			if o := s.queues[i].oldest.Load(); o != noSeq && o+s.ageSlack() < lseq {
+				steal = true
+				break
+			}
+		}
+	}
+	if !steal {
+		if li < 0 {
+			own.mu.Unlock()
+			return nil
+		}
+		p := s.removeAt(own, li)
+		own.mu.Unlock()
+		s.queued.Add(-1)
+		s.LocalPicks.Add(1)
+		return p
+	}
+	own.mu.Unlock()
+	return s.pickStealing(cpu)
+}
+
+// pickStealing is the slow pick path: peek every queue (own first, one
+// lock at a time), choose the globally best candidate — highest score,
+// then oldest ready stamp — and re-verify and pop it.
+func (s *Sched) pickStealing(cpu int) *proc.Proc {
+	s.StealScans.Add(1)
+	for attempt := 0; attempt < 4; attempt++ {
+		bestQ, bestScore := -1, math.MinInt
+		bestSeq := uint64(noSeq)
+		scan := func(i int) {
+			q := s.queues[i]
+			if i != cpu && q.maxPrio.Load() == noPrio {
+				return
+			}
+			q.mu.Lock()
+			idx, sc, seq := s.bestOf(q)
+			q.mu.Unlock()
+			if idx >= 0 && (sc > bestScore || (sc == bestScore && seq < bestSeq)) {
+				bestQ, bestScore, bestSeq = i, sc, seq
+			}
+		}
+		scan(cpu)
+		for i := range s.queues {
+			if i != cpu {
+				scan(i)
+			}
+		}
+		if bestQ < 0 {
+			return nil
+		}
+		q := s.queues[bestQ]
+		q.mu.Lock()
+		idx, _, _ := s.bestOf(q)
+		if idx < 0 {
+			q.mu.Unlock()
+			continue // raced: the queue drained underneath us
+		}
+		p := s.removeAt(q, idx)
+		q.mu.Unlock()
+		s.queued.Add(-1)
+		if bestQ == cpu {
+			s.LocalPicks.Add(1)
+		} else {
+			s.Steals.Add(1)
+		}
+		return p
+	}
+	// Heavy contention: fall back to whatever the own queue holds.
+	own := s.queues[cpu]
+	own.mu.Lock()
+	defer own.mu.Unlock()
+	if idx, _, _ := s.bestOf(own); idx >= 0 {
+		p := s.removeAt(own, idx)
+		s.queued.Add(-1)
+		s.LocalPicks.Add(1)
+		return p
+	}
+	return nil
+}
+
+// bestOf returns the index, score, and ready stamp of the best process in
+// q, or (-1, MinInt, noSeq) when empty. Oldest among equals preserves FIFO
+// within a priority. Caller holds q.mu.
+func (s *Sched) bestOf(q *runQueue) (int, int, uint64) {
+	best, bestScore := -1, math.MinInt
+	bestSeq := uint64(noSeq)
+	for i, e := range q.q {
+		sc := s.score(e.p)
+		if sc > bestScore || (sc == bestScore && e.seq < bestSeq) {
+			best, bestScore, bestSeq = i, sc, e.seq
+		}
+	}
+	return best, bestScore, bestSeq
+}
+
+// removeAt removes q.q[i] preserving order and refreshes the lock-free
+// hints. Caller holds q.mu.
+func (s *Sched) removeAt(q *runQueue, i int) *proc.Proc {
+	p := q.q[i].p
+	q.q = append(q.q[:i], q.q[i+1:]...)
+	hint := int32(noPrio)
+	old := uint64(noSeq)
+	for _, e := range q.q {
+		if pr := e.p.Prio.Load(); hint == noPrio || pr > hint {
+			hint = pr
+		}
+		if e.seq < old {
+			old = e.seq
+		}
+	}
+	q.maxPrio.Store(hint)
+	q.oldest.Store(old)
 	return p
 }
 
-// score ranks a ready process. Caller holds s.mu.
+// score ranks a ready process: doubled priority plus one when gang
+// affinity applies and a group-mate is already running somewhere.
 func (s *Sched) score(p *proc.Proc) int {
 	sc := int(p.Prio.Load()) * 2
 	grp := p.ShareGrp()
-	if grp != nil && (s.gang || grp.Gang()) {
-		for _, r := range s.cpuProc {
-			if r != nil && r.ShareGrp() == grp {
+	if grp != nil && (s.gang.Load() || grp.Gang()) {
+		for i := range s.cpuProc {
+			if r := s.cpuProc[i].Load(); r != nil && r.ShareGrp() == grp {
 				sc++
 				break
 			}
@@ -158,6 +451,8 @@ func (s *Sched) score(p *proc.Proc) int {
 	return sc
 }
 
+// ─── blocking, preemption, exit ──────────────────────────────────────────
+
 // Block implements proc.Scheduler: release the CPU, sleep until Unblock,
 // then contend for a CPU again. Called by p's own goroutine.
 func (s *Sched) Block(p *proc.Proc, reason string) {
@@ -165,10 +460,8 @@ func (s *Sched) Block(p *proc.Proc, reason string) {
 	if c := s.cpuOf(p); c != nil {
 		c.Charge(s.machine.Cost.SemaSleep)
 	}
-	s.mu.Lock()
 	s.releaseCPU(p)
 	p.SetState(proc.SSleep)
-	s.mu.Unlock()
 	p.WaitWake()
 	s.Ready(p)
 	<-p.RunGate
@@ -182,18 +475,18 @@ func (s *Sched) Unblock(p *proc.Proc) {
 
 // gangSticky reports whether p should keep its CPU at a preemption point:
 // p is a gang-scheduled group member, a group-mate is running on another
-// CPU, and no member of the same group is waiting in the run queue. This
+// CPU, and no member of the same group is waiting in any run queue. This
 // is the co-scheduling half of the §8 extension — rotating a member out in
 // favour of an unrelated process would leave its spinning partners running
-// against a descheduled peer. Caller holds s.mu.
+// against a descheduled peer.
 func (s *Sched) gangSticky(p *proc.Proc) bool {
 	grp := p.ShareGrp()
-	if grp == nil || !(s.gang || grp.Gang()) {
+	if grp == nil || !(s.gang.Load() || grp.Gang()) {
 		return false
 	}
 	mateRunning := false
-	for _, r := range s.cpuProc {
-		if r != nil && r != p && r.ShareGrp() == grp {
+	for i := range s.cpuProc {
+		if r := s.cpuProc[i].Load(); r != nil && r != p && r.ShareGrp() == grp {
 			mateRunning = true
 			break
 		}
@@ -201,10 +494,15 @@ func (s *Sched) gangSticky(p *proc.Proc) bool {
 	if !mateRunning {
 		return false
 	}
-	for _, q := range s.runq {
-		if q.ShareGrp() == grp {
-			return false // a group-mate needs the slot more than p does
+	for _, q := range s.queues {
+		q.mu.Lock()
+		for _, w := range q.q {
+			if w.p.ShareGrp() == grp {
+				q.mu.Unlock()
+				return false // a group-mate needs the slot more than p does
+			}
 		}
+		q.mu.Unlock()
 	}
 	return true
 }
@@ -212,40 +510,38 @@ func (s *Sched) gangSticky(p *proc.Proc) bool {
 // Yield is the preemption point: when p's slice is exhausted and another
 // process is ready, p surrenders its CPU and waits to be dispatched again.
 func (s *Sched) Yield(p *proc.Proc) {
-	s.mu.Lock()
-	if len(s.runq) == 0 {
+	if s.queued.Load() == 0 {
 		p.SliceLeft.Store(s.slice)
-		s.mu.Unlock()
 		return
 	}
 	if s.gangSticky(p) {
 		s.StickyHolds.Add(1)
 		p.SliceLeft.Store(s.slice)
-		s.mu.Unlock()
 		return
 	}
-	cpu := int(p.CPU.Swap(-1))
+	cpu := int(p.CPU.Load())
 	if cpu < 0 {
-		s.mu.Unlock()
 		return
 	}
-	s.cpuProc[cpu] = nil
-	next := s.pickNext()
-	s.dispatch(next, cpu)
+	next := s.pickNext(cpu)
+	if next == nil {
+		// The queues drained while we decided: keep the CPU.
+		p.SliceLeft.Store(s.slice)
+		return
+	}
+	p.CPU.Store(-1)
 	p.SetState(proc.SReady)
-	s.runq = append(s.runq, p)
+	s.enqueue(p)
 	s.Preemptions.Add(1)
 	s.machine.Trace.Record(trace.EvPreempt, int32(p.PID), int32(cpu), 0, 0)
-	s.mu.Unlock()
+	s.dispatch(next, cpu)
 	<-p.RunGate
 }
 
 // Exit releases p's CPU for good and marks it a zombie.
 func (s *Sched) Exit(p *proc.Proc) {
-	s.mu.Lock()
 	s.releaseCPU(p)
 	p.SetState(proc.SZomb)
-	s.mu.Unlock()
 }
 
 // cpuOf returns the hw.CPU p is running on, or nil.
@@ -266,24 +562,33 @@ func (s *Sched) CurrentCPU(p *proc.Proc) *hw.CPU {
 }
 
 // RunqLen returns the number of ready, undispatched processes.
-func (s *Sched) RunqLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.runq)
+func (s *Sched) RunqLen() int { return int(s.queued.Load()) }
+
+// QueueLens returns the per-CPU run-queue lengths (diagnostics).
+func (s *Sched) QueueLens() []int {
+	out := make([]int, len(s.queues))
+	for i, q := range s.queues {
+		q.mu.Lock()
+		out[i] = len(q.q)
+		q.mu.Unlock()
+	}
+	return out
 }
 
 // IdleCPUs returns the number of idle processors.
 func (s *Sched) IdleCPUs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.idle)
+	n := 0
+	for w := range s.idle {
+		n += bits.OnesCount64(s.idle[w].Load())
+	}
+	return n
 }
 
 // Running returns a snapshot of what each CPU is running (nil = idle).
 func (s *Sched) Running() []*proc.Proc {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]*proc.Proc, len(s.cpuProc))
-	copy(out, s.cpuProc)
+	for i := range s.cpuProc {
+		out[i] = s.cpuProc[i].Load()
+	}
 	return out
 }

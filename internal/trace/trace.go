@@ -1,13 +1,20 @@
 // Package trace is a bounded in-kernel event ring, in the spirit of the
 // ktrace/par facilities that shipped with IRIX: subsystems append
 // fixed-size events (process creation, dispatch, fault, shootdown, signal,
-// share-group synchronization) and tools drain a consistent snapshot. The
-// ring is lock-protected and loss-counting: when full it overwrites the
-// oldest events and records how many were dropped.
+// share-group synchronization) and tools drain a consistent snapshot.
+//
+// The ring is sharded per CPU so recording never funnels every processor
+// through one lock: each CPU appends to its own loss-counting ring (a CPU's
+// shard is written only by code running there in the common case, so its
+// lock is uncontended), a global atomic sequence number provides the total
+// order, and Snapshot merges the shards back into one ordered stream at
+// drain time. Events recorded off-CPU (cpu < 0) land in a dedicated
+// overflow shard.
 package trace
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -64,24 +71,42 @@ func (e Event) String() string {
 		e.Seq, e.Kind, e.PID, e.CPU, e.Arg, e.Aux)
 }
 
-// Ring is the bounded event buffer. A nil *Ring is a valid, disabled ring:
-// every method is a cheap no-op, so instrumentation sites need no guards.
-type Ring struct {
+// shard is one CPU's private ring: a bounded buffer that overwrites the
+// oldest events when full and counts what it lost.
+type shard struct {
 	mu      sync.Mutex
 	buf     []Event
 	next    int
 	wrapped bool
-	seq     atomic.Uint64
 	dropped atomic.Uint64
+	_       [64]byte // keep neighbouring shards off the same cache line
+}
+
+// Ring is the sharded event buffer. A nil *Ring is a valid, disabled ring:
+// every method is a cheap no-op, so instrumentation sites need no guards.
+type Ring struct {
+	shards  []shard // shards[0..n-1] per CPU, shards[n] for cpu < 0
+	seq     atomic.Uint64
 	enabled atomic.Bool
 }
 
-// New creates a ring holding up to size events, enabled.
-func New(size int) *Ring {
+// New creates a single-CPU ring holding up to size events per shard,
+// enabled. Use NewMP for a multiprocessor ring.
+func New(size int) *Ring { return NewMP(size, 1) }
+
+// NewMP creates a ring with one shard per CPU plus an overflow shard for
+// events recorded with no CPU context. Each shard holds up to size events.
+func NewMP(size, ncpu int) *Ring {
 	if size <= 0 {
 		size = 4096
 	}
-	r := &Ring{buf: make([]Event, size)}
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	r := &Ring{shards: make([]shard, ncpu+1)}
+	for i := range r.shards {
+		r.shards[i].buf = make([]Event, size)
+	}
 	r.enabled.Store(true)
 	return r
 }
@@ -97,51 +122,92 @@ func (r *Ring) SetEnabled(on bool) {
 // Enabled reports whether the ring records.
 func (r *Ring) Enabled() bool { return r != nil && r.enabled.Load() }
 
-// Record appends an event. Safe on a nil or disabled ring.
+// Shards returns the number of shards (CPU shards plus the overflow shard).
+func (r *Ring) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards)
+}
+
+// Record appends an event to the shard of the CPU it happened on. Safe on a
+// nil or disabled ring.
 func (r *Ring) Record(kind Kind, pid int32, cpu int32, arg uint64, aux uint32) {
 	if r == nil || !r.enabled.Load() {
 		return
 	}
 	seq := r.seq.Add(1)
-	r.mu.Lock()
-	if r.wrapped {
-		r.dropped.Add(1)
+	i := int(cpu)
+	if i < 0 || i >= len(r.shards)-1 {
+		i = len(r.shards) - 1
 	}
-	r.buf[r.next] = Event{Seq: seq, Kind: kind, PID: pid, CPU: cpu, Arg: arg, Aux: aux}
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.wrapped = true
+	s := &r.shards[i]
+	s.mu.Lock()
+	if s.wrapped {
+		s.dropped.Add(1)
 	}
-	r.mu.Unlock()
+	s.buf[s.next] = Event{Seq: seq, Kind: kind, PID: pid, CPU: cpu, Arg: arg, Aux: aux}
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.wrapped = true
+	}
+	s.mu.Unlock()
 }
 
-// Snapshot returns the buffered events in sequence order and the count of
-// events lost to wrap-around.
+// Snapshot returns the buffered events merged across all shards in
+// sequence order, and the total count of events lost to wrap-around.
+// Shards are read one at a time, so events recorded concurrently with the
+// drain may or may not be included — each is either present or counted
+// dropped, never silently lost.
 func (r *Ring) Snapshot() (events []Event, dropped uint64) {
 	if r == nil {
 		return nil, 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.wrapped {
-		events = append(events, r.buf[r.next:]...)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		if s.wrapped {
+			events = append(events, s.buf[s.next:]...)
+		}
+		events = append(events, s.buf[:s.next]...)
+		s.mu.Unlock()
+		dropped += s.dropped.Load()
 	}
-	events = append(events, r.buf[:r.next]...)
-	return events, r.dropped.Load()
+	sort.Slice(events, func(a, b int) bool { return events[a].Seq < events[b].Seq })
+	return events, dropped
 }
 
-// Len returns the number of buffered events.
+// DropsByCPU returns the per-shard drop counts: index i is CPU i's shard,
+// the last entry is the overflow shard for events with no CPU context.
+func (r *Ring) DropsByCPU() []uint64 {
+	if r == nil {
+		return nil
+	}
+	out := make([]uint64, len(r.shards))
+	for i := range r.shards {
+		out[i] = r.shards[i].dropped.Load()
+	}
+	return out
+}
+
+// Len returns the number of buffered events across all shards.
 func (r *Ring) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.wrapped {
-		return len(r.buf)
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		if s.wrapped {
+			n += len(s.buf)
+		} else {
+			n += s.next
+		}
+		s.mu.Unlock()
 	}
-	return r.next
+	return n
 }
 
 // CountKind counts buffered events of the given kind.

@@ -152,6 +152,14 @@ const (
 // holds the sole reference to the frame, so a TLB entry installed from the
 // result can never allow a store to an aliased frame.
 func (r *Region) Fill(idx int, write bool) (pfn hw.PFN, writable bool, res FillResult, err error) {
+	return r.FillOn(idx, write, -1)
+}
+
+// FillOn is Fill with CPU affinity: frames allocated or freed on the fault
+// path go through cpu's frame cache, so concurrent faults on different
+// processors never contend on the global frame pool (the fault hot path of
+// paper §6.2). cpu < 0 uses the global pool.
+func (r *Region) FillOn(idx int, write bool, cpu int) (pfn hw.PFN, writable bool, res FillResult, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if idx < 0 || idx >= len(r.pages) {
@@ -162,7 +170,7 @@ func (r *Region) Fill(idx int, write bool) (pfn hw.PFN, writable bool, res FillR
 	}
 	pfn = r.pages[idx]
 	if pfn == hw.NoPFN {
-		pfn, err = r.mem.Alloc()
+		pfn, err = r.mem.AllocOn(cpu)
 		if err != nil {
 			return hw.NoPFN, false, FillCached, err
 		}
@@ -179,11 +187,11 @@ func (r *Region) Fill(idx int, write bool) (pfn hw.PFN, writable bool, res FillR
 		return pfn, false, FillCached, nil
 	}
 	// Copy-on-write: break the alias.
-	copy, err := r.mem.CopyFrame(pfn)
+	copy, err := r.mem.CopyFrameOn(pfn, cpu)
 	if err != nil {
 		return hw.NoPFN, false, FillCached, err
 	}
-	r.mem.DecRef(pfn)
+	r.mem.DecRefOn(pfn, cpu)
 	r.pages[idx] = copy
 	return copy, true, FillCopied, nil
 }

@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+func TestStormSmoke(t *testing.T) {
+	cfg := small()
+	if m := FaultStorm(cfg, 2, 200); m.Ops != 400 {
+		t.Errorf("fault ops=%d", m.Ops)
+	}
+	if m := CreateStorm(cfg, 2, 5); m.Ops != 10 {
+		t.Errorf("create ops=%d", m.Ops)
+	}
+	if m := TraceStorm(cfg, 4, 1000); m.Ops != 4000 {
+		t.Errorf("trace ops=%d", m.Ops)
+	}
+	if m := DispatchStorm(cfg, 4, 100); m.Ops != 400 {
+		t.Errorf("dispatch ops=%d", m.Ops)
+	}
+}
