@@ -1,10 +1,21 @@
 GO ?= go
 
-# Tier-1 gate: the whole tree must build and every test must pass.
+# Tier-1 gate: the whole tree must build, pass lint, and every test must pass.
 .PHONY: tier1
-tier1:
+tier1: lint
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Lint: vet, plus the gateway invariant — the syscall layer must dispatch
+# every call through the descriptor table, never through hand-rolled
+# kernel-entry pairs.
+.PHONY: lint
+lint:
+	$(GO) vet ./...
+	@if grep -nE 'EnterKernel|ExitKernel' internal/kernel/syscalls_*.go; then \
+		echo "lint: syscalls_*.go must go through the gateway (invoke/invoke0/invoke1), not EnterKernel/ExitKernel" >&2; \
+		exit 1; \
+	fi
 
 .PHONY: vet
 vet:

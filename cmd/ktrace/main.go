@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	irix "repro"
+	"repro/internal/kernel"
 	"repro/internal/trace"
 )
 
@@ -48,12 +49,24 @@ func main() {
 	events, dropped := sys.Machine.Trace.Snapshot()
 	fmt.Printf("kernel trace: %d events (%d dropped)\n", len(events), dropped)
 	for _, e := range events {
-		fmt.Println(" ", e)
+		// Syscall spans carry the syscall number (and, on exit, the errno);
+		// render them symbolically instead of as raw payload words.
+		switch e.Kind {
+		case trace.EvSyscallEnter:
+			fmt.Printf("  #%d %-9s pid=%-3d cpu=%-2d %s\n",
+				e.Seq, e.Kind, e.PID, e.CPU, kernel.SysName(kernel.Sysno(e.Arg)))
+		case trace.EvSyscallExit:
+			fmt.Printf("  #%d %-9s pid=%-3d cpu=%-2d %s = %s\n",
+				e.Seq, e.Kind, e.PID, e.CPU, kernel.SysName(kernel.Sysno(e.Arg)), kernel.Errno(e.Aux))
+		default:
+			fmt.Println(" ", e)
+		}
 	}
 	fmt.Println("\nsummary:")
 	for _, k := range []trace.Kind{
 		trace.EvCreate, trace.EvExit, trace.EvDispatch, trace.EvPreempt,
 		trace.EvFault, trace.EvShootdown, trace.EvSignal, trace.EvSync,
+		trace.EvSyscallEnter, trace.EvSyscallExit,
 	} {
 		fmt.Printf("  %-10s %d\n", k, sys.Machine.Trace.CountKind(k))
 	}

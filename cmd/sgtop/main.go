@@ -77,6 +77,18 @@ func dump(c *irix.Ctx) {
 		sa.Acc.RLocks.Load(), sa.Acc.RSleeps.Load(), sa.Acc.WLocks.Load(), sa.Acc.WSleeps.Load(), sa.Acc.WaitCount())
 	fmt.Printf("    propagations=%d  entry syncs=%d  shootdowns=%d\n",
 		sa.Propagations.Load(), sa.Syncs.Load(), sa.Shootdowns.Load())
+	fmt.Println("  group syscall profile (gateway accounting, summed over members):")
+	group := map[kernel.Sysno]int64{}
+	for _, m := range sa.Members() {
+		for _, st := range kernel.ProcSyscalls(m) {
+			group[st.Num] += st.Count
+		}
+	}
+	for n := kernel.Sysno(0); n < kernel.NSys; n++ {
+		if count := group[n]; count > 0 {
+			fmt.Printf("    %-12s %-5s %6d calls\n", kernel.SysName(n), kernel.SysClass(n), count)
+		}
+	}
 
 	fmt.Println("machine ────────────────────────────────────────────────────")
 	m := c.S.Machine
@@ -95,4 +107,9 @@ func dump(c *irix.Ctx) {
 	fmt.Printf("    allocs=%d frees=%d cow-copies=%d cache-hits=%d refills=%d drains=%d scavenges=%d pool-allocs=%d cached=%d\n",
 		st.FrameAllocs, st.FrameFrees, st.FrameCopies, st.CacheHits,
 		st.CacheRefills, st.CacheDrains, st.CacheScavenges, st.PoolAllocs, st.FramesCached)
+	fmt.Println("  system-wide syscall accounting (per-CPU gateway counters):")
+	for _, sc := range st.Syscalls {
+		fmt.Printf("    %-12s %-5s %6d calls %10d simcyc %8.0f /call\n",
+			sc.Name, kernel.SysClass(sc.Num), sc.Count, sc.SimCyc, sc.CyclesPerCall())
+	}
 }

@@ -244,8 +244,14 @@ func (sa *ShAddr) teardown() {
 			sa.ofile[i] = nil
 		}
 	}
-	sa.cdir.Release()
-	sa.rdir.Release()
+	// The creator's directories can be nil (embryonic or torn-down
+	// processes); NewWithOptions only takes references that exist.
+	if sa.cdir != nil {
+		sa.cdir.Release()
+	}
+	if sa.rdir != nil {
+		sa.rdir.Release()
+	}
 	sa.cdir, sa.rdir = nil, nil
 }
 

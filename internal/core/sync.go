@@ -28,13 +28,13 @@ func (sa *ShAddr) SyncEntry(p *proc.Proc) {
 }
 
 // syncFdsLocked copies the block's descriptor table into p's, adjusting
-// reference counts. Caller holds FupdSema.
+// reference counts. Another member may have opened a descriptor past the
+// end of p's table, so the table is grown to the block's length first —
+// truncating would silently drop those descriptors. Caller holds FupdSema.
 func (sa *ShAddr) syncFdsLocked(p *proc.Proc) {
 	p.Mu.Lock()
+	p.GrowFd(len(sa.ofile))
 	for i := range sa.ofile {
-		if i >= len(p.Fd) {
-			break
-		}
 		blk := sa.ofile[i]
 		if p.Fd[i] == blk {
 			p.FdFlags[i] = sa.pofile[i]
@@ -114,8 +114,17 @@ func (sa *ShAddr) BeginFdUpdate(p *proc.Proc) {
 func (sa *ShAddr) EndFdUpdate(p *proc.Proc, fds ...int) {
 	p.Mu.Lock()
 	for _, fd := range fds {
-		if fd < 0 || fd >= len(sa.ofile) {
+		if fd < 0 || fd >= proc.NOFILE {
 			continue
+		}
+		if fd >= len(sa.ofile) {
+			// The updater's table grew past the block's shadow copy;
+			// grow the shadow so the new slot is published, not dropped.
+			ofile := make([]*fs.File, fd+1)
+			pofile := make([]uint8, fd+1)
+			copy(ofile, sa.ofile)
+			copy(pofile, sa.pofile)
+			sa.ofile, sa.pofile = ofile, pofile
 		}
 		old := sa.ofile[fd]
 		var now *fs.File

@@ -54,26 +54,6 @@ func (c *Context) charge(n int64) {
 	}
 }
 
-// EnterKernel is the system-call trap: charge the entry cost and perform
-// the single-test synchronization check of paper §6.3.
-func (c *Context) EnterKernel() {
-	c.charge(c.S.Machine.Cost.SyscallEntry)
-	if c.P.Flag.Load()&proc.FSyncAny != 0 {
-		if sa := c.P.ShareGrp(); sa != nil {
-			c.cpu().Charge(c.S.Machine.Cost.AttrSync)
-			c.S.Machine.Trace.Record(trace.EvSync, int32(c.P.PID), c.P.CPU.Load(), uint64(c.P.Flag.Load()), 0)
-			sa.SyncEntry(c.P)
-		}
-	}
-}
-
-// ExitKernel is the return-to-user path: charge the exit cost and deliver
-// pending signals.
-func (c *Context) ExitKernel() {
-	c.cpu().Charge(c.S.Machine.Cost.SyscallExit)
-	c.DeliverSignals()
-}
-
 // DeliverSignals runs pending, unmasked signal actions: handlers execute
 // on this process's own context; fatal defaults terminate it.
 func (c *Context) DeliverSignals() {

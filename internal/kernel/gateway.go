@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"sync/atomic"
+
+	"repro/internal/proc"
+	"repro/internal/trace"
+)
+
+// This file is the system-call gateway: the one path every syscall in
+// syscalls_{fs,vm,ipc,proc}.go crosses. A syscall body never touches the
+// trap machinery itself — it hands the gateway its descriptor and a
+// closure, and the gateway uniformly performs, in order:
+//
+//   entry:  charge the trap cost (plus the descriptor's cost hint),
+//           run the §6.3 single-test share-group synchronization check,
+//           record the trace.EvSyscallEnter span open;
+//   body:   the actual semantics;
+//   exit:   normalize the error into a *SysError carrying a stable Errno,
+//           charge the return-to-user cost, accumulate per-CPU and
+//           per-process syscall counts and simcyc latency, record the
+//           trace.EvSyscallExit span close carrying the errno, and deliver
+//           pending signals.
+//
+// The exit half runs on panic unwinds too (exit(2), exec(2), fatal
+// signals), so every EvSyscallEnter has a matching EvSyscallExit even for
+// calls that never return.
+
+// sysAcct is one CPU's syscall accounting: call counts and simcyc latency
+// accumulators indexed by syscall number. One per CPU plus an overflow slot
+// mirrors the trace ring's sharding, so the hot path never funnels every
+// processor through shared counters.
+type sysAcct struct {
+	count  [NSys]atomic.Int64
+	simcyc [NSys]atomic.Int64
+	_      [64]byte // keep neighbouring CPUs' accumulators apart
+}
+
+// invoke dispatches one system call through the gateway.
+func invoke[T any](c *Context, d *sysDesc, body func() (T, error)) (T, error) {
+	start := c.enterSys(d)
+	var eno Errno
+	completed := false
+	defer func() { c.exitSys(d, start, eno, completed) }()
+	ret, err := body()
+	if err != nil {
+		eno = ErrnoOf(err)
+		if _, ok := err.(*SysError); !ok {
+			err = &SysError{Call: d.name, Num: eno, Err: err}
+		}
+	}
+	completed = true
+	return ret, err
+}
+
+// invoke0 dispatches a syscall with no result value.
+func invoke0(c *Context, d *sysDesc, body func() error) error {
+	_, err := invoke(c, d, func() (struct{}, error) { return struct{}{}, body() })
+	return err
+}
+
+// invoke1 dispatches a syscall that cannot fail.
+func invoke1[T any](c *Context, d *sysDesc, body func() T) T {
+	ret, _ := invoke(c, d, func() (T, error) { return body(), nil })
+	return ret
+}
+
+// enterSys is the trap into the kernel: charge the entry cost and perform
+// the single-test synchronization check of paper §6.3, then open the trace
+// span. It returns the process-cycle snapshot the latency accounting closes
+// against.
+func (c *Context) enterSys(d *sysDesc) int64 {
+	start := c.P.Cycles.Load()
+	c.charge(c.S.Machine.Cost.SyscallEntry + d.cost)
+	if c.P.Flag.Load()&proc.FSyncAny != 0 {
+		if sa := c.P.ShareGrp(); sa != nil {
+			c.cpu().Charge(c.S.Machine.Cost.AttrSync)
+			c.S.Machine.Trace.Record(trace.EvSync, int32(c.P.PID), c.P.CPU.Load(), uint64(c.P.Flag.Load()), 0)
+			sa.SyncEntry(c.P)
+		}
+	}
+	c.S.Machine.Trace.Record(trace.EvSyscallEnter, int32(c.P.PID), c.P.CPU.Load(), uint64(d.num), 0)
+	return start
+}
+
+// exitSys is the return-to-user path: charge the exit cost, account the
+// call, close the trace span, and — only when the body completed normally —
+// deliver pending signals. On a panic unwind (exit, exec, fatal signal) the
+// span closes with errno 0 and no signal delivery; the unwind carries its
+// own disposition.
+func (c *Context) exitSys(d *sysDesc, start int64, eno Errno, completed bool) {
+	exitCost := c.S.Machine.Cost.SyscallExit
+	c.cpu().Charge(exitCost)
+	c.S.sysAccount(d.num, c.P, c.P.Cycles.Load()-start+exitCost)
+	c.S.Machine.Trace.Record(trace.EvSyscallExit, int32(c.P.PID), c.P.CPU.Load(), uint64(d.num), uint32(eno))
+	if completed {
+		c.DeliverSignals()
+	}
+}
+
+// sysAccount charges one completed syscall to the CPU it finished on and to
+// the calling process's own profile.
+func (s *System) sysAccount(n Sysno, p *proc.Proc, cycles int64) {
+	i := int(p.CPU.Load())
+	if i < 0 || i >= len(s.sysacct)-1 {
+		i = len(s.sysacct) - 1
+	}
+	a := s.sysacct[i]
+	a.count[n].Add(1)
+	a.simcyc[n].Add(cycles)
+	if pc := p.SysCount; pc != nil {
+		pc[n].Add(1)
+	}
+}
+
+// SyscallCountsByCPU returns the per-CPU call-count matrix: row i is CPU
+// i's counts indexed by syscall number; the last row is the overflow slot
+// for calls finishing with no CPU context. The conservation stress test
+// sums this matrix against the driver's own issue counts.
+func (s *System) SyscallCountsByCPU() [][]int64 {
+	out := make([][]int64, len(s.sysacct))
+	for i, a := range s.sysacct {
+		row := make([]int64, NSys)
+		for n := range row {
+			row[n] = a.count[n].Load()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// ProcSyscalls returns a process's own per-syscall call counts (nonzero
+// entries only, ordered by number) — the per-member profile sgtop
+// aggregates over a share group.
+func ProcSyscalls(p *proc.Proc) []SyscallStat {
+	if p.SysCount == nil {
+		return nil
+	}
+	var out []SyscallStat
+	for n := Sysno(0); n < NSys; n++ {
+		if c := p.SysCount[n].Load(); c > 0 {
+			out = append(out, SyscallStat{Num: n, Name: SysName(n), Count: c})
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -68,7 +69,7 @@ func TestForkWaitStatus(t *testing.T) {
 		if err != nil || wpid != pid || status != 42 {
 			t.Errorf("Wait = (%d,%d,%v), want (%d,42,nil)", wpid, status, err, pid)
 		}
-		if _, _, err := c.Wait(); err != ErrNoChildren {
+		if _, _, err := c.Wait(); !errors.Is(err, ErrNoChildren) {
 			t.Errorf("second Wait: %v", err)
 		}
 	})
@@ -321,7 +322,7 @@ func TestUmaskAndUlimitPropagation(t *testing.T) {
 		if err := c.StoreBytes(vm.DataBase, make([]byte, 200)); err != nil {
 			t.Errorf("store: %v", err)
 		}
-		if _, err := c.Write(fd, vm.DataBase, 200); err != fs.ErrFileLimit {
+		if _, err := c.Write(fd, vm.DataBase, 200); !errors.Is(err, fs.ErrFileLimit) {
 			t.Errorf("ulimit write: %v", err)
 		}
 		verified.Store(true)
@@ -455,7 +456,7 @@ func TestPauseInterruptedBySignal(t *testing.T) {
 		var woke atomic.Bool
 		pid, _ := c.Fork("pauser", func(cc *Context) {
 			cc.Signal(proc.SIGUSR1, func(int) {})
-			if err := cc.Pause(); err != ErrInterrupt {
+			if err := cc.Pause(); !errors.Is(err, ErrInterrupt) {
 				t.Errorf("Pause = %v", err)
 			}
 			woke.Store(true)
@@ -576,7 +577,7 @@ func TestMmapMunmapShared(t *testing.T) {
 		if _, err := c.Load32(va); err == nil {
 			t.Error("unmapped page accessible")
 		}
-		if err := c.Munmap(va); err != ErrNoRegion {
+		if err := c.Munmap(va); !errors.Is(err, ErrNoRegion) {
 			t.Errorf("double munmap: %v", err)
 		}
 	})
@@ -673,7 +674,7 @@ func TestProcLimit(t *testing.T) {
 				t.Errorf("fork %d: %v", i, err)
 			}
 		}
-		if _, err := c.Fork("overflow", func(cc *Context) {}); err != ErrTooMany {
+		if _, err := c.Fork("overflow", func(cc *Context) {}); !errors.Is(err, ErrTooMany) {
 			t.Errorf("fork past limit: %v", err)
 		}
 		close(release)

@@ -30,6 +30,30 @@ type Stats struct {
 	TraceEvents  int      // events currently buffered across all shards
 	TraceDropped uint64   // events lost to ring wrap-around, total
 	TraceDrops   []uint64 // per-shard drops: index = CPU, last = overflow shard
+
+	// Syscall gateway: per-syscall counts and in-kernel simcyc latency,
+	// summed over the per-CPU accumulators. Nonzero entries only, ordered
+	// by syscall number.
+	Syscalls []SyscallStat
+}
+
+// SyscallStat is one syscall's accounting line: how often it was called
+// and the simulated cycles spent inside the kernel across those calls
+// (entry cost, body, exit cost — everything between the gateway's trap and
+// return).
+type SyscallStat struct {
+	Num    Sysno
+	Name   string
+	Count  int64
+	SimCyc int64
+}
+
+// CyclesPerCall returns the mean in-kernel simcyc latency of the call.
+func (st SyscallStat) CyclesPerCall() float64 {
+	if st.Count == 0 {
+		return 0
+	}
+	return float64(st.SimCyc) / float64(st.Count)
 }
 
 // Stats snapshots the hot-path counters.
@@ -61,6 +85,16 @@ func (s *System) Stats() Stats {
 		st.TraceDrops = r.DropsByCPU()
 		for _, d := range st.TraceDrops {
 			st.TraceDropped += d
+		}
+	}
+	for n := Sysno(0); n < NSys; n++ {
+		var count, cyc int64
+		for _, a := range s.sysacct {
+			count += a.count[n].Load()
+			cyc += a.simcyc[n].Load()
+		}
+		if count > 0 {
+			st.Syscalls = append(st.Syscalls, SyscallStat{Num: n, Name: SysName(n), Count: count, SimCyc: cyc})
 		}
 	}
 	return st

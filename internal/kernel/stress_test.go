@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -121,10 +122,10 @@ func TestDup2(t *testing.T) {
 		if got, err := c.Dup2(fd, fd); err != nil || got != fd {
 			t.Errorf("self Dup2 = (%d,%v)", got, err)
 		}
-		if _, err := c.Dup2(fd, proc.NOFILE); err != fs.ErrBadFd {
+		if _, err := c.Dup2(fd, proc.NOFILE); !errors.Is(err, fs.ErrBadFd) {
 			t.Errorf("oob Dup2: %v", err)
 		}
-		if _, err := c.Dup2(55, 3); err != fs.ErrBadFd {
+		if _, err := c.Dup2(55, 3); !errors.Is(err, fs.ErrBadFd) {
 			t.Errorf("bad src Dup2: %v", err)
 		}
 	})

@@ -55,21 +55,22 @@ func (c *Context) installFd(f *fs.File) (int, error) {
 // descriptor. When the caller shares descriptors, every sharing member
 // sees the new file as immediately available (paper §4).
 func (c *Context) Open(path string, flags int, mode uint16) (int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	f, err := c.S.FS.Open(c.cred(), path, flags, mode)
-	if err != nil {
-		return -1, err
-	}
-	fd, err := c.installFd(f)
-	if err != nil {
-		f.Release()
-		return -1, err
-	}
-	return fd, nil
+	return invoke(c, sysOpen, func() (int, error) {
+		f, err := c.S.FS.Open(c.cred(), path, flags, mode)
+		if err != nil {
+			return -1, err
+		}
+		fd, err := c.installFd(f)
+		if err != nil {
+			f.Release()
+			return -1, err
+		}
+		return fd, nil
+	})
 }
 
-// Creat is open(path, O_WRONLY|O_CREAT|O_TRUNC, mode).
+// Creat is open(path, O_WRONLY|O_CREAT|O_TRUNC, mode). It is pure
+// delegation: the call dispatches (and is accounted) as open.
 func (c *Context) Creat(path string, mode uint16) (int, error) {
 	return c.Open(path, fs.OWrite|fs.OCreat|fs.OTrunc, mode)
 }
@@ -77,118 +78,119 @@ func (c *Context) Creat(path string, mode uint16) (int, error) {
 // Close releases descriptor fd, propagating the closure to sharing
 // members.
 func (c *Context) Close(fd int) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	if p.Shares(proc.PRSFDS) {
-		sa := groupOf(p)
-		sa.BeginFdUpdate(p)
+	return invoke0(c, sysClose, func() error {
+		p := c.P
+		if p.Shares(proc.PRSFDS) {
+			sa := groupOf(p)
+			sa.BeginFdUpdate(p)
+			p.Mu.Lock()
+			f, err := p.ClearFd(fd)
+			p.Mu.Unlock()
+			if err != nil {
+				sa.FupdSema.V()
+				return err
+			}
+			f.Release()
+			sa.EndFdUpdate(p, fd)
+			return nil
+		}
 		p.Mu.Lock()
 		f, err := p.ClearFd(fd)
 		p.Mu.Unlock()
 		if err != nil {
-			sa.FupdSema.V()
 			return err
 		}
 		f.Release()
-		sa.EndFdUpdate(p, fd)
 		return nil
-	}
-	p.Mu.Lock()
-	f, err := p.ClearFd(fd)
-	p.Mu.Unlock()
-	if err != nil {
-		return err
-	}
-	f.Release()
-	return nil
+	})
 }
 
 // Dup duplicates fd into the lowest free slot; both descriptors share one
 // open-file entry and offset.
 func (c *Context) Dup(fd int) (int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	p.Mu.Lock()
-	f, err := p.GetFd(fd)
-	p.Mu.Unlock()
-	if err != nil {
-		return -1, err
-	}
-	nfd, err := c.installFd(f.Hold())
-	if err != nil {
-		f.Release()
-		return -1, err
-	}
-	return nfd, nil
+	return invoke(c, sysDup, func() (int, error) {
+		p := c.P
+		p.Mu.Lock()
+		f, err := p.GetFd(fd)
+		p.Mu.Unlock()
+		if err != nil {
+			return -1, err
+		}
+		nfd, err := c.installFd(f.Hold())
+		if err != nil {
+			f.Release()
+			return -1, err
+		}
+		return nfd, nil
+	})
 }
 
 // Dup2 duplicates fd onto target, closing target first if open. Both
 // descriptors share one open-file entry; the change propagates to sharing
 // members like any descriptor-table update.
 func (c *Context) Dup2(fd, target int) (int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	if target < 0 || target >= proc.NOFILE {
-		return -1, fs.ErrBadFd
-	}
-	apply := func() error {
-		p.Mu.Lock()
-		defer p.Mu.Unlock()
-		f, err := p.GetFd(fd)
-		if err != nil {
-			return err
+	return invoke(c, sysDup2, func() (int, error) {
+		p := c.P
+		if target < 0 || target >= proc.NOFILE {
+			return -1, fs.ErrBadFd
 		}
-		if fd == target {
+		apply := func() error {
+			p.Mu.Lock()
+			defer p.Mu.Unlock()
+			f, err := p.GetFd(fd)
+			if err != nil {
+				return err
+			}
+			if fd == target {
+				return nil
+			}
+			p.GrowFd(target + 1)
+			if old := p.Fd[target]; old != nil {
+				old.Release()
+			}
+			p.SetFd(target, f.Hold())
+			p.FdFlags[target] = 0
 			return nil
 		}
-		if old := p.Fd[target]; old != nil {
-			old.Release()
+		if p.Shares(proc.PRSFDS) {
+			sa := groupOf(p)
+			sa.BeginFdUpdate(p)
+			if err := apply(); err != nil {
+				sa.FupdSema.V()
+				return -1, err
+			}
+			sa.EndFdUpdate(p, target)
+			return target, nil
 		}
-		p.SetFd(target, f.Hold())
-		p.FdFlags[target] = 0
-		return nil
-	}
-	if p.Shares(proc.PRSFDS) {
-		sa := groupOf(p)
-		sa.BeginFdUpdate(p)
 		if err := apply(); err != nil {
-			sa.FupdSema.V()
 			return -1, err
 		}
-		sa.EndFdUpdate(p, target)
 		return target, nil
-	}
-	if err := apply(); err != nil {
-		return -1, err
-	}
-	return target, nil
+	})
 }
 
 // SetCloseOnExec marks fd to be closed across exec(2).
 func (c *Context) SetCloseOnExec(fd int, on bool) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	p.Mu.Lock()
-	if _, err := p.GetFd(fd); err != nil {
+	return invoke0(c, sysFcntl, func() error {
+		p := c.P
+		p.Mu.Lock()
+		if _, err := p.GetFd(fd); err != nil {
+			p.Mu.Unlock()
+			return err
+		}
+		if on {
+			p.FdFlags[fd] |= proc.FdCloseOnExec
+		} else {
+			p.FdFlags[fd] &^= proc.FdCloseOnExec
+		}
 		p.Mu.Unlock()
-		return err
-	}
-	if on {
-		p.FdFlags[fd] |= proc.FdCloseOnExec
-	} else {
-		p.FdFlags[fd] &^= proc.FdCloseOnExec
-	}
-	p.Mu.Unlock()
-	if p.Shares(proc.PRSFDS) {
-		sa := groupOf(p)
-		sa.BeginFdUpdate(p)
-		sa.EndFdUpdate(p, fd)
-	}
-	return nil
+		if p.Shares(proc.PRSFDS) {
+			sa := groupOf(p)
+			sa.BeginFdUpdate(p)
+			sa.EndFdUpdate(p, fd)
+		}
+		return nil
+	})
 }
 
 // fdFile fetches the open file behind fd.
@@ -201,261 +203,261 @@ func (c *Context) fdFile(fd int) (*fs.File, error) {
 // Read reads up to n bytes from fd into the process's memory at va,
 // returning the count. The transfer faults pages in as needed.
 func (c *Context) Read(fd int, va hw.VAddr, n int) (int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	f, err := c.fdFile(fd)
-	if err != nil {
-		return -1, err
-	}
-	buf := make([]byte, n)
-	got, err := f.Read(c.P, buf)
-	if err != nil {
-		return -1, err
-	}
-	if err := c.StoreBytes(va, buf[:got]); err != nil {
-		return -1, err
-	}
-	return got, nil
+	return invoke(c, sysRead, func() (int, error) {
+		f, err := c.fdFile(fd)
+		if err != nil {
+			return -1, err
+		}
+		buf := make([]byte, n)
+		got, err := f.Read(c.P, buf)
+		if err != nil {
+			return -1, err
+		}
+		if err := c.StoreBytes(va, buf[:got]); err != nil {
+			return -1, err
+		}
+		return got, nil
+	})
 }
 
 // Write writes n bytes from the process's memory at va to fd.
 func (c *Context) Write(fd int, va hw.VAddr, n int) (int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	f, err := c.fdFile(fd)
-	if err != nil {
-		return -1, err
-	}
-	buf := make([]byte, n)
-	if err := c.LoadBytes(va, buf); err != nil {
-		return -1, err
-	}
-	c.P.Mu.Lock()
-	limit := c.P.Ulimit
-	c.P.Mu.Unlock()
-	return f.Write(c.P, buf, limit)
+	return invoke(c, sysWrite, func() (int, error) {
+		f, err := c.fdFile(fd)
+		if err != nil {
+			return -1, err
+		}
+		buf := make([]byte, n)
+		if err := c.LoadBytes(va, buf); err != nil {
+			return -1, err
+		}
+		c.P.Mu.Lock()
+		limit := c.P.Ulimit
+		c.P.Mu.Unlock()
+		return f.Write(c.P, buf, limit)
+	})
 }
 
 // Lseek repositions fd's offset.
 func (c *Context) Lseek(fd int, off int64, whence int) (int64, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	f, err := c.fdFile(fd)
-	if err != nil {
-		return -1, err
-	}
-	return f.Seek(off, whence)
+	return invoke(c, sysLseek, func() (int64, error) {
+		f, err := c.fdFile(fd)
+		if err != nil {
+			return -1, err
+		}
+		return f.Seek(off, whence)
+	})
 }
 
 // Mkdir creates a directory.
 func (c *Context) Mkdir(path string, mode uint16) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	_, err := c.S.FS.Mkdir(c.cred(), path, mode)
-	return err
+	return invoke0(c, sysMkdir, func() error {
+		_, err := c.S.FS.Mkdir(c.cred(), path, mode)
+		return err
+	})
 }
 
 // Unlink removes a directory entry.
 func (c *Context) Unlink(path string) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	return c.S.FS.Unlink(c.cred(), path)
+	return invoke0(c, sysUnlink, func() error {
+		return c.S.FS.Unlink(c.cred(), path)
+	})
 }
 
 // Link creates a hard link.
 func (c *Context) Link(oldpath, newpath string) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	return c.S.FS.Link(c.cred(), oldpath, newpath)
+	return invoke0(c, sysLink, func() error {
+		return c.S.FS.Link(c.cred(), oldpath, newpath)
+	})
 }
 
 // Stat describes the file at path.
 func (c *Context) Stat(path string) (fs.Stat, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	return c.S.FS.StatPath(c.cred(), path)
+	return invoke(c, sysStat, func() (fs.Stat, error) {
+		return c.S.FS.StatPath(c.cred(), path)
+	})
 }
 
 // ReadDir lists the names in the directory at path, sorted.
 func (c *Context) ReadDir(path string) ([]string, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	cr := c.cred()
-	ip, err := c.S.FS.Lookup(cr, path)
-	if err != nil {
-		return nil, err
-	}
-	if !ip.IsDir() {
-		return nil, fs.ErrNotDir
-	}
-	if err := ip.Access(cr.Uid, cr.Gid, 4); err != nil {
-		return nil, err
-	}
-	names := ip.Entries()
-	sort.Strings(names)
-	c.charge(int64(len(names)))
-	return names, nil
+	return invoke(c, sysReadDir, func() ([]string, error) {
+		cr := c.cred()
+		ip, err := c.S.FS.Lookup(cr, path)
+		if err != nil {
+			return nil, err
+		}
+		if !ip.IsDir() {
+			return nil, fs.ErrNotDir
+		}
+		if err := ip.Access(cr.Uid, cr.Gid, 4); err != nil {
+			return nil, err
+		}
+		names := ip.Entries()
+		sort.Strings(names)
+		c.charge(int64(len(names)))
+		return names, nil
+	})
 }
 
 // Chdir changes the current directory; with PR_SDIR the change applies to
 // every sharing member of the group ("the ability to change the working
 // directory ... of an entire set of processes at once", paper §4).
 func (c *Context) Chdir(path string) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	dir, err := c.S.FS.Lookup(c.cred(), path)
-	if err != nil {
-		return err
-	}
-	if !dir.IsDir() {
-		return fs.ErrNotDir
-	}
-	cr := c.cred()
-	if err := dir.Access(cr.Uid, cr.Gid, 1); err != nil {
-		return err
-	}
-	p := c.P
-	p.Mu.Lock()
-	old := p.Cdir
-	p.Cdir = dir.Hold()
-	p.Mu.Unlock()
-	old.Release()
-	if p.Shares(proc.PRSDIR) {
-		sa := groupOf(p)
-		sa.PropagateDir(p)
-		c.propagated(sa)
-	}
-	return nil
+	return invoke0(c, sysChdir, func() error {
+		dir, err := c.S.FS.Lookup(c.cred(), path)
+		if err != nil {
+			return err
+		}
+		if !dir.IsDir() {
+			return fs.ErrNotDir
+		}
+		cr := c.cred()
+		if err := dir.Access(cr.Uid, cr.Gid, 1); err != nil {
+			return err
+		}
+		p := c.P
+		p.Mu.Lock()
+		old := p.Cdir
+		p.Cdir = dir.Hold()
+		p.Mu.Unlock()
+		old.Release()
+		if p.Shares(proc.PRSDIR) {
+			sa := groupOf(p)
+			sa.PropagateDir(p)
+			c.propagated(sa)
+		}
+		return nil
+	})
 }
 
 // Chroot changes the root directory (uid 0 only), propagating with
 // PR_SDIR.
 func (c *Context) Chroot(path string) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	cr := c.cred()
-	if cr.Uid != 0 {
-		return ErrPerm
-	}
-	dir, err := c.S.FS.Lookup(cr, path)
-	if err != nil {
-		return err
-	}
-	if !dir.IsDir() {
-		return fs.ErrNotDir
-	}
-	p := c.P
-	p.Mu.Lock()
-	old := p.Rdir
-	p.Rdir = dir.Hold()
-	p.Mu.Unlock()
-	old.Release()
-	if p.Shares(proc.PRSDIR) {
-		sa := groupOf(p)
-		sa.PropagateDir(p)
-		c.propagated(sa)
-	}
-	return nil
+	return invoke0(c, sysChroot, func() error {
+		cr := c.cred()
+		if cr.Uid != 0 {
+			return ErrPerm
+		}
+		dir, err := c.S.FS.Lookup(cr, path)
+		if err != nil {
+			return err
+		}
+		if !dir.IsDir() {
+			return fs.ErrNotDir
+		}
+		p := c.P
+		p.Mu.Lock()
+		old := p.Rdir
+		p.Rdir = dir.Hold()
+		p.Mu.Unlock()
+		old.Release()
+		if p.Shares(proc.PRSDIR) {
+			sa := groupOf(p)
+			sa.PropagateDir(p)
+			c.propagated(sa)
+		}
+		return nil
+	})
 }
 
 // Umask sets the file-creation mask and returns the previous value,
 // propagating with PR_SUMASK.
 func (c *Context) Umask(mask uint16) uint16 {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	p.Mu.Lock()
-	old := p.Umask
-	p.Umask = mask & 0o777
-	p.Mu.Unlock()
-	if p.Shares(proc.PRSUMASK) {
-		sa := groupOf(p)
-		sa.PropagateUmask(p)
-		c.propagated(sa)
-	}
-	return old
+	return invoke1(c, sysUmask, func() uint16 {
+		p := c.P
+		p.Mu.Lock()
+		old := p.Umask
+		p.Umask = mask & 0o777
+		p.Mu.Unlock()
+		if p.Shares(proc.PRSUMASK) {
+			sa := groupOf(p)
+			sa.PropagateUmask(p)
+			c.propagated(sa)
+		}
+		return old
+	})
 }
 
 // Ulimit gets (cmd 1) or sets (cmd 2) the maximum file size, propagating
 // with PR_SULIMIT.
 func (c *Context) Ulimit(cmd int, newLimit int64) (int64, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	switch cmd {
-	case 1:
-		p.Mu.Lock()
-		defer p.Mu.Unlock()
-		return p.Ulimit, nil
-	case 2:
-		p.Mu.Lock()
-		cur := p.Ulimit
-		uid := p.Uid
-		if newLimit > cur && uid != 0 {
+	return invoke(c, sysUlimit, func() (int64, error) {
+		p := c.P
+		switch cmd {
+		case 1:
+			p.Mu.Lock()
+			defer p.Mu.Unlock()
+			return p.Ulimit, nil
+		case 2:
+			p.Mu.Lock()
+			cur := p.Ulimit
+			uid := p.Uid
+			if newLimit > cur && uid != 0 {
+				p.Mu.Unlock()
+				return -1, ErrPerm
+			}
+			p.Ulimit = newLimit
 			p.Mu.Unlock()
-			return -1, ErrPerm
+			if p.Shares(proc.PRSULIMIT) {
+				sa := groupOf(p)
+				sa.PropagateUlimit(p)
+				c.propagated(sa)
+			}
+			return newLimit, nil
+		default:
+			return -1, fs.ErrInval
 		}
-		p.Ulimit = newLimit
-		p.Mu.Unlock()
-		if p.Shares(proc.PRSULIMIT) {
-			sa := groupOf(p)
-			sa.PropagateUlimit(p)
-			c.propagated(sa)
-		}
-		return newLimit, nil
-	default:
-		return -1, fs.ErrInval
-	}
+	})
 }
 
 // Setuid changes the effective uid (uid 0 or a no-op change), propagating
 // with PR_SID.
 func (c *Context) Setuid(uid uint16) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	p.Mu.Lock()
-	if p.Uid != 0 && p.Uid != uid {
+	return invoke0(c, sysSetuid, func() error {
+		p := c.P
+		p.Mu.Lock()
+		if p.Uid != 0 && p.Uid != uid {
+			p.Mu.Unlock()
+			return ErrPerm
+		}
+		p.Uid = uid
 		p.Mu.Unlock()
-		return ErrPerm
-	}
-	p.Uid = uid
-	p.Mu.Unlock()
-	if p.Shares(proc.PRSID) {
-		sa := groupOf(p)
-		sa.PropagateID(p)
-		c.propagated(sa)
-	}
-	return nil
+		if p.Shares(proc.PRSID) {
+			sa := groupOf(p)
+			sa.PropagateID(p)
+			c.propagated(sa)
+		}
+		return nil
+	})
 }
 
 // Setgid changes the effective gid, propagating with PR_SID.
 func (c *Context) Setgid(gid uint16) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	p.Mu.Lock()
-	if p.Uid != 0 && p.Gid != gid {
+	return invoke0(c, sysSetgid, func() error {
+		p := c.P
+		p.Mu.Lock()
+		if p.Uid != 0 && p.Gid != gid {
+			p.Mu.Unlock()
+			return ErrPerm
+		}
+		p.Gid = gid
 		p.Mu.Unlock()
-		return ErrPerm
-	}
-	p.Gid = gid
-	p.Mu.Unlock()
-	if p.Shares(proc.PRSID) {
-		sa := groupOf(p)
-		sa.PropagateID(p)
-		c.propagated(sa)
-	}
-	return nil
+		if p.Shares(proc.PRSID) {
+			sa := groupOf(p)
+			sa.PropagateID(p)
+			c.propagated(sa)
+		}
+		return nil
+	})
 }
 
 // Getuid returns the effective uid.
 func (c *Context) Getuid() uint16 {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	c.P.Mu.Lock()
-	defer c.P.Mu.Unlock()
-	return c.P.Uid
+	return invoke1(c, sysGetuid, func() uint16 {
+		c.P.Mu.Lock()
+		defer c.P.Mu.Unlock()
+		return c.P.Uid
+	})
 }
 
 // WriteString is a convenience wrapper writing s at va through the MMU and

@@ -23,18 +23,18 @@ var (
 
 // Getpid returns the process id.
 func (c *Context) Getpid() int {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	return c.P.PID
+	return invoke1(c, sysGetpid, func() int {
+		return c.P.PID
+	})
 }
 
 // Getppid returns the parent's process id.
 func (c *Context) Getppid() int {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	c.P.Mu.Lock()
-	defer c.P.Mu.Unlock()
-	return c.P.PPID
+	return invoke1(c, sysGetppid, func() int {
+		c.P.Mu.Lock()
+		defer c.P.Mu.Unlock()
+		return c.P.PPID
+	})
 }
 
 // checkProcLimit enforces the PR_MAXPROCS per-user limit.
@@ -76,48 +76,48 @@ func (c *Context) newChild(name string) *proc.Proc {
 // the child's program is passed explicitly instead. This is the one
 // deliberate interface divergence from fork(2).
 func (c *Context) Fork(name string, childMain Main) (int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	if err := c.checkProcLimit(); err != nil {
-		return -1, err
-	}
-	p := c.P
-	mach := c.S.Machine
-	child := c.newChild(name)
-	child.ASID = mach.AllocASID()
+	return invoke(c, sysFork, func() (int, error) {
+		if err := c.checkProcLimit(); err != nil {
+			return -1, err
+		}
+		p := c.P
+		mach := c.S.Machine
+		child := c.newChild(name)
+		child.ASID = mach.AllocASID()
 
-	// Descriptor table, directories.
-	p.Mu.Lock()
-	child.Fd, child.FdFlags = p.DupFdTable()
-	child.Cdir = p.Cdir.Hold()
-	child.Rdir = p.Rdir.Hold()
-	nfds := p.OpenFdCount()
-	p.Mu.Unlock()
+		// Descriptor table, directories.
+		p.Mu.Lock()
+		child.Fd, child.FdFlags = p.DupFdTable()
+		child.Cdir = p.Cdir.Hold()
+		child.Rdir = p.Rdir.Hold()
+		nfds := p.OpenFdCount()
+		p.Mu.Unlock()
 
-	// Copy-on-write image. Duplication makes previously writable frames
-	// aliased, so the parent space's cached translations are flushed on
-	// every CPU before the child can run.
-	cpu := c.cpu()
-	if sa := groupOf(p); sa != nil {
-		child.Private = sa.COWImage(p, func() { mach.ShootdownSpace(cpu, sa.ASID) })
-	} else {
-		child.Private = vm.DupList(p.Private)
-		mach.ShootdownSpace(cpu, p.ASID)
-	}
-	child.Stack = vm.Find(child.Private, stackBaseOf(p))
+		// Copy-on-write image. Duplication makes previously writable frames
+		// aliased, so the parent space's cached translations are flushed on
+		// every CPU before the child can run.
+		cpu := c.cpu()
+		if sa := groupOf(p); sa != nil {
+			child.Private = sa.COWImage(p, func() { mach.ShootdownSpace(cpu, sa.ASID) })
+		} else {
+			child.Private = vm.DupList(p.Private)
+			mach.ShootdownSpace(cpu, p.ASID)
+		}
+		child.Stack = vm.Find(child.Private, stackBaseOf(p))
 
-	// Charge what fork costs: proc setup plus page-table duplication plus
-	// descriptor duplication.
-	pages := 0
-	for _, pr := range child.Private {
-		pages += pr.Reg.Pages()
-	}
-	c.charge(mach.Cost.ProcCreate + int64(pages)*mach.Cost.RegionDup + int64(nfds)*mach.Cost.FDTableCopy)
+		// Charge what fork costs: proc setup plus page-table duplication plus
+		// descriptor duplication.
+		pages := 0
+		for _, pr := range child.Private {
+			pages += pr.Reg.Pages()
+		}
+		c.charge(mach.Cost.ProcCreate + int64(pages)*mach.Cost.RegionDup + int64(nfds)*mach.Cost.FDTableCopy)
 
-	c.S.Machine.Trace.Record(trace.EvCreate, int32(p.PID), c.P.CPU.Load(), uint64(child.PID), trace.CreateFork)
-	c.S.register(child)
-	c.S.startProc(child, childMain)
-	return child.PID, nil
+		c.S.Machine.Trace.Record(trace.EvCreate, int32(p.PID), c.P.CPU.Load(), uint64(child.PID), trace.CreateFork)
+		c.S.register(child)
+		c.S.startProc(child, childMain)
+		return child.PID, nil
+	})
 }
 
 // groupOf returns p's share block, if any.
@@ -146,7 +146,9 @@ func stackBaseOf(p *proc.Proc) hw.VAddr {
 // carved from the shared space. The child's share mask is masked against
 // the parent's — strict inheritance (paper §5.1).
 func (c *Context) Sproc(name string, entry func(*Context, int64), shmask proc.Mask, arg int64) (int, error) {
-	return c.sproc(name, entry, shmask, arg, false)
+	return invoke(c, sysSproc, func() (int, error) {
+		return c.sproc(name, entry, shmask, arg, false)
+	})
 }
 
 // ThreadCreate is the Mach-baseline creation path (paper §2, Figure 3): a
@@ -156,12 +158,14 @@ func (c *Context) Sproc(name string, entry func(*Context, int64), shmask proc.Ma
 // which is exactly the paper's argument: a thread is a process that shares
 // everything.
 func (c *Context) ThreadCreate(name string, entry func(*Context, int64), arg int64) (int, error) {
-	return c.sproc(name, entry, proc.PRSALL, arg, true)
+	return invoke(c, sysThread, func() (int, error) {
+		return c.sproc(name, entry, proc.PRSALL, arg, true)
+	})
 }
 
+// sproc is the shared creation path behind Sproc and ThreadCreate; the
+// caller dispatches it through the gateway under its own descriptor.
 func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Mask, arg int64, asThread bool) (int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
 	if err := c.checkProcLimit(); err != nil {
 		return -1, err
 	}
@@ -281,45 +285,45 @@ const (
 
 // Prctl queries and controls share-group features (paper §5.2).
 func (c *Context) Prctl(option int, value int64) (int64, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	switch option {
-	case PRMaxProcs:
-		return int64(c.S.cfg.MaxProcs), nil
-	case PRMaxPProcs:
-		return int64(c.S.Machine.NCPU()), nil
-	case PRSetStackSize:
-		if value <= 0 {
-			return -1, fmt.Errorf("kernel: prctl: bad stack size %d", value)
+	return invoke(c, sysPrctl, func() (int64, error) {
+		switch option {
+		case PRMaxProcs:
+			return int64(c.S.cfg.MaxProcs), nil
+		case PRMaxPProcs:
+			return int64(c.S.Machine.NCPU()), nil
+		case PRSetStackSize:
+			if value <= 0 {
+				return -1, fmt.Errorf("kernel: prctl: bad stack size %d", value)
+			}
+			pages := int((value + hw.PageSize - 1) / hw.PageSize)
+			c.P.Mu.Lock()
+			c.P.StackMax = pages
+			c.P.Mu.Unlock()
+			return int64(pages) * hw.PageSize, nil
+		case PRGetStackSize:
+			c.P.Mu.Lock()
+			defer c.P.Mu.Unlock()
+			return int64(c.P.StackMax) * hw.PageSize, nil
+		case PRSetGang:
+			sa := groupOf(c.P)
+			if sa == nil {
+				return -1, fmt.Errorf("kernel: prctl: PR_SETGANG outside a share group")
+			}
+			sa.SetGang(value != 0)
+			return value, nil
+		case PRGroupPrio:
+			sa := groupOf(c.P)
+			if sa == nil {
+				return -1, fmt.Errorf("kernel: prctl: PR_GROUPPRIO outside a share group")
+			}
+			for _, m := range sa.Members() {
+				m.Prio.Store(int32(value))
+			}
+			return value, nil
+		default:
+			return -1, fmt.Errorf("kernel: prctl: unknown option %d", option)
 		}
-		pages := int((value + hw.PageSize - 1) / hw.PageSize)
-		c.P.Mu.Lock()
-		c.P.StackMax = pages
-		c.P.Mu.Unlock()
-		return int64(pages) * hw.PageSize, nil
-	case PRGetStackSize:
-		c.P.Mu.Lock()
-		defer c.P.Mu.Unlock()
-		return int64(c.P.StackMax) * hw.PageSize, nil
-	case PRSetGang:
-		sa := groupOf(c.P)
-		if sa == nil {
-			return -1, fmt.Errorf("kernel: prctl: PR_SETGANG outside a share group")
-		}
-		sa.SetGang(value != 0)
-		return value, nil
-	case PRGroupPrio:
-		sa := groupOf(c.P)
-		if sa == nil {
-			return -1, fmt.Errorf("kernel: prctl: PR_GROUPPRIO outside a share group")
-		}
-		for _, m := range sa.Members() {
-			m.Prio.Store(int32(value))
-		}
-		return value, nil
-	default:
-		return -1, fmt.Errorf("kernel: prctl: unknown option %d", option)
-	}
+	})
 }
 
 // Unshare implements the §8 "stop sharing" extension: the caller withdraws
@@ -329,181 +333,189 @@ func (c *Context) Prctl(option int, value int64) (int64, error) {
 // view of the shared space into a copy-on-write private image, the same
 // transition fork performs.
 func (c *Context) Unshare(mask proc.Mask) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	sa := groupOf(p)
-	if sa == nil {
-		return fmt.Errorf("kernel: unshare outside a share group")
-	}
-	mask &= p.ShMask()
-	if mask&proc.PRSADDR != 0 {
-		mach := c.S.Machine
-		cpu := c.cpu()
-		old := p.Private
-		img := sa.UnshareVM(p, func() { mach.ShootdownSpace(cpu, sa.ASID) })
-		p.Private = img
-		vm.DetachList(old)
-		p.ASID = mach.AllocASID()
-		if p.Stack != nil {
-			p.Stack = vm.Find(img, p.Stack.Base)
+	return invoke0(c, sysUnshare, func() error {
+		p := c.P
+		sa := groupOf(p)
+		if sa == nil {
+			return fmt.Errorf("kernel: unshare outside a share group")
 		}
-	}
-	p.SetShMask(p.ShMask() &^ mask)
-	// Synchronization bits for the withdrawn resources are now stale;
-	// clear exactly those, keeping any pending sync for what remains.
-	var stale uint32
-	for _, mb := range []struct {
-		m proc.Mask
-		b uint32
-	}{
-		{proc.PRSFDS, proc.FSyncFds}, {proc.PRSDIR, proc.FSyncDir},
-		{proc.PRSUMASK, proc.FSyncUmask}, {proc.PRSULIMIT, proc.FSyncUlimit},
-		{proc.PRSID, proc.FSyncID},
-	} {
-		if mask&mb.m != 0 {
-			stale |= mb.b
+		mask &= p.ShMask()
+		if mask&proc.PRSADDR != 0 {
+			mach := c.S.Machine
+			cpu := c.cpu()
+			old := p.Private
+			img := sa.UnshareVM(p, func() { mach.ShootdownSpace(cpu, sa.ASID) })
+			p.Private = img
+			vm.DetachList(old)
+			p.ASID = mach.AllocASID()
+			if p.Stack != nil {
+				p.Stack = vm.Find(img, p.Stack.Base)
+			}
 		}
-	}
-	for {
-		oldBits := p.Flag.Load()
-		if p.Flag.CompareAndSwap(oldBits, oldBits&^stale) {
-			break
+		p.SetShMask(p.ShMask() &^ mask)
+		// Synchronization bits for the withdrawn resources are now stale;
+		// clear exactly those, keeping any pending sync for what remains.
+		var stale uint32
+		for _, mb := range []struct {
+			m proc.Mask
+			b uint32
+		}{
+			{proc.PRSFDS, proc.FSyncFds}, {proc.PRSDIR, proc.FSyncDir},
+			{proc.PRSUMASK, proc.FSyncUmask}, {proc.PRSULIMIT, proc.FSyncUlimit},
+			{proc.PRSID, proc.FSyncID},
+		} {
+			if mask&mb.m != 0 {
+				stale |= mb.b
+			}
 		}
-	}
-	return nil
+		for {
+			oldBits := p.Flag.Load()
+			if p.Flag.CompareAndSwap(oldBits, oldBits&^stale) {
+				break
+			}
+		}
+		return nil
+	})
 }
 
 // Exec overlays the process with a new program image. The process is
 // removed from its share group before the overlay, insuring a secure
 // environment for the new image (paper §5.1); close-on-exec descriptors
-// are closed and signal handlers reset.
+// are closed and signal handlers reset. The body never returns: it panics
+// with processExec, and the gateway's deferred exit path closes the trace
+// span during the unwind.
 func (c *Context) Exec(name string, main Main) error {
-	c.EnterKernel()
-	p := c.P
+	return invoke0(c, sysExec, func() error {
+		p := c.P
 
-	// Leave the share group before overlaying (paper §5.1). Leave detaches
-	// the member's sproc stack from the shared space with a shootdown.
-	if sa := groupOf(p); sa != nil {
-		sa.Leave(p)
-	}
-
-	// Tear down the old private image and take a fresh address space
-	// identifier; ASIDs are never reused, so stale TLB entries for the
-	// old identifier can never match again and need no flush.
-	vm.DetachList(p.Private)
-	p.Private = nil
-	p.ASID = c.S.Machine.AllocASID()
-
-	p.Mu.Lock()
-	for fd, f := range p.Fd {
-		if f != nil && p.FdFlags[fd]&proc.FdCloseOnExec != 0 {
-			f.Release()
-			p.Fd[fd] = nil
-			p.FdFlags[fd] = 0
+		// Leave the share group before overlaying (paper §5.1). Leave detaches
+		// the member's sproc stack from the shared space with a shootdown.
+		if sa := groupOf(p); sa != nil {
+			sa.Leave(p)
 		}
-	}
-	for i := range p.Handlers {
-		p.Handlers[i] = nil
-	}
-	p.Mu.Unlock()
 
-	c.S.newImage(p)
-	c.charge(c.S.Machine.Cost.ProcCreate) // image construction
-	c.S.Machine.Trace.Record(trace.EvCreate, int32(p.PID), c.P.CPU.Load(), uint64(p.PID), trace.CreateExec)
-	panic(processExec{name: name, main: main})
+		// Tear down the old private image and take a fresh address space
+		// identifier; ASIDs are never reused, so stale TLB entries for the
+		// old identifier can never match again and need no flush.
+		vm.DetachList(p.Private)
+		p.Private = nil
+		p.ASID = c.S.Machine.AllocASID()
+
+		p.Mu.Lock()
+		for fd, f := range p.Fd {
+			if f != nil && p.FdFlags[fd]&proc.FdCloseOnExec != 0 {
+				f.Release()
+				p.Fd[fd] = nil
+				p.FdFlags[fd] = 0
+			}
+		}
+		for i := range p.Handlers {
+			p.Handlers[i] = nil
+		}
+		p.Mu.Unlock()
+
+		c.S.newImage(p)
+		c.charge(c.S.Machine.Cost.ProcCreate) // image construction
+		c.S.Machine.Trace.Record(trace.EvCreate, int32(p.PID), c.P.CPU.Load(), uint64(p.PID), trace.CreateExec)
+		panic(processExec{name: name, main: main})
+	})
 }
 
-// Exit terminates the process with the given status.
+// Exit terminates the process with the given status. The body panics with
+// processExit; the gateway's deferred exit path closes the trace span
+// during the unwind.
 func (c *Context) Exit(status int) {
-	c.EnterKernel()
-	panic(processExit{status: status})
+	invoke1(c, sysExit, func() struct{} {
+		panic(processExit{status: status})
+	})
 }
 
 // Wait blocks until a child exits, reaps it, and returns its pid and exit
 // status. It returns ErrNoChildren when no children remain and
 // ErrInterrupt when a signal breaks the sleep.
 func (c *Context) Wait() (int, int, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	for {
-		p.Mu.Lock()
-		if len(p.Children) == 0 {
-			p.Mu.Unlock()
-			return -1, 0, ErrNoChildren
-		}
-		for i, ch := range p.Children {
-			select {
-			case <-ch.Exited:
-				p.Children = append(p.Children[:i], p.Children[i+1:]...)
+	r, err := invoke(c, sysWait, func() ([2]int, error) {
+		p := c.P
+		for {
+			p.Mu.Lock()
+			if len(p.Children) == 0 {
 				p.Mu.Unlock()
-				c.S.unregister(ch)
-				return ch.PID, ch.ExitStatus, nil
-			default:
+				return [2]int{-1, 0}, ErrNoChildren
+			}
+			for i, ch := range p.Children {
+				select {
+				case <-ch.Exited:
+					p.Children = append(p.Children[:i], p.Children[i+1:]...)
+					p.Mu.Unlock()
+					c.S.unregister(ch)
+					return [2]int{ch.PID, ch.ExitStatus}, nil
+				default:
+				}
+			}
+			p.Mu.Unlock()
+			// SIGCLD must not abort wait(2): it is the very signal that
+			// announces the event being waited for. Any other deliverable
+			// signal interrupts the call.
+			abort := func() bool { return p.UnmaskedPending(1 << proc.SIGCLD) }
+			if !p.SleepInterruptibleIf(p.DeadSema, "wait(2) for child exit", abort) {
+				if p.UnmaskedPending(1 << proc.SIGCLD) {
+					return [2]int{-1, 0}, ErrInterrupt
+				}
+				// Woken by SIGCLD (or a stale token): rescan children.
 			}
 		}
-		p.Mu.Unlock()
-		// SIGCLD must not abort wait(2): it is the very signal that
-		// announces the event being waited for. Any other deliverable
-		// signal interrupts the call.
-		abort := func() bool { return p.UnmaskedPending(1 << proc.SIGCLD) }
-		if !p.SleepInterruptibleIf(p.DeadSema, "wait(2) for child exit", abort) {
-			if p.UnmaskedPending(1 << proc.SIGCLD) {
-				return -1, 0, ErrInterrupt
-			}
-			// Woken by SIGCLD (or a stale token): rescan children.
-		}
-	}
+	})
+	return r[0], r[1], err
 }
 
 // Kill posts sig to the process with the given pid.
 func (c *Context) Kill(pid, sig int) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	target, ok := c.S.Lookup(pid)
-	if !ok {
-		return ErrNoProc
-	}
-	c.P.Mu.Lock()
-	uid := c.P.Uid
-	c.P.Mu.Unlock()
-	target.Mu.Lock()
-	tuid := target.Uid
-	target.Mu.Unlock()
-	if uid != 0 && uid != tuid {
-		return ErrPerm
-	}
-	target.Post(sig)
-	return nil
+	return invoke0(c, sysKill, func() error {
+		target, ok := c.S.Lookup(pid)
+		if !ok {
+			return ErrNoProc
+		}
+		c.P.Mu.Lock()
+		uid := c.P.Uid
+		c.P.Mu.Unlock()
+		target.Mu.Lock()
+		tuid := target.Uid
+		target.Mu.Unlock()
+		if uid != 0 && uid != tuid {
+			return ErrPerm
+		}
+		target.Post(sig)
+		return nil
+	})
 }
 
 // Signal installs handler for sig (nil restores the default action).
 func (c *Context) Signal(sig int, handler proc.Handler) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	c.P.SetHandler(sig, handler)
+	invoke1(c, sysSignal, func() struct{} {
+		c.P.SetHandler(sig, handler)
+		return struct{}{}
+	})
 }
 
 // Sigmask replaces the signal mask, returning the old one. SIGKILL cannot
 // be masked.
 func (c *Context) Sigmask(mask uint32) uint32 {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	c.P.Mu.Lock()
-	old := c.P.SigMask
-	c.P.SigMask = mask &^ (1 << proc.SIGKILL)
-	c.P.Mu.Unlock()
-	return old
+	return invoke1(c, sysSigmask, func() uint32 {
+		c.P.Mu.Lock()
+		old := c.P.SigMask
+		c.P.SigMask = mask &^ (1 << proc.SIGKILL)
+		c.P.Mu.Unlock()
+		return old
+	})
 }
 
 // Pause sleeps until a signal is delivered. A signal already pending on
 // entry returns immediately — the check and the sleep are atomic, closing
 // the classic pause(2) race.
 func (c *Context) Pause() error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	s := klock.NewSema(0)
-	c.P.SleepInterruptibleIf(s, "pause(2)", func() bool { return c.P.UnmaskedPending(0) })
-	return ErrInterrupt
+	return invoke0(c, sysPause, func() error {
+		s := klock.NewSema(0)
+		c.P.SleepInterruptibleIf(s, "pause(2)", func() bool { return c.P.UnmaskedPending(0) })
+		return ErrInterrupt
+	})
 }

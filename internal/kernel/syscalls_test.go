@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -204,13 +205,13 @@ func TestDupSharesOffsetAndPropagates(t *testing.T) {
 func TestReadWriteErrorPaths(t *testing.T) {
 	s := NewSystem(testConfig())
 	s.Run("p", func(c *Context) {
-		if _, err := c.Read(42, vm.DataBase, 8); err != fs.ErrBadFd {
+		if _, err := c.Read(42, vm.DataBase, 8); !errors.Is(err, fs.ErrBadFd) {
 			t.Errorf("read bad fd: %v", err)
 		}
-		if _, err := c.Write(42, vm.DataBase, 8); err != fs.ErrBadFd {
+		if _, err := c.Write(42, vm.DataBase, 8); !errors.Is(err, fs.ErrBadFd) {
 			t.Errorf("write bad fd: %v", err)
 		}
-		if _, err := c.Lseek(42, 0, fs.SeekSet); err != fs.ErrBadFd {
+		if _, err := c.Lseek(42, 0, fs.SeekSet); !errors.Is(err, fs.ErrBadFd) {
 			t.Errorf("lseek bad fd: %v", err)
 		}
 		// Write from an unmapped buffer faults (handler installed so the
@@ -223,7 +224,7 @@ func TestReadWriteErrorPaths(t *testing.T) {
 		if err := c.Close(fd); err != nil {
 			t.Errorf("close: %v", err)
 		}
-		if err := c.Close(fd); err != fs.ErrBadFd {
+		if err := c.Close(fd); !errors.Is(err, fs.ErrBadFd) {
 			t.Errorf("double close: %v", err)
 		}
 	})

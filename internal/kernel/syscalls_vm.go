@@ -28,12 +28,12 @@ func (c *Context) dataRegion() *vm.PRegion {
 // Brk returns the current program break (first address past the data
 // region).
 func (c *Context) Brk() hw.VAddr {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	if d := c.dataRegion(); d != nil {
-		return d.End()
-	}
-	return 0
+	return invoke1(c, sysBrk, func() hw.VAddr {
+		if d := c.dataRegion(); d != nil {
+			return d.End()
+		}
+		return 0
+	})
 }
 
 // Sbrk grows (positive) or shrinks (negative) the data region by delta
@@ -43,41 +43,41 @@ func (c *Context) Brk() hw.VAddr {
 // shrink performs the synchronous machine-wide TLB shootdown before
 // freeing pages (paper §6.2).
 func (c *Context) Sbrk(delta int64) (hw.VAddr, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	d := c.dataRegion()
-	if d == nil {
-		return 0, ErrNoRegion
-	}
-	old := d.End()
-	if delta == 0 {
-		return old, nil
-	}
-	pages := int((absI64(delta) + hw.PageSize - 1) / hw.PageSize)
-	p := c.P
-	mach := c.S.Machine
-	if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
+	return invoke(c, sysSbrk, func() (hw.VAddr, error) {
+		d := c.dataRegion()
+		if d == nil {
+			return 0, ErrNoRegion
+		}
+		old := d.End()
+		if delta == 0 {
+			return old, nil
+		}
+		pages := int((absI64(delta) + hw.PageSize - 1) / hw.PageSize)
+		p := c.P
+		mach := c.S.Machine
+		if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
+			if delta > 0 {
+				sa.GrowShared(p, d, pages)
+			} else {
+				if pages > d.Reg.Pages() {
+					return 0, ErrNoRegion
+				}
+				cpu := c.cpu()
+				sa.ShrinkShared(p, d, pages, func() { mach.ShootdownSpace(cpu, sa.ASID) })
+			}
+			return old, nil
+		}
 		if delta > 0 {
-			sa.GrowShared(p, d, pages)
+			d.Reg.Grow(pages)
 		} else {
 			if pages > d.Reg.Pages() {
 				return 0, ErrNoRegion
 			}
-			cpu := c.cpu()
-			sa.ShrinkShared(p, d, pages, func() { mach.ShootdownSpace(cpu, sa.ASID) })
+			mach.ShootdownSpace(c.cpu(), p.ASID)
+			d.Reg.Shrink(pages)
 		}
 		return old, nil
-	}
-	if delta > 0 {
-		d.Reg.Grow(pages)
-	} else {
-		if pages > d.Reg.Pages() {
-			return 0, ErrNoRegion
-		}
-		mach.ShootdownSpace(c.cpu(), p.ASID)
-		d.Reg.Shrink(pages)
-	}
-	return old, nil
+	})
 }
 
 func absI64(v int64) int64 {
@@ -92,19 +92,19 @@ func absI64(v int64) int64 {
 // the shared pregion list, so "all other share group members will
 // immediately see that new virtual region" (paper §6.2).
 func (c *Context) Mmap(npages int) (hw.VAddr, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	if npages <= 0 {
-		return 0, fmt.Errorf("kernel: mmap of %d pages", npages)
-	}
-	p := c.P
-	reg := vm.NewRegion(c.S.Machine.Mem, vm.RShm, npages)
-	if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
-		return sa.AttachAnon(p, reg), nil
-	}
-	base := p.AllocShmRange(npages)
-	p.Private = append(p.Private, &vm.PRegion{Reg: reg, Base: base})
-	return base, nil
+	return invoke(c, sysMmap, func() (hw.VAddr, error) {
+		if npages <= 0 {
+			return 0, fmt.Errorf("kernel: mmap of %d pages", npages)
+		}
+		p := c.P
+		reg := vm.NewRegion(c.S.Machine.Mem, vm.RShm, npages)
+		if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
+			return sa.AttachAnon(p, reg), nil
+		}
+		base := p.AllocShmRange(npages)
+		p.Private = append(p.Private, &vm.PRegion{Reg: reg, Base: base})
+		return base, nil
+	})
 }
 
 // MmapPrivate creates an anonymous mapping visible only to the caller,
@@ -115,62 +115,62 @@ func (c *Context) Mmap(npages int) (hw.VAddr, error) {
 // The mapping lands on the caller's private pregion list, which the fault
 // handler scans before the shared list.
 func (c *Context) MmapPrivate(npages int) (hw.VAddr, error) {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	if npages <= 0 {
-		return 0, fmt.Errorf("kernel: mmap of %d pages", npages)
-	}
-	p := c.P
-	reg := vm.NewRegion(c.S.Machine.Mem, vm.RShm, npages)
-	var base hw.VAddr
-	if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
-		// Carve the range from the shared arena so it cannot collide
-		// with group mappings, but attach the region privately.
-		base = sa.AttachPrivateRange(p, npages)
-	} else {
-		base = p.AllocShmRange(npages)
-	}
-	p.Private = append(p.Private, &vm.PRegion{Reg: reg, Base: base})
-	return base, nil
+	return invoke(c, sysMmapPrivate, func() (hw.VAddr, error) {
+		if npages <= 0 {
+			return 0, fmt.Errorf("kernel: mmap of %d pages", npages)
+		}
+		p := c.P
+		reg := vm.NewRegion(c.S.Machine.Mem, vm.RShm, npages)
+		var base hw.VAddr
+		if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
+			// Carve the range from the shared arena so it cannot collide
+			// with group mappings, but attach the region privately.
+			base = sa.AttachPrivateRange(p, npages)
+		} else {
+			base = p.AllocShmRange(npages)
+		}
+		p.Private = append(p.Private, &vm.PRegion{Reg: reg, Base: base})
+		return base, nil
+	})
 }
 
 // Munmap removes the mapping based at va, following the detach protocol:
 // for a shared mapping the group's update lock is taken, every CPU's TLB
 // is flushed, and only then are the physical pages freed.
 func (c *Context) Munmap(va hw.VAddr) error {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	p := c.P
-	mach := c.S.Machine
-	if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
-		pr := sa.FindShared(p, va)
+	return invoke0(c, sysMunmap, func() error {
+		p := c.P
+		mach := c.S.Machine
+		if sa := groupOf(p); sa != nil && p.ShMask()&proc.PRSADDR != 0 {
+			pr := sa.FindShared(p, va)
+			if pr == nil || pr.Base != va {
+				return ErrNoRegion
+			}
+			cpu := c.cpu()
+			return sa.DetachShared(p, pr, func() { mach.ShootdownSpace(cpu, sa.ASID) })
+		}
+		pr := vm.Find(p.Private, va)
 		if pr == nil || pr.Base != va {
 			return ErrNoRegion
 		}
-		cpu := c.cpu()
-		return sa.DetachShared(p, pr, func() { mach.ShootdownSpace(cpu, sa.ASID) })
-	}
-	pr := vm.Find(p.Private, va)
-	if pr == nil || pr.Base != va {
-		return ErrNoRegion
-	}
-	p.Private = vm.Remove(p.Private, pr)
-	mach.ShootdownSpace(c.cpu(), p.ASID)
-	if pr.Reg.Type == vm.RShm && pr.Base >= vm.ShmBase && pr.Base < vm.SprocStackBase {
-		p.FreeShmRange(pr.Base, pr.Reg.Pages())
-	}
-	pr.Reg.Detach()
-	return nil
+		p.Private = vm.Remove(p.Private, pr)
+		mach.ShootdownSpace(c.cpu(), p.ASID)
+		if pr.Reg.Type == vm.RShm && pr.Base >= vm.ShmBase && pr.Base < vm.SprocStackBase {
+			p.FreeShmRange(pr.Base, pr.Reg.Pages())
+		}
+		pr.Reg.Detach()
+		return nil
+	})
 }
 
 // ResidentPages reports the number of resident pages in the caller's
 // visible image (diagnostics).
 func (c *Context) ResidentPages() int {
-	c.EnterKernel()
-	defer c.ExitKernel()
-	n := vm.ResidentPages(c.P.Private)
-	if sa := groupOf(c.P); sa != nil && c.P.ShMask()&proc.PRSADDR != 0 {
-		n += vm.ResidentPages(sa.RegionList(c.P))
-	}
-	return n
+	return invoke1(c, sysResident, func() int {
+		n := vm.ResidentPages(c.P.Private)
+		if sa := groupOf(c.P); sa != nil && c.P.ShMask()&proc.PRSADDR != 0 {
+			n += vm.ResidentPages(sa.RegionList(c.P))
+		}
+		return n
+	})
 }

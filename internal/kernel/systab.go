@@ -1,0 +1,206 @@
+package kernel
+
+import "fmt"
+
+// Sysno identifies one system call in the gateway's descriptor table.
+type Sysno uint8
+
+// Syscall numbers. The numbering is internal to the simulation (it is the
+// index into the descriptor table and the accounting arrays), grouped by
+// the source file that implements the call.
+const (
+	sysNone Sysno = iota
+
+	// File and attribute calls (syscalls_fs.go).
+	SysOpen
+	SysClose
+	SysDup
+	SysDup2
+	SysFcntl // SetCloseOnExec
+	SysRead
+	SysWrite
+	SysLseek
+	SysMkdir
+	SysUnlink
+	SysLink
+	SysStat
+	SysReadDir
+	SysChdir
+	SysChroot
+	SysUmask
+	SysUlimit
+	SysSetuid
+	SysSetgid
+	SysGetuid
+
+	// Virtual memory (syscalls_vm.go).
+	SysBrk
+	SysSbrk
+	SysMmap
+	SysMmapPrivate
+	SysMunmap
+	SysResident
+
+	// IPC (syscalls_ipc.go).
+	SysPipe
+	SysMsgget
+	SysMsgsnd
+	SysMsgrcv
+	SysSemget
+	SysSemop
+	SysSemval
+	SysShmget
+	SysShmat
+	SysShmRemove
+	SysNetListen
+	SysNetAccept
+	SysNetConnect
+
+	// Processes and signals (syscalls_proc.go).
+	SysGetpid
+	SysGetppid
+	SysFork
+	SysSproc
+	SysThreadCreate
+	SysPrctl
+	SysUnshare
+	SysExec
+	SysExit
+	SysWait
+	SysKill
+	SysSignal
+	SysSigmask
+	SysPause
+
+	// NSys bounds the table; it is the size of every per-syscall array.
+	NSys
+)
+
+// Class groups syscalls for profiling output (sgtop, ktrace).
+type Class uint8
+
+const (
+	ClassNone Class = iota
+	ClassFS         // files, descriptors, shared attributes
+	ClassVM         // address-space management
+	ClassIPC        // pipes, System V IPC, streams
+	ClassProc       // creation, control, signals
+)
+
+var classNames = [...]string{"none", "fs", "vm", "ipc", "proc"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// sysDesc is one descriptor of the gateway table: the identity of a system
+// call plus its dispatch-cost hint. Cost is charged by the gateway at entry
+// on top of the machine's SyscallEntry cost — the hook per-syscall cost
+// modelling and fault injection hang off; 0 means the call has no fixed
+// cost beyond the trap itself.
+type sysDesc struct {
+	num   Sysno
+	name  string
+	class Class
+	cost  int64
+}
+
+// The descriptor table. Syscall bodies reference these package-level
+// descriptors when dispatching through invoke.
+var (
+	sysOpen        = &sysDesc{SysOpen, "open", ClassFS, 0}
+	sysClose       = &sysDesc{SysClose, "close", ClassFS, 0}
+	sysDup         = &sysDesc{SysDup, "dup", ClassFS, 0}
+	sysDup2        = &sysDesc{SysDup2, "dup2", ClassFS, 0}
+	sysFcntl       = &sysDesc{SysFcntl, "fcntl", ClassFS, 0}
+	sysRead        = &sysDesc{SysRead, "read", ClassFS, 0}
+	sysWrite       = &sysDesc{SysWrite, "write", ClassFS, 0}
+	sysLseek       = &sysDesc{SysLseek, "lseek", ClassFS, 0}
+	sysMkdir       = &sysDesc{SysMkdir, "mkdir", ClassFS, 0}
+	sysUnlink      = &sysDesc{SysUnlink, "unlink", ClassFS, 0}
+	sysLink        = &sysDesc{SysLink, "link", ClassFS, 0}
+	sysStat        = &sysDesc{SysStat, "stat", ClassFS, 0}
+	sysReadDir     = &sysDesc{SysReadDir, "readdir", ClassFS, 0}
+	sysChdir       = &sysDesc{SysChdir, "chdir", ClassFS, 0}
+	sysChroot      = &sysDesc{SysChroot, "chroot", ClassFS, 0}
+	sysUmask       = &sysDesc{SysUmask, "umask", ClassFS, 0}
+	sysUlimit      = &sysDesc{SysUlimit, "ulimit", ClassFS, 0}
+	sysSetuid      = &sysDesc{SysSetuid, "setuid", ClassFS, 0}
+	sysSetgid      = &sysDesc{SysSetgid, "setgid", ClassFS, 0}
+	sysGetuid      = &sysDesc{SysGetuid, "getuid", ClassFS, 0}
+	sysBrk         = &sysDesc{SysBrk, "brk", ClassVM, 0}
+	sysSbrk        = &sysDesc{SysSbrk, "sbrk", ClassVM, 0}
+	sysMmap        = &sysDesc{SysMmap, "mmap", ClassVM, 0}
+	sysMmapPrivate = &sysDesc{SysMmapPrivate, "mmap_priv", ClassVM, 0}
+	sysMunmap      = &sysDesc{SysMunmap, "munmap", ClassVM, 0}
+	sysResident    = &sysDesc{SysResident, "resident", ClassVM, 0}
+	sysPipe        = &sysDesc{SysPipe, "pipe", ClassIPC, 0}
+	sysMsgget      = &sysDesc{SysMsgget, "msgget", ClassIPC, 0}
+	sysMsgsnd      = &sysDesc{SysMsgsnd, "msgsnd", ClassIPC, 0}
+	sysMsgrcv      = &sysDesc{SysMsgrcv, "msgrcv", ClassIPC, 0}
+	sysSemget      = &sysDesc{SysSemget, "semget", ClassIPC, 0}
+	sysSemop       = &sysDesc{SysSemop, "semop", ClassIPC, 0}
+	sysSemval      = &sysDesc{SysSemval, "semval", ClassIPC, 0}
+	sysShmget      = &sysDesc{SysShmget, "shmget", ClassIPC, 0}
+	sysShmat       = &sysDesc{SysShmat, "shmat", ClassIPC, 0}
+	sysShmRemove   = &sysDesc{SysShmRemove, "shmrm", ClassIPC, 0}
+	sysNetListen   = &sysDesc{SysNetListen, "netlisten", ClassIPC, 0}
+	sysNetAccept   = &sysDesc{SysNetAccept, "netaccept", ClassIPC, 0}
+	sysNetConnect  = &sysDesc{SysNetConnect, "netconnect", ClassIPC, 0}
+	sysGetpid      = &sysDesc{SysGetpid, "getpid", ClassProc, 0}
+	sysGetppid     = &sysDesc{SysGetppid, "getppid", ClassProc, 0}
+	sysFork        = &sysDesc{SysFork, "fork", ClassProc, 0}
+	sysSproc       = &sysDesc{SysSproc, "sproc", ClassProc, 0}
+	sysThread      = &sysDesc{SysThreadCreate, "thread_create", ClassProc, 0}
+	sysPrctl       = &sysDesc{SysPrctl, "prctl", ClassProc, 0}
+	sysUnshare     = &sysDesc{SysUnshare, "unshare", ClassProc, 0}
+	sysExec        = &sysDesc{SysExec, "exec", ClassProc, 0}
+	sysExit        = &sysDesc{SysExit, "exit", ClassProc, 0}
+	sysWait        = &sysDesc{SysWait, "wait", ClassProc, 0}
+	sysKill        = &sysDesc{SysKill, "kill", ClassProc, 0}
+	sysSignal      = &sysDesc{SysSignal, "signal", ClassProc, 0}
+	sysSigmask     = &sysDesc{SysSigmask, "sigmask", ClassProc, 0}
+	sysPause       = &sysDesc{SysPause, "pause", ClassProc, 0}
+)
+
+// sysTable indexes the descriptors by number for name and class lookups.
+var sysTable = func() [NSys]*sysDesc {
+	var t [NSys]*sysDesc
+	for _, d := range []*sysDesc{
+		sysOpen, sysClose, sysDup, sysDup2, sysFcntl, sysRead, sysWrite,
+		sysLseek, sysMkdir, sysUnlink, sysLink, sysStat, sysReadDir,
+		sysChdir, sysChroot, sysUmask, sysUlimit, sysSetuid, sysSetgid,
+		sysGetuid, sysBrk, sysSbrk, sysMmap, sysMmapPrivate, sysMunmap,
+		sysResident, sysPipe, sysMsgget, sysMsgsnd, sysMsgrcv, sysSemget,
+		sysSemop, sysSemval, sysShmget, sysShmat, sysShmRemove,
+		sysNetListen, sysNetAccept, sysNetConnect, sysGetpid, sysGetppid,
+		sysFork, sysSproc, sysThread, sysPrctl, sysUnshare, sysExec,
+		sysExit, sysWait, sysKill, sysSignal, sysSigmask, sysPause,
+	} {
+		if t[d.num] != nil {
+			panic("kernel: duplicate syscall number " + d.name)
+		}
+		t[d.num] = d
+	}
+	return t
+}()
+
+// SysName returns the name of a syscall number ("open"), for trace and
+// profile rendering.
+func SysName(n Sysno) string {
+	if n < NSys && sysTable[n] != nil {
+		return sysTable[n].name
+	}
+	return fmt.Sprintf("sys(%d)", uint8(n))
+}
+
+// SysClass returns the profiling class of a syscall number.
+func SysClass(n Sysno) Class {
+	if n < NSys && sysTable[n] != nil {
+		return sysTable[n].class
+	}
+	return ClassNone
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fs"
 	"repro/internal/hw"
@@ -76,6 +77,10 @@ type System struct {
 	Net     *ipc.NetNames
 	cfg     Config
 
+	// sysacct is the gateway's per-CPU syscall accounting (one slot per
+	// CPU plus an overflow slot for calls finishing off-CPU).
+	sysacct []*sysAcct
+
 	mu      sync.Mutex
 	procs   map[int]*proc.Proc
 	mains   map[int]Main // pending images for Exec
@@ -99,6 +104,10 @@ func NewSystem(cfg Config) *System {
 		mains:   map[int]Main{},
 	}
 	s.Sched.SetGang(cfg.Gang)
+	s.sysacct = make([]*sysAcct, cfg.NCPU+1)
+	for i := range s.sysacct {
+		s.sysacct[i] = &sysAcct{}
+	}
 	if cfg.TraceEvents > 0 {
 		m.Trace = trace.NewMP(cfg.TraceEvents, cfg.NCPU)
 	}
@@ -116,8 +125,10 @@ func (s *System) allocPID() int {
 	return s.nextPID
 }
 
-// register adds p to the process table.
+// register adds p to the process table and arms its per-process syscall
+// profile (read back through ProcSyscalls).
 func (s *System) register(p *proc.Proc) {
+	p.SysCount = make([]atomic.Int64, NSys)
 	s.mu.Lock()
 	s.procs[p.PID] = p
 	s.mu.Unlock()

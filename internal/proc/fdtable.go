@@ -10,8 +10,9 @@ const (
 )
 
 // AllocFd installs f in the lowest free descriptor slot, growing the table
-// up to NOFILE only (V.3 has a fixed table). It returns the descriptor or
-// an error when the table is full. The caller holds p.Mu.
+// up to NOFILE only (V.3 has a fixed table; the sub-NOFILE start just
+// avoids committing 64 slots to every process). It returns the descriptor
+// or an error when the table is full. The caller holds p.Mu.
 func (p *Proc) AllocFd(f *fs.File) (int, error) {
 	for i, slot := range p.Fd {
 		if slot == nil {
@@ -20,7 +21,30 @@ func (p *Proc) AllocFd(f *fs.File) (int, error) {
 			return i, nil
 		}
 	}
+	if len(p.Fd) < NOFILE {
+		fd := len(p.Fd)
+		p.GrowFd(fd * 2)
+		p.Fd[fd] = f
+		return fd, nil
+	}
 	return -1, fs.ErrBadFd
+}
+
+// GrowFd extends the descriptor table to hold at least n slots, capped at
+// NOFILE. Existing entries keep their indices; new slots are empty. The
+// caller holds p.Mu.
+func (p *Proc) GrowFd(n int) {
+	if n > NOFILE {
+		n = NOFILE
+	}
+	if n <= len(p.Fd) {
+		return
+	}
+	fds := make([]*fs.File, n)
+	flags := make([]uint8, n)
+	copy(fds, p.Fd)
+	copy(flags, p.FdFlags)
+	p.Fd, p.FdFlags = fds, flags
 }
 
 // GetFd returns the open file at descriptor fd. The caller holds p.Mu.
@@ -31,9 +55,11 @@ func (p *Proc) GetFd(fd int) (*fs.File, error) {
 	return p.Fd[fd], nil
 }
 
-// SetFd stores f at descriptor fd (used when synchronizing the table from
-// the share block). The caller holds p.Mu.
+// SetFd stores f at descriptor fd, growing the table as needed (used when
+// synchronizing the table from the share block, whose shadow copy may be
+// longer than this member's table). The caller holds p.Mu.
 func (p *Proc) SetFd(fd int, f *fs.File) {
+	p.GrowFd(fd + 1)
 	p.Fd[fd] = f
 }
 

@@ -122,8 +122,12 @@ type Scheduler interface {
 // per process with prctl(PR_SETSTACKSIZE).
 const DefaultStackPages = 256
 
-// NOFILE is the initial descriptor table size, as on V.3.
+// NOFILE is the maximum descriptor table size, as on V.3.
 const NOFILE = 64
+
+// NFdInit is the initial descriptor table size; AllocFd and GrowFd extend
+// the table on demand up to NOFILE.
+const NFdInit = 16
 
 // Proc is one process: proc-table entry plus user area.
 type Proc struct {
@@ -161,6 +165,11 @@ type Proc struct {
 	shMask atomic.Uint32
 	share  atomic.Pointer[shareRef]
 	Flag   atomic.Uint32 // p_flag synchronization bits
+
+	// SysCount is the per-process syscall profile: call counts indexed by
+	// the kernel's syscall number. The kernel sizes and owns it (proc does
+	// not know the table size); nil means no accounting.
+	SysCount []atomic.Int64
 
 	// Scheduling.
 	Cycles     atomic.Int64 // simulated cycles charged to this process
@@ -203,8 +212,8 @@ func New(pid int, name string) *Proc {
 		StackMax: DefaultStackPages,
 		NextShm:  vm.ShmBase,
 		ShmFree:  map[int][]hw.VAddr{},
-		Fd:       make([]*fs.File, NOFILE),
-		FdFlags:  make([]uint8, NOFILE),
+		Fd:       make([]*fs.File, NFdInit),
+		FdFlags:  make([]uint8, NFdInit),
 		wake:     make(chan struct{}, 1),
 		RunGate:  make(chan int, 1),
 		DeadSema: klock.NewSema(0),

@@ -34,11 +34,19 @@ const (
 	EvSyscall        // selected system call (Arg: code, Aux: detail)
 	EvPropagate      // shared-resource update pushed to the block (Arg: bits)
 	EvSync           // member reconciled shared state on entry (Arg: bits)
+
+	// Syscall gateway spans: every system call dispatched through the
+	// kernel's descriptor table records an enter/exit pair carrying the
+	// syscall number, with the errno of the completed call in the exit
+	// event's Aux field.
+	EvSyscallEnter // gateway entry (Arg: syscall number)
+	EvSyscallExit  // gateway exit (Arg: syscall number, Aux: errno)
 )
 
 var kindNames = [...]string{
 	"none", "create", "exit", "dispatch", "preempt", "fault",
 	"shootdown", "signal", "syscall", "propagate", "sync",
+	"sysenter", "sysexit",
 }
 
 func (k Kind) String() string {

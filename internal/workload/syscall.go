@@ -77,6 +77,59 @@ func SyscallOpenClose(cfg kernel.Config, group, storm bool, n int) Metrics {
 	})
 }
 
+// SyscallMix drives a representative syscall mix (getpid, open, lseek,
+// write, close) and reports, alongside the usual machine metrics, the
+// per-syscall count and in-kernel latency deltas from the gateway's own
+// accounting — the source of benchtab's S2 table and of the E3
+// re-measurement. With group set the driver runs as a clean share-group
+// member, so the latency includes the single-test sync check of §6.3.
+func SyscallMix(cfg kernel.Config, group bool, n int) (Metrics, []kernel.SyscallStat) {
+	var stats []kernel.SyscallStat
+	m := runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
+		if group {
+			c.Sproc("bystander", func(cc *kernel.Context, _ int64) {}, proc.PRSALL, 0)
+			c.Wait()
+		}
+		c.Creat("/victim", 0o644)
+		before := s.Sys.Stats().Syscalls
+		s.start()
+		for i := 0; i < n; i++ {
+			c.Getpid()
+			fd, err := c.Open("/victim", fs.ORead|fs.OWrite, 0)
+			if err != nil {
+				panic(err)
+			}
+			c.Lseek(fd, 0, fs.SeekSet)
+			if _, err := c.Write(fd, dataBase, 64); err != nil {
+				panic(err)
+			}
+			c.Close(fd)
+		}
+		s.stop()
+		stats = diffSyscalls(before, s.Sys.Stats().Syscalls)
+	})
+	return m, stats
+}
+
+// diffSyscalls subtracts an earlier Stats().Syscalls snapshot from a later
+// one, keeping entries whose count moved.
+func diffSyscalls(before, after []kernel.SyscallStat) []kernel.SyscallStat {
+	base := map[kernel.Sysno]kernel.SyscallStat{}
+	for _, st := range before {
+		base[st.Num] = st
+	}
+	var out []kernel.SyscallStat
+	for _, st := range after {
+		b := base[st.Num]
+		st.Count -= b.Count
+		st.SimCyc -= b.SimCyc
+		if st.Count > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
 // AttrSync measures E8's full propagate-and-reconcile round: the driver
 // publishes a new umask, then waits until every member has entered the
 // kernel, synchronized, and acknowledged seeing the new value. Lockstep

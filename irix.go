@@ -60,6 +60,46 @@ type (
 	Task = threads.Task
 	// FaultError reports an unresolvable memory access (caught SIGSEGV).
 	FaultError = kernel.FaultError
+	// Errno is a System V errno value; every syscall failure carries one.
+	Errno = kernel.Errno
+	// SysError is the envelope every failing syscall returns: the call
+	// name, the errno, and the underlying subsystem error (errors.As /
+	// errors.Is compatible).
+	SysError = kernel.SysError
+	// Sysno numbers a system call in the gateway's descriptor table.
+	Sysno = kernel.Sysno
+	// SyscallStat is one row of the kernel's per-syscall accounting.
+	SyscallStat = kernel.SyscallStat
+)
+
+// ErrnoOf extracts the errno from any error a syscall returned (EOK for
+// nil, EINVAL for errors from outside the syscall layer).
+func ErrnoOf(err error) Errno { return kernel.ErrnoOf(err) }
+
+// SysName names a syscall number ("open", "sproc", ...).
+func SysName(n Sysno) string { return kernel.SysName(n) }
+
+// Errno values (System V numbering) observable through ErrnoOf and
+// errors.Is on syscall errors.
+const (
+	EOK     = kernel.EOK
+	EPERM   = kernel.EPERM
+	ENOENT  = kernel.ENOENT
+	ESRCH   = kernel.ESRCH
+	EINTR   = kernel.EINTR
+	EBADF   = kernel.EBADF
+	ECHILD  = kernel.ECHILD
+	EAGAIN  = kernel.EAGAIN
+	ENOMEM  = kernel.ENOMEM
+	EACCES  = kernel.EACCES
+	EFAULT  = kernel.EFAULT
+	EEXIST  = kernel.EEXIST
+	ENOTDIR = kernel.ENOTDIR
+	EISDIR  = kernel.EISDIR
+	EINVAL  = kernel.EINVAL
+	EMFILE  = kernel.EMFILE
+	EFBIG   = kernel.EFBIG
+	EPIPE   = kernel.EPIPE
 )
 
 // Share mask bits (paper §5.1).

@@ -1,6 +1,7 @@
 package irix_test
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -80,7 +81,7 @@ func TestPublicAPIFilesAndDirs(t *testing.T) {
 		if err := c.Close(fd); err != nil {
 			t.Errorf("Close: %v", err)
 		}
-		if _, err := c.Stat("/missing"); err != irix.ErrNotExist {
+		if _, err := c.Stat("/missing"); !errors.Is(err, irix.ErrNotExist) {
 			t.Errorf("Stat missing = %v", err)
 		}
 	})
