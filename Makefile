@@ -1,19 +1,32 @@
 GO ?= go
 
-# Tier-1 gate: the whole tree must build, pass lint, and every test must pass.
+# Tier-1 gate: the whole tree must build, pass lint, every test must pass,
+# and the seeded chaos soak must hold the conservation invariants.
 .PHONY: tier1
 tier1: lint
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -short -run 'Chaos' -count=1 ./internal/workload/
 
-# Lint: vet, plus the gateway invariant — the syscall layer must dispatch
-# every call through the descriptor table, never through hand-rolled
-# kernel-entry pairs.
+# Chaos: the full seeded fault-injection soak (deterministic per seed).
+.PHONY: chaos
+chaos:
+	$(GO) test -run 'Chaos' -count=1 -v ./internal/workload/
+	$(GO) test -run 'TestFault|TestRestart' -count=1 -v ./internal/kernel/
+
+# Lint: vet, plus two invariants of the syscall layer — every call must
+# dispatch through the descriptor table (never hand-rolled kernel-entry
+# pairs), and exhaustion must surface as an errno, never a kernel panic
+# (panic is reserved for the exit/exec control-flow unwinds).
 .PHONY: lint
 lint:
 	$(GO) vet ./...
 	@if grep -nE 'EnterKernel|ExitKernel' internal/kernel/syscalls_*.go; then \
 		echo "lint: syscalls_*.go must go through the gateway (invoke/invoke0/invoke1), not EnterKernel/ExitKernel" >&2; \
+		exit 1; \
+	fi
+	@if grep -nE 'panic\(' internal/kernel/syscalls_*.go | grep -vE 'panic\(process(Exit|Exec)\{'; then \
+		echo "lint: syscalls_*.go must return *SysError on exhaustion, not panic (only processExit/processExec unwinds may panic)" >&2; \
 		exit 1; \
 	fi
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	irix "repro"
+	"repro/internal/faultinject"
 	"repro/internal/kernel"
 	"repro/internal/trace"
 )
@@ -58,6 +59,8 @@ func main() {
 		case trace.EvSyscallExit:
 			fmt.Printf("  #%d %-9s pid=%-3d cpu=%-2d %s = %s\n",
 				e.Seq, e.Kind, e.PID, e.CPU, kernel.SysName(kernel.Sysno(e.Arg)), kernel.Errno(e.Aux))
+		case trace.EvFaultInject:
+			fmt.Printf("  #%d %-9s key=%-3d %s\n", e.Seq, e.Kind, e.Arg, faultName(e.Aux))
 		default:
 			fmt.Println(" ", e)
 		}
@@ -66,7 +69,7 @@ func main() {
 	for _, k := range []trace.Kind{
 		trace.EvCreate, trace.EvExit, trace.EvDispatch, trace.EvPreempt,
 		trace.EvFault, trace.EvShootdown, trace.EvSignal, trace.EvSync,
-		trace.EvSyscallEnter, trace.EvSyscallExit,
+		trace.EvSyscallEnter, trace.EvSyscallExit, trace.EvFaultInject,
 	} {
 		fmt.Printf("  %-10s %d\n", k, sys.Machine.Trace.CountKind(k))
 	}
@@ -85,4 +88,61 @@ func main() {
 		st.Dispatches, st.LocalPicks, st.Steals, st.Preemptions)
 	fmt.Printf("frames:    allocs=%d frees=%d cache-hits=%d refills=%d drains=%d\n",
 		st.FrameAllocs, st.FrameFrees, st.CacheHits, st.CacheRefills, st.CacheDrains)
+
+	faultDemo()
+}
+
+// faultName decodes the site<<8|fault Aux word of an EvFaultInject event.
+func faultName(aux uint32) string {
+	return fmt.Sprintf("%s/%s", faultinject.Site(aux>>8), faultinject.Fault(aux&0xff))
+}
+
+// faultDemo reruns a blocking-heavy workload with a fault plan armed, so
+// the trace shows injected faults and the restarts they force. The frame
+// allocator site stays disarmed: a frame ENOMEM is a process-killing
+// SIGSEGV, and this demo's point is the *survivable* degradation paths.
+func faultDemo() {
+	sys := irix.New(irix.Config{NCPU: 4, TraceEvents: 4096, FaultSeed: 2026, FaultRate: 200})
+	sys.FaultPlan().SetRate(faultinject.SiteFrameAlloc, 0)
+
+	sys.Start("chaotic", func(c *irix.Ctx) {
+		c.Signal(irix.SIGUSR1, func(int) {})
+		rfd, wfd, _ := c.Pipe()
+		id := c.Semget(1, 1)
+		for i := 0; i < 12; i++ {
+			c.WriteString(wfd, irix.DataBase, "payload")
+			c.ReadString(rfd, irix.DataBase+64, 7)
+			c.Semop(id, 0, 1)
+			c.Semop(id, 0, -1)
+			pid, err := c.Fork("kid", func(k *irix.Ctx) { k.Getpid() })
+			if err != nil {
+				continue // injected EAGAIN survived the retry budget
+			}
+			c.Kill(pid, irix.SIGUSR1)
+			for {
+				if _, _, err := c.Wait(); err == nil || irix.ErrnoOf(err) != irix.EINTR {
+					break
+				}
+			}
+		}
+	})
+	sys.WaitIdle()
+
+	fmt.Printf("\nfault-injection demo (seed=%d, rate=200‰, framealloc disarmed):\n", 2026)
+	events, _ := sys.Machine.Trace.Snapshot()
+	shown := 0
+	for _, e := range events {
+		if e.Kind == trace.EvFaultInject && shown < 12 {
+			shown++
+			fmt.Printf("  #%-5d %-9s key=%-3d %s\n", e.Seq, e.Kind, e.Arg, faultName(e.Aux))
+		}
+	}
+	st := sys.Stats()
+	fmt.Printf("faults:    checks=%d injected=%d restarts=%d retries=%d\n",
+		st.FaultChecks, st.FaultsInjected, st.SyscallRestarts, st.SyscallRetries)
+	for _, row := range st.FaultSites {
+		if row.Checks > 0 {
+			fmt.Printf("  site %-10s checks=%-6d injected=%d\n", row.Site, row.Checks, row.Injected)
+		}
+	}
 }

@@ -107,6 +107,15 @@ func dump(c *irix.Ctx) {
 	fmt.Printf("    allocs=%d frees=%d cow-copies=%d cache-hits=%d refills=%d drains=%d scavenges=%d pool-allocs=%d cached=%d\n",
 		st.FrameAllocs, st.FrameFrees, st.FrameCopies, st.CacheHits,
 		st.CacheRefills, st.CacheDrains, st.CacheScavenges, st.PoolAllocs, st.FramesCached)
+	fmt.Println("  fault injection and degradation:")
+	fmt.Printf("    checks=%d injected=%d restarts=%d retries=%d reclaims=%d reclaimed-frames=%d\n",
+		st.FaultChecks, st.FaultsInjected, st.SyscallRestarts,
+		st.SyscallRetries, st.FrameReclaims, st.ReclaimedFrames)
+	for _, row := range st.FaultSites {
+		if row.Checks > 0 {
+			fmt.Printf("    site %-10s checks=%-6d injected=%d\n", row.Site, row.Checks, row.Injected)
+		}
+	}
 	fmt.Println("  system-wide syscall accounting (per-CPU gateway counters):")
 	for _, sc := range st.Syscalls {
 		fmt.Printf("    %-12s %-5s %6d calls %10d simcyc %8.0f /call\n",

@@ -55,8 +55,7 @@ func main() {
 			v, members*perMember)
 
 		// prctl reports the machine's parallelism, as the paper defines.
-		par, _ := c.Prctl(irix.PRMaxPProcs, 0)
-		fmt.Printf("PR_MAXPPROCS: the system can run %d processes in parallel\n", par)
+		fmt.Printf("PR_MAXPPROCS: the system can run %d processes in parallel\n", c.MaxPProcs())
 	})
 
 	sys.WaitIdle()

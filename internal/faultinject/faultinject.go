@@ -1,0 +1,283 @@
+// Package faultinject is a seeded, deterministic fault-injection plan for
+// the simulated kernel. Subsystems that can fail under resource pressure
+// (the syscall gateway, the frame allocator, the dispatcher, the blocking
+// IPC paths) each own a named injection Site; at every site they ask the
+// plan whether this particular crossing should fault.
+//
+// Decisions are pure functions of (seed, site, per-site sequence number,
+// caller key) — no wall clock, no global PRNG — so a run with a given seed
+// injects the same faults at the same crossings every time, and a chaos
+// soak that exposes a degradation bug is replayable from its seed alone.
+// Per-site sequence counters (rather than one global counter) keep a
+// single-threaded driver fully deterministic even while other sites fire.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Site names one injection point in the kernel.
+type Site uint8
+
+const (
+	// SiteSyscallEnter injects EINTR/EAGAIN/ENOMEM (per the descriptor's
+	// injectable set) at the gateway, before the syscall body runs.
+	SiteSyscallEnter Site = iota
+	// SiteSyscallExit injects extra return-to-user latency at the gateway
+	// exit. Delay only: a call whose body completed must never report a
+	// failure it did not have (UNIX forbids EINTR after completion).
+	SiteSyscallExit
+	// SiteFrameAlloc injects frame-allocation failure: the allocator first
+	// drains the per-CPU caches back to the pool (the reclaim fallback),
+	// and a fraction of hits still surface as hard ENOMEM.
+	SiteFrameAlloc
+	// SiteDispatch injects a forced short time slice and a dispatch stall
+	// when the scheduler places a process on a CPU.
+	SiteDispatch
+	// SiteIPCSleep injects a spurious wakeup where a blocking IPC path
+	// (pipe, message queue, semaphore, accept) is about to sleep.
+	SiteIPCSleep
+	// SiteIPCData injects short reads and short writes on pipe data moves.
+	SiteIPCData
+
+	// NSites bounds the per-site arrays.
+	NSites
+)
+
+var siteNames = [...]string{
+	"sysenter", "sysexit", "framealloc", "dispatch", "ipcsleep", "ipcdata",
+}
+
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// Fault names what was injected at a site.
+type Fault uint8
+
+const (
+	FaultNone    Fault = iota
+	FaultEINTR         // interrupted system call
+	FaultEAGAIN        // transient resource shortage
+	FaultENOMEM        // hard allocation failure
+	FaultReclaim       // transient allocation failure absorbed by cache reclaim
+	FaultDelay         // extra latency charged
+	FaultPreempt       // forced short slice at dispatch
+	FaultWakeup        // spurious wakeup before an IPC sleep
+	FaultShortIO       // short read/write
+
+	nFaults
+)
+
+var faultNames = [...]string{
+	"none", "EINTR", "EAGAIN", "ENOMEM", "reclaim", "delay", "preempt",
+	"wakeup", "shortio",
+}
+
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Record is one injected fault in the plan's optional log, identified by
+// the site's decision sequence number — the replay identity a determinism
+// test compares across runs.
+type Record struct {
+	Site  Site
+	Seq   uint64 // the site's decision counter when the fault was drawn
+	Fault Fault
+	Key   uint32 // caller-supplied locus (syscall number, pid, cpu, ...)
+}
+
+// SiteStats is one site's counters in a Stats snapshot.
+type SiteStats struct {
+	Site     Site
+	Name     string
+	Checks   int64 // decisions taken at the site
+	Injected int64 // faults actually injected
+}
+
+// siteState is one site's decision state, padded so the per-site atomics
+// of concurrently firing sites do not share cache lines.
+type siteState struct {
+	rate     atomic.Uint32 // per-mille injection probability
+	seq      atomic.Uint64 // decisions taken (the deterministic sequence)
+	injected atomic.Int64
+	_        [64]byte
+}
+
+// Plan is a seeded fault-injection plan. The zero-rate plan is armed
+// nowhere and costs one atomic load per site crossing.
+type Plan struct {
+	seed  uint64
+	sites [NSites]siteState
+
+	// Recorder, when set, observes every injected fault (the kernel wires
+	// it to the trace ring as EvFaultInject events).
+	Recorder func(site Site, fault Fault, key uint32)
+
+	logMu  sync.Mutex
+	logCap int
+	log    []Record
+}
+
+// New returns a plan for seed with the same per-mille rate armed at every
+// site. Rate 0 arms nothing; use SetRate for per-site tailoring.
+func New(seed uint64, permille int) *Plan {
+	p := &Plan{seed: seed}
+	for s := Site(0); s < NSites; s++ {
+		p.SetRate(s, permille)
+	}
+	return p
+}
+
+// Seed returns the plan's seed.
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// SetRate arms site with a per-mille injection probability, clamped to
+// [0, 1000]. Rate 0 disarms the site.
+func (p *Plan) SetRate(site Site, permille int) {
+	if site >= NSites {
+		return
+	}
+	if permille < 0 {
+		permille = 0
+	}
+	if permille > 1000 {
+		permille = 1000
+	}
+	p.sites[site].rate.Store(uint32(permille))
+}
+
+// Rate returns site's per-mille injection probability.
+func (p *Plan) Rate(site Site) int {
+	if site >= NSites {
+		return 0
+	}
+	return int(p.sites[site].rate.Load())
+}
+
+// Armed reports whether site can inject at all.
+func (p *Plan) Armed(site Site) bool { return p != nil && p.Rate(site) > 0 }
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality bijective mix. Determinism needs nothing fancier.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Decide draws the site's next decision: whether to inject at this
+// crossing, plus the raw draw the caller may use to shape the fault
+// (which errno, how short a read). key localizes the decision (syscall
+// number, pid) without perturbing the site's sequence.
+func (p *Plan) Decide(site Site, key uint32) (hit bool, draw uint64) {
+	if p == nil || site >= NSites {
+		return false, 0
+	}
+	st := &p.sites[site]
+	rate := st.rate.Load()
+	if rate == 0 {
+		return false, 0
+	}
+	seq := st.seq.Add(1)
+	draw = splitmix64(p.seed ^ uint64(site)<<56 ^ seq<<16 ^ uint64(key))
+	return draw%1000 < uint64(rate), draw
+}
+
+// Note counts an injected fault at site and publishes it to the Recorder
+// and the log. Callers invoke it only for decisions that actually injected
+// (a Decide hit the caller chose to honour).
+func (p *Plan) Note(site Site, fault Fault, key uint32) {
+	if p == nil || site >= NSites {
+		return
+	}
+	st := &p.sites[site]
+	st.injected.Add(1)
+	if p.logCap > 0 {
+		p.logMu.Lock()
+		if len(p.log) < p.logCap {
+			p.log = append(p.log, Record{Site: site, Seq: st.seq.Load(), Fault: fault, Key: key})
+		}
+		p.logMu.Unlock()
+	}
+	if r := p.Recorder; r != nil {
+		r(site, fault, key)
+	}
+}
+
+// EnableLog arms the bounded injection log (n records); the determinism
+// test replays a run and compares logs.
+func (p *Plan) EnableLog(n int) {
+	p.logMu.Lock()
+	p.logCap = n
+	p.log = make([]Record, 0, n)
+	p.logMu.Unlock()
+}
+
+// Log returns a copy of the injection log.
+func (p *Plan) Log() []Record {
+	p.logMu.Lock()
+	defer p.logMu.Unlock()
+	return append([]Record(nil), p.log...)
+}
+
+// Checks returns the number of decisions taken at site.
+func (p *Plan) Checks(site Site) int64 {
+	if p == nil || site >= NSites {
+		return 0
+	}
+	return int64(p.sites[site].seq.Load())
+}
+
+// Injected returns the number of faults injected at site.
+func (p *Plan) Injected(site Site) int64 {
+	if p == nil || site >= NSites {
+		return 0
+	}
+	return p.sites[site].injected.Load()
+}
+
+// Stats snapshots every site's counters.
+func (p *Plan) Stats() []SiteStats {
+	if p == nil {
+		return nil
+	}
+	out := make([]SiteStats, 0, NSites)
+	for s := Site(0); s < NSites; s++ {
+		out = append(out, SiteStats{
+			Site:     s,
+			Name:     s.String(),
+			Checks:   p.Checks(s),
+			Injected: p.Injected(s),
+		})
+	}
+	return out
+}
+
+// TotalInjected sums injected faults over every site.
+func (p *Plan) TotalInjected() int64 {
+	var n int64
+	for s := Site(0); s < NSites; s++ {
+		n += p.Injected(s)
+	}
+	return n
+}
+
+// TotalChecks sums decisions over every site.
+func (p *Plan) TotalChecks() int64 {
+	var n int64
+	for s := Site(0); s < NSites; s++ {
+		n += p.Checks(s)
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+// Same seed, same call sequence → identical decisions and identical log.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]bool, []Record) {
+		p := New(42, 200)
+		p.EnableLog(1024)
+		var hits []bool
+		for i := 0; i < 500; i++ {
+			site := Site(i % int(NSites))
+			hit, _ := p.Decide(site, uint32(i%7))
+			hits = append(hits, hit)
+			if hit {
+				p.Note(site, FaultEINTR, uint32(i%7))
+			}
+		}
+		return hits, p.Log()
+	}
+	h1, l1 := run()
+	h2, l2 := run()
+	if len(h1) != len(h2) {
+		t.Fatalf("decision counts differ: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("decision %d differs across identical runs", i)
+		}
+	}
+	if len(l1) == 0 {
+		t.Fatalf("rate 200/1000 over 500 decisions injected nothing")
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("log lengths differ: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("log record %d differs: %+v vs %+v", i, l1[i], l2[i])
+		}
+	}
+}
+
+// Different seeds should produce different decision sequences.
+func TestSeedMatters(t *testing.T) {
+	a, b := New(1, 500), New(2, 500)
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		ha, _ := a.Decide(SiteSyscallEnter, 0)
+		hb, _ := b.Decide(SiteSyscallEnter, 0)
+		if ha == hb {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("seeds 1 and 2 produced identical decision sequences")
+	}
+}
+
+func TestRatesAndCounters(t *testing.T) {
+	p := New(7, 0)
+	if p.Armed(SiteFrameAlloc) {
+		t.Fatalf("zero-rate plan reports armed")
+	}
+	hit, _ := p.Decide(SiteFrameAlloc, 0)
+	if hit {
+		t.Fatalf("disarmed site injected")
+	}
+	if p.Checks(SiteFrameAlloc) != 0 {
+		t.Fatalf("disarmed Decide consumed a sequence draw")
+	}
+
+	p.SetRate(SiteFrameAlloc, 1000)
+	if got := p.Rate(SiteFrameAlloc); got != 1000 {
+		t.Fatalf("Rate = %d, want 1000", got)
+	}
+	for i := 0; i < 10; i++ {
+		hit, _ := p.Decide(SiteFrameAlloc, uint32(i))
+		if !hit {
+			t.Fatalf("rate-1000 site missed at decision %d", i)
+		}
+		p.Note(SiteFrameAlloc, FaultENOMEM, uint32(i))
+	}
+	if p.Checks(SiteFrameAlloc) != 10 || p.Injected(SiteFrameAlloc) != 10 {
+		t.Fatalf("counters = %d/%d, want 10/10",
+			p.Checks(SiteFrameAlloc), p.Injected(SiteFrameAlloc))
+	}
+	if p.TotalInjected() != 10 || p.TotalChecks() != 10 {
+		t.Fatalf("totals = %d/%d, want 10/10", p.TotalChecks(), p.TotalInjected())
+	}
+
+	st := p.Stats()
+	if len(st) != int(NSites) {
+		t.Fatalf("Stats rows = %d, want %d", len(st), NSites)
+	}
+	if st[SiteFrameAlloc].Injected != 10 || st[SiteFrameAlloc].Name != "framealloc" {
+		t.Fatalf("framealloc row = %+v", st[SiteFrameAlloc])
+	}
+
+	// Clamping.
+	p.SetRate(SiteDispatch, 5000)
+	if p.Rate(SiteDispatch) != 1000 {
+		t.Fatalf("rate not clamped to 1000: %d", p.Rate(SiteDispatch))
+	}
+	p.SetRate(SiteDispatch, -3)
+	if p.Rate(SiteDispatch) != 0 {
+		t.Fatalf("negative rate not clamped to 0: %d", p.Rate(SiteDispatch))
+	}
+}
+
+// The Recorder observes every Note.
+func TestRecorder(t *testing.T) {
+	p := New(3, 1000)
+	var got []Fault
+	p.Recorder = func(site Site, fault Fault, key uint32) {
+		got = append(got, fault)
+	}
+	p.Note(SiteIPCData, FaultShortIO, 9)
+	p.Note(SiteSyscallEnter, FaultEAGAIN, 4)
+	if len(got) != 2 || got[0] != FaultShortIO || got[1] != FaultEAGAIN {
+		t.Fatalf("recorder saw %v", got)
+	}
+}
+
+// Nil plans are safe at every entry point (the kernel's unarmed fast path).
+func TestNilPlan(t *testing.T) {
+	var p *Plan
+	if hit, _ := p.Decide(SiteSyscallEnter, 1); hit {
+		t.Fatalf("nil plan injected")
+	}
+	p.Note(SiteSyscallEnter, FaultEINTR, 1)
+	if p.Armed(SiteSyscallEnter) || p.Checks(SiteSyscallEnter) != 0 || p.Injected(SiteSyscallEnter) != 0 {
+		t.Fatalf("nil plan reports state")
+	}
+	if p.Stats() != nil {
+		t.Fatalf("nil plan returned stats")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for s := Site(0); s < NSites; s++ {
+		if s.String() == "" {
+			t.Fatalf("site %d has no name", s)
+		}
+	}
+	for f := FaultNone; f < nFaults; f++ {
+		if f.String() == "" {
+			t.Fatalf("fault %d has no name", f)
+		}
+	}
+	if Site(200).String() != "site(200)" || Fault(200).String() != "fault(200)" {
+		t.Fatalf("out-of-range names wrong")
+	}
+}

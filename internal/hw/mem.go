@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Page geometry. 4 KiB pages, 32-bit virtual addresses, matching the R2000.
@@ -94,6 +96,16 @@ type Memory struct {
 	Drains     atomic.Int64 // batch give-backs from a cache to the pool
 	Scavenges  atomic.Int64 // frames reclaimed from other CPUs' caches
 	PoolAllocs atomic.Int64 // allocations that went to the global pool
+
+	// Reclaim statistics (exhaustion degradation).
+	Reclaims        atomic.Int64 // cache-drain-and-reclaim passes
+	ReclaimedFrames atomic.Int64 // frames returned to the pool by reclaims
+
+	// FI, when armed at SiteFrameAlloc, makes AllocOn exercise the
+	// exhaustion path deterministically: a hit first drains the per-CPU
+	// caches back to the pool (the reclaim fallback a real pageout daemon
+	// would provide), and a fraction of hits still fail with ErrNoMemory.
+	FI *faultinject.Plan
 }
 
 // NewMemory creates a physical memory of capacity page frames. Frame
@@ -159,6 +171,20 @@ func (m *Memory) Alloc() (PFN, error) { return m.AllocOn(-1) }
 // cpu's free-frame cache. Frames are zeroed when freed, so no zeroing
 // happens here and no lock is held while a frame's contents are cleared.
 func (m *Memory) AllocOn(cpu int) (PFN, error) {
+	// Deterministic exhaustion, before the reservation so an injected
+	// failure neither leaks an inUse reservation nor counts as an Alloc.
+	if pl := m.FI; pl != nil {
+		if hit, draw := pl.Decide(faultinject.SiteFrameAlloc, uint32(cpu+1)); hit {
+			m.ReclaimCaches()
+			if draw%4 == 0 {
+				// A quarter of hits are hard failures that survive the
+				// reclaim — the caller's ENOMEM path must cope.
+				pl.Note(faultinject.SiteFrameAlloc, faultinject.FaultENOMEM, uint32(cpu+1))
+				return NoPFN, ErrNoMemory
+			}
+			pl.Note(faultinject.SiteFrameAlloc, faultinject.FaultReclaim, uint32(cpu+1))
+		}
+	}
 	// Reserve one frame against capacity. The counter includes in-flight
 	// reservations, so once the CAS succeeds a free frame is guaranteed to
 	// exist somewhere (pool, fresh range, or a cache) for every reserver.
@@ -271,6 +297,32 @@ func (m *Memory) scavenge(cpu, want int) []PFN {
 		c.mu.Unlock()
 	}
 	return nil
+}
+
+// ReclaimCaches drains every per-CPU free-frame cache back into the global
+// pool, returning how many frames moved. This is the memory-pressure
+// degradation step: before the allocator reports ENOMEM it repatriates
+// frames parked on idle CPUs so a genuinely free frame is never stranded.
+// One cache lock is held at a time, then the pool lock once.
+func (m *Memory) ReclaimCaches() int {
+	var drained []PFN
+	for i := range m.caches {
+		c := &m.caches[i]
+		c.mu.Lock()
+		if len(c.free) > 0 {
+			drained = append(drained, c.free...)
+			c.free = c.free[:0]
+		}
+		c.mu.Unlock()
+	}
+	if len(drained) > 0 {
+		m.pool.mu.Lock()
+		m.pool.free = append(m.pool.free, drained...)
+		m.pool.mu.Unlock()
+		m.ReclaimedFrames.Add(int64(len(drained)))
+	}
+	m.Reclaims.Add(1)
+	return len(drained)
 }
 
 // IncRef increments the reference count of pfn (copy-on-write duplication).

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/fs"
 	"repro/internal/klock"
 )
@@ -32,6 +33,10 @@ type Pipe struct {
 	rwait   klock.WaitList
 	wwait   klock.WaitList
 
+	// FI, when armed, injects spurious wakeups (SiteIPCSleep) and short
+	// reads/writes (SiteIPCData). The kernel sets it at pipe creation.
+	FI *faultinject.Plan
+
 	BytesMoved atomic.Int64
 }
 
@@ -41,7 +46,9 @@ func NewPipe() *Pipe {
 }
 
 // read implements the reader end: block while empty (unless all writers
-// are gone: EOF), then drain up to len(b) bytes.
+// are gone: EOF), then drain up to len(b) bytes. A pending signal breaks
+// the sleep with ErrIntr; an armed fault plan occasionally returns fewer
+// bytes than are available (short read — always at least one).
 func (p *Pipe) read(t klock.Thread, b []byte) (int, error) {
 	p.mu.Lock()
 	for len(p.buf) == 0 {
@@ -49,12 +56,18 @@ func (p *Pipe) read(t klock.Thread, b []byte) (int, error) {
 			p.mu.Unlock()
 			return 0, nil // EOF
 		}
-		p.rwait.Append(t)
-		p.mu.Unlock()
-		t.Block("pipe read")
-		p.mu.Lock()
+		if err := sleepOn(p.FI, &p.mu, &p.rwait, t, "pipe read"); err != nil {
+			p.mu.Unlock()
+			return 0, err
+		}
 	}
 	n := copy(b, p.buf)
+	if n > 1 {
+		if hit, draw := p.FI.Decide(faultinject.SiteIPCData, uint32(n)); hit {
+			n = 1 + int(draw%uint64(n))
+			p.FI.Note(faultinject.SiteIPCData, faultinject.FaultShortIO, uint32(n))
+		}
+	}
 	p.buf = p.buf[n:]
 	p.BytesMoved.Add(int64(n))
 	p.wwait.WakeAll()
@@ -63,7 +76,10 @@ func (p *Pipe) read(t klock.Thread, b []byte) (int, error) {
 }
 
 // write implements the writer end: block while full; EPIPE when no
-// readers remain.
+// readers remain. A signal that lands before any byte moved surfaces as
+// ErrIntr; after a partial transfer it surfaces as a short write (UNIX
+// write(2) semantics). An armed fault plan also forces occasional short
+// writes outright.
 func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
 	total := 0
 	p.mu.Lock()
@@ -74,10 +90,13 @@ func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
 		}
 		space := PipeCap - len(p.buf)
 		if space == 0 {
-			p.wwait.Append(t)
-			p.mu.Unlock()
-			t.Block("pipe write")
-			p.mu.Lock()
+			if err := sleepOn(p.FI, &p.mu, &p.wwait, t, "pipe write"); err != nil {
+				p.mu.Unlock()
+				if total > 0 {
+					return total, nil
+				}
+				return 0, err
+			}
 			continue
 		}
 		n := space
@@ -88,6 +107,12 @@ func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
 		b = b[n:]
 		total += n
 		p.rwait.WakeAll()
+		if len(b) > 0 {
+			if hit, _ := p.FI.Decide(faultinject.SiteIPCData, uint32(total)); hit {
+				p.FI.Note(faultinject.SiteIPCData, faultinject.FaultShortIO, uint32(total))
+				break
+			}
+		}
 	}
 	p.mu.Unlock()
 	return total, nil
@@ -156,7 +181,12 @@ func (d *duplexEnd) Close() {
 
 // SocketPair creates a connected pair of duplex byte streams, modelling
 // socketpair(2) on a UNIX-domain stream socket.
-func SocketPair() (a, b fs.Stream) {
+func SocketPair() (a, b fs.Stream) { return socketPair(nil) }
+
+// socketPair is SocketPair with both underlying pipes wired to a fault
+// plan (Connect passes the namespace's plan through).
+func socketPair(fi *faultinject.Plan) (a, b fs.Stream) {
 	p1, p2 := NewPipe(), NewPipe()
+	p1.FI, p2.FI = fi, fi
 	return &duplexEnd{in: p1, out: p2}, &duplexEnd{in: p2, out: p1}
 }

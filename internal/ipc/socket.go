@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/fs"
 	"repro/internal/klock"
 )
@@ -27,6 +28,7 @@ type Listener struct {
 }
 
 // Accept blocks until a client connects, returning the server-side stream.
+// A pending signal breaks the wait with ErrIntr.
 func (l *Listener) Accept(t klock.Thread) (fs.Stream, error) {
 	l.mu.Lock()
 	for {
@@ -40,10 +42,10 @@ func (l *Listener) Accept(t klock.Thread) (fs.Stream, error) {
 			l.mu.Unlock()
 			return nil, ErrClosed
 		}
-		l.waiters.Append(t)
-		l.mu.Unlock()
-		t.Block("accept: wait for connection")
-		l.mu.Lock()
+		if err := sleepOn(l.net.fi, &l.mu, &l.waiters, t, "accept: wait for connection"); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
 	}
 }
 
@@ -61,12 +63,21 @@ func (l *Listener) Close() {
 // NetNames is the abstract socket namespace.
 type NetNames struct {
 	mu        sync.Mutex
+	fi        *faultinject.Plan
 	listeners map[string]*Listener
 }
 
 // NewNetNames creates an empty namespace.
 func NewNetNames() *NetNames {
 	return &NetNames{listeners: map[string]*Listener{}}
+}
+
+// SetFault arms the namespace with a fault plan: accepts and the pipes of
+// subsequently connected stream pairs inherit it. Call at boot.
+func (n *NetNames) SetFault(fi *faultinject.Plan) {
+	n.mu.Lock()
+	n.fi = fi
+	n.mu.Unlock()
 }
 
 // Listen binds a listener to name.
@@ -86,11 +97,12 @@ func (n *NetNames) Listen(name string) (*Listener, error) {
 func (n *NetNames) Connect(t klock.Thread, name string) (fs.Stream, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[name]
+	fi := n.fi
 	n.mu.Unlock()
 	if !ok {
 		return nil, ErrNoListen
 	}
-	client, server := SocketPair()
+	client, server := socketPair(fi)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()

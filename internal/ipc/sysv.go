@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/klock"
 	"repro/internal/vm"
 )
@@ -40,13 +41,14 @@ type MsgQueue struct {
 	bytes int
 	rwait klock.WaitList
 	swait klock.WaitList
+	fi    *faultinject.Plan
 
 	Sends atomic.Int64
 	Recvs atomic.Int64
 }
 
-func newMsgQueue(id int) *MsgQueue {
-	return &MsgQueue{ID: id}
+func newMsgQueue(id int, fi *faultinject.Plan) *MsgQueue {
+	return &MsgQueue{ID: id, fi: fi}
 }
 
 // Send enqueues m, sleeping while the queue is full (msgsnd).
@@ -56,10 +58,10 @@ func (q *MsgQueue) Send(t klock.Thread, m Msg) error {
 	}
 	q.mu.Lock()
 	for q.bytes+len(m.Data) > MsgQueueCap {
-		q.swait.Append(t)
-		q.mu.Unlock()
-		t.Block("msgsnd: queue full")
-		q.mu.Lock()
+		if err := sleepOn(q.fi, &q.mu, &q.swait, t, "msgsnd: queue full"); err != nil {
+			q.mu.Unlock()
+			return err
+		}
 	}
 	data := make([]byte, len(m.Data))
 	copy(data, m.Data)
@@ -86,10 +88,10 @@ func (q *MsgQueue) Recv(t klock.Thread, typ int64) (Msg, error) {
 				return m, nil
 			}
 		}
-		q.rwait.Append(t)
-		q.mu.Unlock()
-		t.Block("msgrcv: queue empty")
-		q.mu.Lock()
+		if err := sleepOn(q.fi, &q.mu, &q.rwait, t, "msgrcv: queue empty"); err != nil {
+			q.mu.Unlock()
+			return Msg{}, err
+		}
 	}
 }
 
@@ -109,12 +111,13 @@ type SemSet struct {
 	mu      sync.Mutex
 	vals    []int
 	waiters klock.WaitList
+	fi      *faultinject.Plan
 
 	Ops atomic.Int64
 }
 
-func newSemSet(id, n int) *SemSet {
-	return &SemSet{ID: id, vals: make([]int, n)}
+func newSemSet(id, n int, fi *faultinject.Plan) *SemSet {
+	return &SemSet{ID: id, vals: make([]int, n), fi: fi}
 }
 
 // Op applies delta to semaphore idx (semop): a negative delta sleeps until
@@ -129,10 +132,10 @@ func (s *SemSet) Op(t klock.Thread, idx, delta int) error {
 	s.Ops.Add(1)
 	s.mu.Lock()
 	for s.vals[idx]+delta < 0 {
-		s.waiters.Append(t)
-		s.mu.Unlock()
-		t.Block("semop: would go negative")
-		s.mu.Lock()
+		if err := sleepOn(s.fi, &s.mu, &s.waiters, t, "semop: would go negative"); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	s.vals[idx] += delta
 	if delta > 0 {
@@ -165,6 +168,7 @@ type ShmSeg struct {
 // Registry is the kernel's System V IPC namespace.
 type Registry struct {
 	mu     sync.Mutex
+	fi     *faultinject.Plan
 	nextID int
 	msgqs  map[int]*MsgQueue
 	msgKey map[int]int
@@ -183,6 +187,14 @@ func NewRegistry() *Registry {
 	}
 }
 
+// SetFault arms the namespace with a fault plan; queues and semaphore
+// sets created afterwards inherit it. Call at boot, before user code runs.
+func (r *Registry) SetFault(fi *faultinject.Plan) {
+	r.mu.Lock()
+	r.fi = fi
+	r.mu.Unlock()
+}
+
 // Msgget returns the id of the queue with the given key, creating it if
 // absent (key 0 always creates a fresh private queue).
 func (r *Registry) Msgget(key int) int {
@@ -194,7 +206,7 @@ func (r *Registry) Msgget(key int) int {
 		}
 	}
 	r.nextID++
-	q := newMsgQueue(r.nextID)
+	q := newMsgQueue(r.nextID, r.fi)
 	r.msgqs[q.ID] = q
 	if key != 0 {
 		r.msgKey[key] = q.ID
@@ -224,7 +236,7 @@ func (r *Registry) Semget(key, n int) int {
 		}
 	}
 	r.nextID++
-	s := newSemSet(r.nextID, n)
+	s := newSemSet(r.nextID, n, r.fi)
 	r.sems[s.ID] = s
 	if key != 0 {
 		r.semKey[key] = s.ID

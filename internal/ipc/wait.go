@@ -1,0 +1,46 @@
+package ipc
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/klock"
+)
+
+// ErrIntr reports a blocking IPC sleep broken by signal delivery — the
+// kernel maps it to EINTR. Whether the caller then sees the error is the
+// gateway's restart policy, not the IPC layer's.
+var ErrIntr = errors.New("ipc: interrupted sleep")
+
+// sleepOn is the one blocking point of the IPC layer: called with mu held
+// and the condition false, it registers t on list, sleeps, and re-acquires
+// mu; the caller re-evaluates its condition in a loop. It returns ErrIntr
+// when a signal is pending — checked both before the sleep (the pause(2)
+// race: a signal posted a moment earlier must not be lost) and after every
+// wake (a poke from the signal layer is a wake with the condition still
+// false). A fault plan armed at SiteIPCSleep converts some sleeps into
+// spurious wakeups: sleepOn returns nil without blocking and the caller's
+// loop re-checks, which is exactly what it must tolerate anyway.
+func sleepOn(fi *faultinject.Plan, mu *sync.Mutex, list *klock.WaitList, t klock.Thread, reason string) error {
+	sig, _ := t.(klock.Interruptible)
+	if sig != nil && sig.SignalPending() {
+		return ErrIntr
+	}
+	if hit, _ := fi.Decide(faultinject.SiteIPCSleep, 0); hit {
+		fi.Note(faultinject.SiteIPCSleep, faultinject.FaultWakeup, 0)
+		return nil
+	}
+	list.Append(t)
+	mu.Unlock()
+	t.Block(reason)
+	mu.Lock()
+	// Whatever woke us — targeted wakeup, WakeAll, or a signal poke — the
+	// registration must not linger, or a later WakeOne would spend its
+	// wakeup on this stale entry.
+	list.Remove(t)
+	if sig != nil && sig.SignalPending() {
+		return ErrIntr
+	}
+	return nil
+}

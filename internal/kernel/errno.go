@@ -107,6 +107,7 @@ var errnoTable = []struct {
 	{ErrNoRegion, EINVAL}, {ErrNoMem, ENOMEM}, {hw.ErrNoMemory, ENOMEM},
 	{vm.ErrTextWrite, EFAULT},
 	{ipc.ErrNoEntry, EINVAL}, {ipc.ErrTooBig, EINVAL}, {ipc.ErrAgainIPC, EINTR},
+	{ipc.ErrIntr, EINTR},
 	{ipc.ErrExists, EEXIST}, {ipc.ErrAddrInUse, EADDRINUSE},
 	{ipc.ErrNoListen, ECONNREFUSED}, {ipc.ErrClosed, EINVAL},
 }

@@ -14,7 +14,7 @@ import (
 
 func TestUnshareAttrs(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		var unshared, checked atomic.Bool
 		c.Sproc("rebel", func(cc *Context, _ int64) {
 			if err := cc.Unshare(proc.PRSUMASK | proc.PRSULIMIT); err != nil {
@@ -51,7 +51,7 @@ func TestUnshareAttrs(t *testing.T) {
 func TestUnshareVM(t *testing.T) {
 	s := NewSystem(testConfig())
 	const va = vm.DataBase
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		c.Store32(va, 1)
 		var unshared, wrote atomic.Bool
 		c.Sproc("rebel", func(cc *Context, _ int64) {
@@ -98,7 +98,7 @@ func TestUnshareVM(t *testing.T) {
 
 func TestUnshareOutsideGroupFails(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("plain", func(c *Context) {
+	s.Start("plain", func(c *Context) {
 		if err := c.Unshare(proc.PRSALL); err == nil {
 			t.Error("unshare outside a group succeeded")
 		}
@@ -108,7 +108,7 @@ func TestUnshareOutsideGroupFails(t *testing.T) {
 
 func TestPrctlGangAndGroupPrio(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		if _, err := c.Prctl(PRSetGang, 1); err == nil {
 			t.Error("PR_SETGANG outside group accepted")
 		}
@@ -139,7 +139,7 @@ func TestEagerAttrSyncAblation(t *testing.T) {
 	cfg := testConfig()
 	cfg.EagerAttrSync = true
 	s := NewSystem(cfg)
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		var hold atomic.Bool
 		c.Sproc("m", func(cc *Context, _ int64) {
 			for !hold.Load() {
@@ -167,7 +167,7 @@ func TestExclusiveVMLockAblation(t *testing.T) {
 	cfg := testConfig()
 	cfg.ExclusiveVMLock = true
 	s := NewSystem(cfg)
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		va, _ := c.Mmap(16)
 		done := make(chan struct{}, 2)
 		for i := 0; i < 2; i++ {

@@ -1,8 +1,10 @@
 package kernel
 
 import (
+	"errors"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/proc"
 	"repro/internal/trace"
 )
@@ -36,13 +38,71 @@ type sysAcct struct {
 	_      [64]byte // keep neighbouring CPUs' accumulators apart
 }
 
-// invoke dispatches one system call through the gateway.
+// Degradation policy bounds: how often the gateway quietly absorbs a
+// transient failure before letting it surface. Both bounds exist so an
+// adversarial fault plan (or a genuinely wedged resource) cannot spin a
+// syscall forever.
+const (
+	maxRestarts  = 16 // EINTR auto-restarts per call (SA_RESTART policy)
+	maxRetries   = 4  // EAGAIN retries per call
+	retryBackoff = 64 // base backoff charge, doubled per retry
+)
+
+// errInjected is the underlying error of every gateway-injected fault.
+var errInjected = errors.New("kernel: injected fault")
+
+// invoke dispatches one system call through the gateway, applying the
+// descriptor's degradation policy around the body:
+//
+//   - an armed fault plan may replace the body with an injected
+//     EINTR/EAGAIN/ENOMEM failure (only errnos the descriptor permits);
+//   - EINTR from a restartable call (sfRestart) delivers the pending
+//     signal — a caught handler runs, a fatal default unwinds — and then
+//     transparently restarts the body, as SA_RESTART would;
+//   - EAGAIN from a retryable call (sfRetry) re-runs the body after an
+//     escalating backoff charge.
 func invoke[T any](c *Context, d *sysDesc, body func() (T, error)) (T, error) {
 	start := c.enterSys(d)
 	var eno Errno
 	completed := false
 	defer func() { c.exitSys(d, start, eno, completed) }()
-	ret, err := body()
+
+	var ret T
+	var err error
+	restarts, retries := 0, 0
+	for {
+		if ieno := c.injectEnter(d); ieno != EOK {
+			var zero T
+			ret, err = zero, &SysError{Call: d.name, Num: ieno, Err: errInjected}
+		} else {
+			ret, err = body()
+		}
+		if err == nil {
+			break
+		}
+		switch ErrnoOf(err) {
+		case EINTR:
+			if d.flags&sfRestart != 0 && restarts < maxRestarts {
+				restarts++
+				c.S.restarts.Add(1)
+				// The signal that broke the wait is consumed here: its
+				// handler runs on this process's context, or its fatal
+				// default unwinds the call. Then the body re-runs as if
+				// never interrupted.
+				c.DeliverSignals()
+				c.charge(c.S.Machine.Cost.SyscallEntry)
+				continue
+			}
+		case EAGAIN:
+			if d.flags&sfRetry != 0 && retries < maxRetries {
+				retries++
+				c.S.retries.Add(1)
+				c.charge(retryBackoff << retries)
+				continue
+			}
+		}
+		break
+	}
 	if err != nil {
 		eno = ErrnoOf(err)
 		if _, ok := err.(*SysError); !ok {
@@ -51,6 +111,42 @@ func invoke[T any](c *Context, d *sysDesc, body func() (T, error)) (T, error) {
 	}
 	completed = true
 	return ret, err
+}
+
+// injectEnter asks the fault plan whether this syscall crossing should
+// fail before its body runs, returning the injected errno or EOK. Calls
+// whose descriptor permits no injection never consume a decision draw, so
+// arming the plan does not perturb the injection sequence of the calls
+// that matter.
+func (c *Context) injectEnter(d *sysDesc) Errno {
+	pl := c.S.faults
+	if pl == nil || d.flags&(sfInjEINTR|sfInjEAGAIN|sfInjENOMEM) == 0 {
+		return EOK
+	}
+	hit, draw := pl.Decide(faultinject.SiteSyscallEnter, uint32(d.num))
+	if !hit {
+		return EOK
+	}
+	var permitted []faultinject.Fault
+	if d.flags&sfInjEINTR != 0 {
+		permitted = append(permitted, faultinject.FaultEINTR)
+	}
+	if d.flags&sfInjEAGAIN != 0 {
+		permitted = append(permitted, faultinject.FaultEAGAIN)
+	}
+	if d.flags&sfInjENOMEM != 0 {
+		permitted = append(permitted, faultinject.FaultENOMEM)
+	}
+	f := permitted[int(draw>>32)%len(permitted)]
+	pl.Note(faultinject.SiteSyscallEnter, f, uint32(d.num))
+	switch f {
+	case faultinject.FaultEINTR:
+		return EINTR
+	case faultinject.FaultEAGAIN:
+		return EAGAIN
+	default:
+		return ENOMEM
+	}
 }
 
 // invoke0 dispatches a syscall with no result value.

@@ -16,7 +16,7 @@ import (
 // errors.As extraction of the envelope.
 func TestErrnoMapping(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("errno", func(c *Context) {
+	s.Start("errno", func(c *Context) {
 		_, err := c.Open("/does/not/exist", fs.ORead, 0)
 		if err == nil {
 			t.Fatal("open of missing file succeeded")
@@ -61,7 +61,7 @@ func TestSyscallAccountingConservation(t *testing.T) {
 	const workers = 6
 	const rounds = 40
 
-	s.Run("driver", func(c *Context) {
+	s.Start("driver", func(c *Context) {
 		worker := func(cc *Context, id int64) {
 			for i := 0; i < rounds; i++ {
 				cc.Getpid()
@@ -158,7 +158,7 @@ func TestSyscallSpansMatch(t *testing.T) {
 	cfg.TraceEvents = 1 << 14
 	s := NewSystem(cfg)
 
-	s.Run("spans", func(c *Context) {
+	s.Start("spans", func(c *Context) {
 		c.Open("/missing", fs.ORead, 0) // ENOENT exit span
 		done := make(chan struct{})
 		c.Sproc("member", func(cc *Context, _ int64) {
@@ -236,7 +236,7 @@ func TestFdTableGrowthAcrossShareBlock(t *testing.T) {
 	s := NewSystem(testConfig())
 	const nopen = proc.NFdInit + 8 // force growth past the initial table
 
-	s.Run("grower", func(c *Context) {
+	s.Start("grower", func(c *Context) {
 		if err := c.Mkdir("/tmp", 0o777); err != nil {
 			t.Errorf("mkdir: %v", err)
 			return

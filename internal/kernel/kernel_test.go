@@ -33,7 +33,7 @@ func waitIdle(t *testing.T, s *System) {
 func TestRunExitWait(t *testing.T) {
 	s := NewSystem(testConfig())
 	var ran atomic.Bool
-	s.Run("init", func(c *Context) {
+	s.Start("init", func(c *Context) {
 		ran.Store(true)
 		if c.Getpid() != 1 {
 			t.Errorf("pid = %d, want 1", c.Getpid())
@@ -53,7 +53,7 @@ func TestRunExitWait(t *testing.T) {
 func TestForkWaitStatus(t *testing.T) {
 	s := NewSystem(testConfig())
 	var childPid atomic.Int64
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		pid, err := c.Fork("child", func(cc *Context) {
 			childPid.Store(int64(cc.Getpid()))
 			if cc.Getppid() != 1 {
@@ -82,7 +82,7 @@ func TestForkWaitStatus(t *testing.T) {
 func TestForkCopyOnWriteIsolation(t *testing.T) {
 	s := NewSystem(testConfig())
 	const va = vm.DataBase
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		if err := c.Store32(va, 100); err != nil {
 			t.Errorf("parent store: %v", err)
 		}
@@ -113,7 +113,7 @@ func TestSprocSharedMemory(t *testing.T) {
 	s := NewSystem(testConfig())
 	const flag = vm.DataBase
 	const data = vm.DataBase + 4
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		c.Store32(data, 0)
 		_, err := c.Sproc("member", func(cc *Context, arg int64) {
 			if arg != 77 {
@@ -147,7 +147,7 @@ func TestSprocSharedMemory(t *testing.T) {
 
 func TestSprocStackVisibleToGroup(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		var stackVA atomic.Uint32
 		var ready atomic.Bool
 		c.Sproc("member", func(cc *Context, _ int64) {
@@ -176,7 +176,7 @@ func TestSprocStackVisibleToGroup(t *testing.T) {
 
 func TestStrictInheritance(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		// Child shares only fds; its own child requests everything but
 		// may only get fds.
 		c.Sproc("limited", func(cc *Context, _ int64) {
@@ -197,7 +197,7 @@ func TestStrictInheritance(t *testing.T) {
 
 func TestSprocSharedFds(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		var childFd atomic.Int64
 		childFd.Store(-1)
 		c.Sproc("opener", func(cc *Context, _ int64) {
@@ -241,7 +241,7 @@ func TestSprocSharedFds(t *testing.T) {
 func TestSprocNoVMShareIsCOW(t *testing.T) {
 	s := NewSystem(testConfig())
 	const va = vm.DataBase
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		c.Store32(va, 1)
 		var done atomic.Bool
 		c.Sproc("cow-child", func(cc *Context, _ int64) {
@@ -264,7 +264,7 @@ func TestSprocNoVMShareIsCOW(t *testing.T) {
 
 func TestChdirPropagation(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		c.Mkdir("/work", 0o755)
 		var moved, checked atomic.Bool
 		c.Sproc("mover", func(cc *Context, _ int64) {
@@ -294,7 +294,7 @@ func TestChdirPropagation(t *testing.T) {
 
 func TestUmaskAndUlimitPropagation(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		var set, verified atomic.Bool
 		c.Sproc("setter", func(cc *Context, _ int64) {
 			cc.Umask(0o077)
@@ -333,7 +333,7 @@ func TestUmaskAndUlimitPropagation(t *testing.T) {
 
 func TestSetuidPropagation(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		var set atomic.Bool
 		c.Sproc("setter", func(cc *Context, _ int64) {
 			if err := cc.Setuid(42); err != nil {
@@ -354,7 +354,7 @@ func TestSetuidPropagation(t *testing.T) {
 
 func TestExecLeavesGroup(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		done := make(chan struct{})
 		c.Sproc("execer", func(cc *Context, _ int64) {
 			fd, _ := cc.Creat("/keep", 0o644)
@@ -397,7 +397,7 @@ func TestExecLeavesGroup(t *testing.T) {
 func TestGroupSurvivesCreatorExit(t *testing.T) {
 	s := NewSystem(testConfig())
 	var finished atomic.Int32
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		for i := 0; i < 3; i++ {
 			c.Sproc("worker", func(cc *Context, arg int64) {
 				// Workers outlive the creator.
@@ -418,7 +418,7 @@ func TestGroupSurvivesCreatorExit(t *testing.T) {
 
 func TestSignalsDefaultAndHandler(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		pid, _ := c.Fork("victim", func(cc *Context) {
 			for {
 				cc.Getpid()
@@ -452,7 +452,7 @@ func TestSignalsDefaultAndHandler(t *testing.T) {
 
 func TestPauseInterruptedBySignal(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		var woke atomic.Bool
 		pid, _ := c.Fork("pauser", func(cc *Context) {
 			cc.Signal(proc.SIGUSR1, func(int) {})
@@ -480,7 +480,7 @@ func TestPauseInterruptedBySignal(t *testing.T) {
 
 func TestKillSleepingProcess(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		pid, _ := c.Fork("sleeper", func(cc *Context) {
 			cc.Pause() // interruptible sleep
 			// SIGKILL latched: death happens on the next kernel crossing.
@@ -501,7 +501,7 @@ func TestKillSleepingProcess(t *testing.T) {
 
 func TestSbrkGrowVisibleToGroup(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		oldBrk := c.Brk()
 		var grown, read atomic.Bool
 		c.Sproc("grower", func(cc *Context, _ int64) {
@@ -530,7 +530,7 @@ func TestSbrkGrowVisibleToGroup(t *testing.T) {
 
 func TestSbrkShrinkShootsDown(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		end := c.Brk()
 		// Touch the last data page so a translation is cached.
 		c.Store32(end-hw.PageSize, 9)
@@ -552,7 +552,7 @@ func TestSbrkShrinkShootsDown(t *testing.T) {
 
 func TestMmapMunmapShared(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		va, err := c.Mmap(4)
 		if err != nil {
 			t.Errorf("mmap: %v", err)
@@ -587,7 +587,7 @@ func TestMmapMunmapShared(t *testing.T) {
 func TestPRDAIsPrivatePerMember(t *testing.T) {
 	s := NewSystem(testConfig())
 	const members = 4
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		var done atomic.Int32
 		for i := 0; i < members; i++ {
 			c.Sproc("m", func(cc *Context, arg int64) {
@@ -625,7 +625,7 @@ func TestSelfSchedulingPoolCAS(t *testing.T) {
 	const items = 300
 	const counterVA = vm.DataBase
 	const nextVA = vm.DataBase + 4
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		for w := 0; w < workers; w++ {
 			c.Sproc("worker", func(cc *Context, _ int64) {
 				for {
@@ -650,7 +650,7 @@ func TestSelfSchedulingPoolCAS(t *testing.T) {
 
 func TestSEGVKillsWithoutHandler(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		pid, _ := c.Fork("wild", func(cc *Context) {
 			cc.Load32(0xdeadbeef &^ 3)
 			t.Error("survived wild access")
@@ -667,7 +667,7 @@ func TestProcLimit(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxProcs = 3
 	s := NewSystem(cfg)
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		release := make(chan struct{})
 		for i := 0; i < 2; i++ {
 			if _, err := c.Fork("filler", func(cc *Context) { <-release }); err != nil {
@@ -687,7 +687,7 @@ func TestProcLimit(t *testing.T) {
 func TestPrctl(t *testing.T) {
 	cfg := testConfig()
 	s := NewSystem(cfg)
-	s.Run("p", func(c *Context) {
+	s.Start("p", func(c *Context) {
 		if v, _ := c.Prctl(PRMaxPProcs, 0); v != int64(cfg.NCPU) {
 			t.Errorf("PR_MAXPPROCS = %d", v)
 		}
@@ -716,6 +716,31 @@ func TestPrctl(t *testing.T) {
 		if _, err := c.Prctl(PRSetStackSize, -5); err == nil {
 			t.Error("negative stack size accepted")
 		}
+		// The typed wrappers agree with the raw call.
+		if got := c.MaxPProcs(); got != cfg.NCPU {
+			t.Errorf("MaxPProcs() = %d", got)
+		}
+		if got := c.MaxProcs(); got != 256 {
+			t.Errorf("MaxProcs() = %d", got)
+		}
+		if rounded, err := c.SetStackSize(64 * 1024); err != nil || rounded != 64*1024 {
+			t.Errorf("SetStackSize = (%d, %v)", rounded, err)
+		}
+		if got := c.GetStackSize(); got != 64*1024 {
+			t.Errorf("GetStackSize() = %d", got)
+		}
+		// The earlier Sproc made this a share-group leader, so the gang
+		// wrappers work here too (the no-group error is covered by
+		// TestPrctlGangAndGroupPrio).
+		if err := c.SetGang(true); err != nil {
+			t.Errorf("SetGang: %v", err)
+		}
+		if err := c.SetGroupPrio(3); err != nil {
+			t.Errorf("SetGroupPrio: %v", err)
+		}
+		if PRSetGang.String() != "PR_SETGANG" || PrctlOpt(99).String() == "" {
+			t.Error("PrctlOpt.String broken")
+		}
 	})
 	waitIdle(t, s)
 }
@@ -725,7 +750,7 @@ func TestNonGroupProcessesUnaffected(t *testing.T) {
 	// plain process's syscalls must never touch share machinery (no
 	// propagations, no syncs) even while a group runs beside it.
 	s := NewSystem(testConfig())
-	s.Run("group", func(c *Context) {
+	s.Start("group", func(c *Context) {
 		c.Sproc("m", func(cc *Context, _ int64) {
 			for i := 0; i < 100; i++ {
 				cc.Umask(0o022)
@@ -733,7 +758,7 @@ func TestNonGroupProcessesUnaffected(t *testing.T) {
 		}, proc.PRSALL, 0)
 		c.Wait()
 	})
-	s.Run("plain", func(c *Context) {
+	s.Start("plain", func(c *Context) {
 		for i := 0; i < 200; i++ {
 			c.Getpid()
 			c.Umask(0o022)
@@ -750,7 +775,7 @@ func TestNonGroupProcessesUnaffected(t *testing.T) {
 
 func TestMemoryReclaimedAfterExit(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		// Dirty some pages, spawn group members that dirty more, and
 		// make sure everything is returned when the processes die.
 		c.Store32(vm.DataBase, 1)

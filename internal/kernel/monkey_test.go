@@ -29,7 +29,7 @@ func runMonkey(t *testing.T, seed int64) {
 	cfg.MaxProcs = 64
 	s := NewSystem(cfg)
 
-	s.Run("monkey", func(c *Context) {
+	s.Start("monkey", func(c *Context) {
 		rng := rand.New(rand.NewSource(seed))
 		var body func(cc *Context, depth int, rng *rand.Rand)
 		body = func(cc *Context, depth int, rng *rand.Rand) {

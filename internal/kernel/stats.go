@@ -35,6 +35,23 @@ type Stats struct {
 	// summed over the per-CPU accumulators. Nonzero entries only, ordered
 	// by syscall number.
 	Syscalls []SyscallStat
+
+	// Fault injection and degradation. Zero throughout when no plan is
+	// armed; FaultSites has one row per injection site otherwise.
+	FaultChecks     int64           // injection decisions taken
+	FaultsInjected  int64           // faults actually injected
+	FaultSites      []FaultSiteStat // per-site breakdown
+	FrameReclaims   int64           // cache-drain-and-reclaim passes
+	ReclaimedFrames int64           // frames repatriated to the pool by reclaims
+	SyscallRestarts int64           // EINTR auto-restarts (SA_RESTART policy)
+	SyscallRetries  int64           // EAGAIN retries with backoff
+}
+
+// FaultSiteStat is one injection site's counters.
+type FaultSiteStat struct {
+	Site     string // site name ("sysenter", "framealloc", ...)
+	Checks   int64  // decisions taken at the site
+	Injected int64  // faults injected at the site
 }
 
 // SyscallStat is one syscall's accounting line: how often it was called
@@ -95,6 +112,19 @@ func (s *System) Stats() Stats {
 		}
 		if count > 0 {
 			st.Syscalls = append(st.Syscalls, SyscallStat{Num: n, Name: SysName(n), Count: count, SimCyc: cyc})
+		}
+	}
+	st.FrameReclaims = mem.Reclaims.Load()
+	st.ReclaimedFrames = mem.ReclaimedFrames.Load()
+	st.SyscallRestarts = s.restarts.Load()
+	st.SyscallRetries = s.retries.Load()
+	if pl := s.faults; pl != nil {
+		st.FaultChecks = pl.TotalChecks()
+		st.FaultsInjected = pl.TotalInjected()
+		for _, row := range pl.Stats() {
+			st.FaultSites = append(st.FaultSites, FaultSiteStat{
+				Site: row.Name, Checks: row.Checks, Injected: row.Injected,
+			})
 		}
 	}
 	return st

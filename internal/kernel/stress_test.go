@@ -22,7 +22,7 @@ func TestSystemStress(t *testing.T) {
 	var groupSums atomic.Int64
 	const groups = 3
 	for g := 0; g < groups; g++ {
-		s.Run(fmt.Sprintf("group-%d", g), func(c *Context) {
+		s.Start(fmt.Sprintf("group-%d", g), func(c *Context) {
 			shm, err := c.Mmap(2)
 			if err != nil {
 				t.Errorf("mmap: %v", err)
@@ -49,7 +49,7 @@ func TestSystemStress(t *testing.T) {
 	}
 
 	var forked atomic.Int64
-	s.Run("forker", func(c *Context) {
+	s.Start("forker", func(c *Context) {
 		for i := 0; i < 20; i++ {
 			_, err := c.Fork("kid", func(cc *Context) {
 				cc.Store32(vm.DataBase, 1)
@@ -67,7 +67,7 @@ func TestSystemStress(t *testing.T) {
 	})
 
 	var execs atomic.Int64
-	s.Run("execer", func(c *Context) {
+	s.Start("execer", func(c *Context) {
 		var chain func(depth int) Main
 		chain = func(depth int) Main {
 			return func(cc *Context) {
@@ -102,7 +102,7 @@ func TestSystemStress(t *testing.T) {
 
 func TestDup2(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("p", func(c *Context) {
+	s.Start("p", func(c *Context) {
 		fd, _ := c.Open("/log", fs.ORead|fs.OWrite|fs.OCreat, 0o644)
 		other, _ := c.Creat("/other", 0o644)
 		// Redirect "other" onto the log file.
@@ -134,7 +134,7 @@ func TestDup2(t *testing.T) {
 
 func TestMmapPrivateInGroup(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		done := make(chan struct{})
 		probe := make(chan uint32, 1)
 		var privVA atomic.Uint32
@@ -174,7 +174,7 @@ func TestMmapPrivateInGroup(t *testing.T) {
 
 func TestTextIsWriteProtected(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("solo", func(c *Context) {
+	s.Start("solo", func(c *Context) {
 		c.Signal(proc.SIGSEGV, func(int) {})
 		if _, err := c.Load32(vm.TextBase); err != nil {
 			t.Errorf("text load: %v", err)
@@ -199,7 +199,7 @@ func TestTextIsWriteProtected(t *testing.T) {
 
 func TestSEGVWithoutHandlerOnTextStore(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		pid, _ := c.Fork("scribbler", func(cc *Context) {
 			cc.Store32(vm.TextBase, 7)
 			t.Error("survived text store")
@@ -217,7 +217,7 @@ func TestSEGVWithoutHandlerOnTextStore(t *testing.T) {
 // reused (the failure mode is address wrap-around after ~4000 rounds).
 func TestArenaRecycling(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("churner", func(c *Context) {
+	s.Start("churner", func(c *Context) {
 		// Group path.
 		c.Sproc("m", func(cc *Context, _ int64) {}, proc.PRSALL, 0)
 		c.Wait()
@@ -244,7 +244,7 @@ func TestArenaRecycling(t *testing.T) {
 			}
 		}
 	})
-	s.Run("solo-churner", func(c *Context) {
+	s.Start("solo-churner", func(c *Context) {
 		first, _ := c.Mmap(4)
 		c.Munmap(first)
 		for i := 0; i < 500; i++ {

@@ -13,6 +13,7 @@ import (
 func (c *Context) Pipe() (int, int, error) {
 	fds, err := invoke(c, sysPipe, func() ([2]int, error) {
 		p := ipc.NewPipe()
+		p.FI = c.S.faults
 		rs, ws := p.Ends()
 		ri := c.S.FS.MkInode(fs.ModeFIFO|0o600, 0, 0)
 		wi := c.S.FS.MkInode(fs.ModeFIFO|0o600, 0, 0)

@@ -270,21 +270,37 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 	return child.PID, nil
 }
 
-// Prctl options. The first four are the paper's §5.2 set; the last two
-// implement the §8 scheduling extensions ("the shared address block ...
-// provides a convenient handle for making scheduling decisions about the
-// process group as a whole").
+// PrctlOpt selects a prctl(2) operation. The first four options are the
+// paper's §5.2 set; the last two implement the §8 scheduling extensions
+// ("the shared address block ... provides a convenient handle for making
+// scheduling decisions about the process group as a whole").
+type PrctlOpt int
+
 const (
-	PRMaxProcs     = 1 // limit on processes per user
-	PRMaxPProcs    = 2 // number of processes the system can run in parallel
-	PRSetStackSize = 3 // set the maximum stack size (bytes)
-	PRGetStackSize = 4 // get the maximum stack size (bytes)
-	PRSetGang      = 5 // value!=0: gang-schedule this share group (§8)
-	PRGroupPrio    = 6 // set the scheduling priority of the whole group (§8)
+	PRMaxProcs     PrctlOpt = 1 // limit on processes per user
+	PRMaxPProcs    PrctlOpt = 2 // number of processes the system can run in parallel
+	PRSetStackSize PrctlOpt = 3 // set the maximum stack size (bytes)
+	PRGetStackSize PrctlOpt = 4 // get the maximum stack size (bytes)
+	PRSetGang      PrctlOpt = 5 // value!=0: gang-schedule this share group (§8)
+	PRGroupPrio    PrctlOpt = 6 // set the scheduling priority of the whole group (§8)
 )
 
+var prctlNames = map[PrctlOpt]string{
+	PRMaxProcs: "PR_MAXPROCS", PRMaxPProcs: "PR_MAXPPROCS",
+	PRSetStackSize: "PR_SETSTACKSIZE", PRGetStackSize: "PR_GETSTACKSIZE",
+	PRSetGang: "PR_SETGANG", PRGroupPrio: "PR_GROUPPRIO",
+}
+
+// String returns the symbolic option name (PR_MAXPROCS).
+func (o PrctlOpt) String() string {
+	if n, ok := prctlNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("prctl(%d)", int(o))
+}
+
 // Prctl queries and controls share-group features (paper §5.2).
-func (c *Context) Prctl(option int, value int64) (int64, error) {
+func (c *Context) Prctl(option PrctlOpt, value int64) (int64, error) {
 	return invoke(c, sysPrctl, func() (int64, error) {
 		switch option {
 		case PRMaxProcs:
@@ -321,9 +337,55 @@ func (c *Context) Prctl(option int, value int64) (int64, error) {
 			}
 			return value, nil
 		default:
-			return -1, fmt.Errorf("kernel: prctl: unknown option %d", option)
+			return -1, fmt.Errorf("kernel: prctl: unknown option %v", option)
 		}
 	})
+}
+
+// The ergonomic prctl wrappers: each is one option of the raw call with a
+// properly typed result. Raw Prctl stays available for the §5.2 interface.
+
+// MaxProcs returns the per-user process limit (PR_MAXPROCS).
+func (c *Context) MaxProcs() int {
+	v, _ := c.Prctl(PRMaxProcs, 0)
+	return int(v)
+}
+
+// MaxPProcs returns how many processes the system can run in parallel —
+// the CPU count (PR_MAXPPROCS).
+func (c *Context) MaxPProcs() int {
+	v, _ := c.Prctl(PRMaxPProcs, 0)
+	return int(v)
+}
+
+// SetStackSize sets the maximum stack size in bytes (PR_SETSTACKSIZE) and
+// returns the page-rounded size actually in effect.
+func (c *Context) SetStackSize(bytes int64) (int64, error) {
+	return c.Prctl(PRSetStackSize, bytes)
+}
+
+// GetStackSize returns the maximum stack size in bytes (PR_GETSTACKSIZE).
+func (c *Context) GetStackSize() int64 {
+	v, _ := c.Prctl(PRGetStackSize, 0)
+	return v
+}
+
+// SetGang turns gang scheduling for the caller's share group on or off
+// (PR_SETGANG). Fails outside a share group.
+func (c *Context) SetGang(on bool) error {
+	v := int64(0)
+	if on {
+		v = 1
+	}
+	_, err := c.Prctl(PRSetGang, v)
+	return err
+}
+
+// SetGroupPrio sets the scheduling priority of every member of the
+// caller's share group (PR_GROUPPRIO). Fails outside a share group.
+func (c *Context) SetGroupPrio(prio int32) error {
+	_, err := c.Prctl(PRGroupPrio, int64(prio))
+	return err
 }
 
 // Unshare implements the §8 "stop sharing" extension: the caller withdraws

@@ -17,7 +17,7 @@ import (
 
 func TestPipeSyscallAcrossFork(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		rfd, wfd, err := c.Pipe()
 		if err != nil {
 			t.Errorf("Pipe: %v", err)
@@ -44,7 +44,7 @@ func TestPipeSyscallAcrossFork(t *testing.T) {
 
 func TestPipeSharedThroughGroup(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		rfd, wfd, err := c.Pipe()
 		if err != nil {
 			t.Errorf("Pipe: %v", err)
@@ -65,7 +65,7 @@ func TestPipeSharedThroughGroup(t *testing.T) {
 
 func TestMsgQueueSyscalls(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		id := c.Msgget(77)
 		if c.Msgget(77) != id {
 			t.Error("key not stable")
@@ -96,7 +96,7 @@ func TestMsgQueueSyscalls(t *testing.T) {
 
 func TestSemSyscalls(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		id := c.Semget(5, 1)
 		c.Semop(id, 0, 1)
 		if v, _ := c.Semval(id, 0); v != 1 {
@@ -128,7 +128,7 @@ func TestSemSyscalls(t *testing.T) {
 
 func TestShmSyscallsAcrossProcesses(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("parent", func(c *Context) {
+	s.Start("parent", func(c *Context) {
 		id := c.Shmget(9, 2)
 		va, err := c.Shmat(id)
 		if err != nil {
@@ -170,7 +170,7 @@ func TestShmSyscallsAcrossProcesses(t *testing.T) {
 
 func TestDupSharesOffsetAndPropagates(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		fd, _ := c.Open("/f", fs.ORead|fs.OWrite|fs.OCreat, 0o644)
 		dup, err := c.Dup(fd)
 		if err != nil {
@@ -204,7 +204,7 @@ func TestDupSharesOffsetAndPropagates(t *testing.T) {
 
 func TestReadWriteErrorPaths(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("p", func(c *Context) {
+	s.Start("p", func(c *Context) {
 		if _, err := c.Read(42, vm.DataBase, 8); !errors.Is(err, fs.ErrBadFd) {
 			t.Errorf("read bad fd: %v", err)
 		}
@@ -233,7 +233,7 @@ func TestReadWriteErrorPaths(t *testing.T) {
 
 func TestSbrkErrors(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("p", func(c *Context) {
+	s.Start("p", func(c *Context) {
 		brk := c.Brk()
 		if brk != vm.DataBase+hw.VAddr(s.Config().DataPages*hw.PageSize) {
 			t.Errorf("initial brk = %#x", uint32(brk))
@@ -250,7 +250,7 @@ func TestSbrkErrors(t *testing.T) {
 
 func TestSigmask(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("p", func(c *Context) {
+	s.Start("p", func(c *Context) {
 		var got atomic.Int32
 		c.Signal(proc.SIGUSR1, func(int) { got.Add(1) })
 		old := c.Sigmask(1 << proc.SIGUSR1)
@@ -285,7 +285,7 @@ func TestSigmask(t *testing.T) {
 
 func TestChrootInGroup(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		c.Mkdir("/jail", 0o755)
 		c.Mkdir("/jail/home", 0o755)
 		var moved atomic.Bool
@@ -321,7 +321,7 @@ func TestQuickStrictInheritance(t *testing.T) {
 		cfg := testConfig()
 		s := NewSystem(cfg)
 		okc := make(chan bool, 1)
-		s.Run("root", func(c *Context) {
+		s.Start("root", func(c *Context) {
 			var spawn func(cc *Context, depth int) bool
 			spawn = func(cc *Context, depth int) bool {
 				if depth >= len(reqs) {
@@ -365,7 +365,7 @@ func TestQuickStrictInheritance(t *testing.T) {
 
 func TestThreadCreateInsideGroupKeepsMask(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("creator", func(c *Context) {
+	s.Start("creator", func(c *Context) {
 		done := make(chan struct{})
 		c.Sproc("limited", func(cc *Context, _ int64) {
 			defer close(done)
@@ -388,7 +388,7 @@ func TestThreadCreateInsideGroupKeepsMask(t *testing.T) {
 
 func TestWriteToReadOnlyTextFaults(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("p", func(c *Context) {
+	s.Start("p", func(c *Context) {
 		// Text is readable...
 		if _, err := c.Load32(vm.TextBase); err != nil {
 			t.Errorf("text read: %v", err)

@@ -96,74 +96,87 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", uint8(c))
 }
 
+// Per-syscall policy flags: how the gateway degrades the call under
+// faults. The restart/retry bits encode UNIX semantics (which calls
+// SA_RESTART may transparently restart, which transient failures are safe
+// to re-run); the sfInj bits bound what an armed fault plan may inject at
+// entry, so a call never reports an errno its contract does not allow.
+const (
+	sfRestart   uint8 = 1 << iota // EINTR from a blocking wait transparently restarts (SA_RESTART)
+	sfRetry                       // transient EAGAIN retries with escalating backoff
+	sfInjEINTR                    // plan may inject EINTR at entry
+	sfInjEAGAIN                   // plan may inject EAGAIN at entry
+	sfInjENOMEM                   // plan may inject ENOMEM at entry
+)
+
 // sysDesc is one descriptor of the gateway table: the identity of a system
-// call plus its dispatch-cost hint. Cost is charged by the gateway at entry
-// on top of the machine's SyscallEntry cost — the hook per-syscall cost
-// modelling and fault injection hang off; 0 means the call has no fixed
-// cost beyond the trap itself.
+// call plus its dispatch-cost hint and degradation policy. Cost is charged
+// by the gateway at entry on top of the machine's SyscallEntry cost; 0
+// means the call has no fixed cost beyond the trap itself.
 type sysDesc struct {
 	num   Sysno
 	name  string
 	class Class
 	cost  int64
+	flags uint8
 }
 
 // The descriptor table. Syscall bodies reference these package-level
 // descriptors when dispatching through invoke.
 var (
-	sysOpen        = &sysDesc{SysOpen, "open", ClassFS, 0}
-	sysClose       = &sysDesc{SysClose, "close", ClassFS, 0}
-	sysDup         = &sysDesc{SysDup, "dup", ClassFS, 0}
-	sysDup2        = &sysDesc{SysDup2, "dup2", ClassFS, 0}
-	sysFcntl       = &sysDesc{SysFcntl, "fcntl", ClassFS, 0}
-	sysRead        = &sysDesc{SysRead, "read", ClassFS, 0}
-	sysWrite       = &sysDesc{SysWrite, "write", ClassFS, 0}
-	sysLseek       = &sysDesc{SysLseek, "lseek", ClassFS, 0}
-	sysMkdir       = &sysDesc{SysMkdir, "mkdir", ClassFS, 0}
-	sysUnlink      = &sysDesc{SysUnlink, "unlink", ClassFS, 0}
-	sysLink        = &sysDesc{SysLink, "link", ClassFS, 0}
-	sysStat        = &sysDesc{SysStat, "stat", ClassFS, 0}
-	sysReadDir     = &sysDesc{SysReadDir, "readdir", ClassFS, 0}
-	sysChdir       = &sysDesc{SysChdir, "chdir", ClassFS, 0}
-	sysChroot      = &sysDesc{SysChroot, "chroot", ClassFS, 0}
-	sysUmask       = &sysDesc{SysUmask, "umask", ClassFS, 0}
-	sysUlimit      = &sysDesc{SysUlimit, "ulimit", ClassFS, 0}
-	sysSetuid      = &sysDesc{SysSetuid, "setuid", ClassFS, 0}
-	sysSetgid      = &sysDesc{SysSetgid, "setgid", ClassFS, 0}
-	sysGetuid      = &sysDesc{SysGetuid, "getuid", ClassFS, 0}
-	sysBrk         = &sysDesc{SysBrk, "brk", ClassVM, 0}
-	sysSbrk        = &sysDesc{SysSbrk, "sbrk", ClassVM, 0}
-	sysMmap        = &sysDesc{SysMmap, "mmap", ClassVM, 0}
-	sysMmapPrivate = &sysDesc{SysMmapPrivate, "mmap_priv", ClassVM, 0}
-	sysMunmap      = &sysDesc{SysMunmap, "munmap", ClassVM, 0}
-	sysResident    = &sysDesc{SysResident, "resident", ClassVM, 0}
-	sysPipe        = &sysDesc{SysPipe, "pipe", ClassIPC, 0}
-	sysMsgget      = &sysDesc{SysMsgget, "msgget", ClassIPC, 0}
-	sysMsgsnd      = &sysDesc{SysMsgsnd, "msgsnd", ClassIPC, 0}
-	sysMsgrcv      = &sysDesc{SysMsgrcv, "msgrcv", ClassIPC, 0}
-	sysSemget      = &sysDesc{SysSemget, "semget", ClassIPC, 0}
-	sysSemop       = &sysDesc{SysSemop, "semop", ClassIPC, 0}
-	sysSemval      = &sysDesc{SysSemval, "semval", ClassIPC, 0}
-	sysShmget      = &sysDesc{SysShmget, "shmget", ClassIPC, 0}
-	sysShmat       = &sysDesc{SysShmat, "shmat", ClassIPC, 0}
-	sysShmRemove   = &sysDesc{SysShmRemove, "shmrm", ClassIPC, 0}
-	sysNetListen   = &sysDesc{SysNetListen, "netlisten", ClassIPC, 0}
-	sysNetAccept   = &sysDesc{SysNetAccept, "netaccept", ClassIPC, 0}
-	sysNetConnect  = &sysDesc{SysNetConnect, "netconnect", ClassIPC, 0}
-	sysGetpid      = &sysDesc{SysGetpid, "getpid", ClassProc, 0}
-	sysGetppid     = &sysDesc{SysGetppid, "getppid", ClassProc, 0}
-	sysFork        = &sysDesc{SysFork, "fork", ClassProc, 0}
-	sysSproc       = &sysDesc{SysSproc, "sproc", ClassProc, 0}
-	sysThread      = &sysDesc{SysThreadCreate, "thread_create", ClassProc, 0}
-	sysPrctl       = &sysDesc{SysPrctl, "prctl", ClassProc, 0}
-	sysUnshare     = &sysDesc{SysUnshare, "unshare", ClassProc, 0}
-	sysExec        = &sysDesc{SysExec, "exec", ClassProc, 0}
-	sysExit        = &sysDesc{SysExit, "exit", ClassProc, 0}
-	sysWait        = &sysDesc{SysWait, "wait", ClassProc, 0}
-	sysKill        = &sysDesc{SysKill, "kill", ClassProc, 0}
-	sysSignal      = &sysDesc{SysSignal, "signal", ClassProc, 0}
-	sysSigmask     = &sysDesc{SysSigmask, "sigmask", ClassProc, 0}
-	sysPause       = &sysDesc{SysPause, "pause", ClassProc, 0}
+	sysOpen        = &sysDesc{SysOpen, "open", ClassFS, 0, sfInjEINTR}
+	sysClose       = &sysDesc{SysClose, "close", ClassFS, 0, 0}
+	sysDup         = &sysDesc{SysDup, "dup", ClassFS, 0, 0}
+	sysDup2        = &sysDesc{SysDup2, "dup2", ClassFS, 0, 0}
+	sysFcntl       = &sysDesc{SysFcntl, "fcntl", ClassFS, 0, 0}
+	sysRead        = &sysDesc{SysRead, "read", ClassFS, 0, sfRestart | sfInjEINTR}
+	sysWrite       = &sysDesc{SysWrite, "write", ClassFS, 0, sfRestart | sfInjEINTR}
+	sysLseek       = &sysDesc{SysLseek, "lseek", ClassFS, 0, 0}
+	sysMkdir       = &sysDesc{SysMkdir, "mkdir", ClassFS, 0, 0}
+	sysUnlink      = &sysDesc{SysUnlink, "unlink", ClassFS, 0, 0}
+	sysLink        = &sysDesc{SysLink, "link", ClassFS, 0, 0}
+	sysStat        = &sysDesc{SysStat, "stat", ClassFS, 0, 0}
+	sysReadDir     = &sysDesc{SysReadDir, "readdir", ClassFS, 0, 0}
+	sysChdir       = &sysDesc{SysChdir, "chdir", ClassFS, 0, 0}
+	sysChroot      = &sysDesc{SysChroot, "chroot", ClassFS, 0, 0}
+	sysUmask       = &sysDesc{SysUmask, "umask", ClassFS, 0, 0}
+	sysUlimit      = &sysDesc{SysUlimit, "ulimit", ClassFS, 0, 0}
+	sysSetuid      = &sysDesc{SysSetuid, "setuid", ClassFS, 0, 0}
+	sysSetgid      = &sysDesc{SysSetgid, "setgid", ClassFS, 0, 0}
+	sysGetuid      = &sysDesc{SysGetuid, "getuid", ClassFS, 0, 0}
+	sysBrk         = &sysDesc{SysBrk, "brk", ClassVM, 0, sfInjENOMEM}
+	sysSbrk        = &sysDesc{SysSbrk, "sbrk", ClassVM, 0, sfInjENOMEM}
+	sysMmap        = &sysDesc{SysMmap, "mmap", ClassVM, 0, sfInjENOMEM}
+	sysMmapPrivate = &sysDesc{SysMmapPrivate, "mmap_priv", ClassVM, 0, sfInjENOMEM}
+	sysMunmap      = &sysDesc{SysMunmap, "munmap", ClassVM, 0, 0}
+	sysResident    = &sysDesc{SysResident, "resident", ClassVM, 0, 0}
+	sysPipe        = &sysDesc{SysPipe, "pipe", ClassIPC, 0, 0}
+	sysMsgget      = &sysDesc{SysMsgget, "msgget", ClassIPC, 0, 0}
+	sysMsgsnd      = &sysDesc{SysMsgsnd, "msgsnd", ClassIPC, 0, sfRestart | sfInjEINTR}
+	sysMsgrcv      = &sysDesc{SysMsgrcv, "msgrcv", ClassIPC, 0, sfRestart | sfInjEINTR}
+	sysSemget      = &sysDesc{SysSemget, "semget", ClassIPC, 0, 0}
+	sysSemop       = &sysDesc{SysSemop, "semop", ClassIPC, 0, sfRestart | sfInjEINTR}
+	sysSemval      = &sysDesc{SysSemval, "semval", ClassIPC, 0, 0}
+	sysShmget      = &sysDesc{SysShmget, "shmget", ClassIPC, 0, sfInjENOMEM}
+	sysShmat       = &sysDesc{SysShmat, "shmat", ClassIPC, 0, sfInjENOMEM}
+	sysShmRemove   = &sysDesc{SysShmRemove, "shmrm", ClassIPC, 0, 0}
+	sysNetListen   = &sysDesc{SysNetListen, "netlisten", ClassIPC, 0, 0}
+	sysNetAccept   = &sysDesc{SysNetAccept, "netaccept", ClassIPC, 0, sfRestart | sfInjEINTR}
+	sysNetConnect  = &sysDesc{SysNetConnect, "netconnect", ClassIPC, 0, sfRestart}
+	sysGetpid      = &sysDesc{SysGetpid, "getpid", ClassProc, 0, 0}
+	sysGetppid     = &sysDesc{SysGetppid, "getppid", ClassProc, 0, 0}
+	sysFork        = &sysDesc{SysFork, "fork", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
+	sysSproc       = &sysDesc{SysSproc, "sproc", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
+	sysThread      = &sysDesc{SysThreadCreate, "thread_create", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
+	sysPrctl       = &sysDesc{SysPrctl, "prctl", ClassProc, 0, 0}
+	sysUnshare     = &sysDesc{SysUnshare, "unshare", ClassProc, 0, 0}
+	sysExec        = &sysDesc{SysExec, "exec", ClassProc, 0, sfInjENOMEM}
+	sysExit        = &sysDesc{SysExit, "exit", ClassProc, 0, 0}
+	sysWait        = &sysDesc{SysWait, "wait", ClassProc, 0, sfInjEINTR}
+	sysKill        = &sysDesc{SysKill, "kill", ClassProc, 0, 0}
+	sysSignal      = &sysDesc{SysSignal, "signal", ClassProc, 0, 0}
+	sysSigmask     = &sysDesc{SysSigmask, "sigmask", ClassProc, 0, 0}
+	sysPause       = &sysDesc{SysPause, "pause", ClassProc, 0, 0}
 )
 
 // sysTable indexes the descriptors by number for name and class lookups.
@@ -195,6 +208,21 @@ func SysName(n Sysno) string {
 		return sysTable[n].name
 	}
 	return fmt.Sprintf("sys(%d)", uint8(n))
+}
+
+// SysRestartable reports whether the gateway transparently restarts n
+// after an EINTR whose signal was caught (SA_RESTART semantics). wait(2)
+// and pause(2) are deliberately not restartable: returning EINTR after a
+// caught signal is their UNIX contract.
+func SysRestartable(n Sysno) bool {
+	return n < NSys && sysTable[n] != nil && sysTable[n].flags&sfRestart != 0
+}
+
+// SysRetryable reports whether the gateway retries n with backoff after a
+// transient EAGAIN (process-creation calls whose limit check precedes any
+// side effect).
+func SysRetryable(n Sysno) bool {
+	return n < NSys && sysTable[n] != nil && sysTable[n].flags&sfRetry != 0
 }
 
 // SysClass returns the profiling class of a syscall number.

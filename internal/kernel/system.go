@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/fs"
 	"repro/internal/hw"
 	"repro/internal/ipc"
@@ -25,7 +26,10 @@ import (
 	"repro/internal/vm"
 )
 
-// Config describes the simulated system.
+// Config describes the simulated system. Zero values select the documented
+// defaults; negative values (and out-of-range rates) are rejected by
+// Validate — a degenerate machine is a configuration error, not something
+// to boot.
 type Config struct {
 	NCPU      int   // processors (default 4)
 	MemFrames int   // physical page frames (default 16384 = 64 MiB)
@@ -44,6 +48,13 @@ type Config struct {
 	// TraceEvents enables the kernel event ring with the given capacity
 	// (0 disables tracing entirely).
 	TraceEvents int
+
+	// Fault injection: when FaultRate is positive, the system boots with a
+	// deterministic fault plan seeded from FaultSeed, armed at every site
+	// with FaultRate per-mille probability (tune per site afterwards via
+	// FaultPlan). The same seed reproduces the same injection sequence.
+	FaultSeed uint64
+	FaultRate int // per-mille, 0 = no injection, max 1000
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +74,31 @@ func (c Config) withDefaults() Config {
 		c.DataPages = 64
 	}
 	return c
+}
+
+// Validate rejects configurations that cannot describe a machine. Zero
+// means "use the default" throughout, so only genuinely meaningless values
+// (negative counts, out-of-range rates) fail.
+func (c Config) Validate() error {
+	switch {
+	case c.NCPU < 0:
+		return fmt.Errorf("kernel: Config.NCPU must be >= 0 (0 = default), got %d", c.NCPU)
+	case c.MemFrames < 0:
+		return fmt.Errorf("kernel: Config.MemFrames must be >= 0 (0 = default), got %d", c.MemFrames)
+	case c.TimeSlice < 0:
+		return fmt.Errorf("kernel: Config.TimeSlice must be >= 0 (0 = default), got %d", c.TimeSlice)
+	case c.MaxProcs < 0:
+		return fmt.Errorf("kernel: Config.MaxProcs must be >= 0 (0 = default), got %d", c.MaxProcs)
+	case c.TextPages < 0:
+		return fmt.Errorf("kernel: Config.TextPages must be >= 0 (0 = default), got %d", c.TextPages)
+	case c.DataPages < 0:
+		return fmt.Errorf("kernel: Config.DataPages must be >= 0 (0 = default), got %d", c.DataPages)
+	case c.TraceEvents < 0:
+		return fmt.Errorf("kernel: Config.TraceEvents must be >= 0 (0 = off), got %d", c.TraceEvents)
+	case c.FaultRate < 0 || c.FaultRate > 1000:
+		return fmt.Errorf("kernel: Config.FaultRate is per-mille, 0..1000, got %d", c.FaultRate)
+	}
+	return nil
 }
 
 // Main is a user program: the code a process executes.
@@ -86,11 +122,30 @@ type System struct {
 	mains   map[int]Main // pending images for Exec
 	nextPID int
 
+	// Fault injection and degradation counters.
+	faults   *faultinject.Plan
+	restarts atomic.Int64 // EINTR auto-restarts performed by the gateway
+	retries  atomic.Int64 // EAGAIN retries performed by the gateway
+
 	wg sync.WaitGroup // live processes
 }
 
-// NewSystem boots a machine and kernel with the given configuration.
+// NewSystem boots a machine and kernel with the given configuration. It
+// panics on an invalid configuration; use NewSystemChecked to get the
+// error instead.
 func NewSystem(cfg Config) *System {
+	s, err := NewSystemChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSystemChecked is NewSystem returning configuration errors.
+func NewSystemChecked(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	m := hw.NewMachine(cfg.NCPU, cfg.MemFrames)
 	s := &System{
@@ -111,8 +166,33 @@ func NewSystem(cfg Config) *System {
 	if cfg.TraceEvents > 0 {
 		m.Trace = trace.NewMP(cfg.TraceEvents, cfg.NCPU)
 	}
-	return s
+	if cfg.FaultRate > 0 {
+		s.ArmFaults(faultinject.New(cfg.FaultSeed, cfg.FaultRate))
+	}
+	return s, nil
 }
+
+// ArmFaults wires a fault plan into every injection site: the syscall
+// gateway, the frame allocator, the dispatcher, and the blocking IPC
+// paths. Injected faults are recorded as EvFaultInject trace events. Call
+// at boot, before user code runs; nil disarms the gateway and allocator
+// sites (IPC objects created while armed keep their plan).
+func (s *System) ArmFaults(pl *faultinject.Plan) {
+	s.faults = pl
+	s.Machine.Mem.FI = pl
+	s.Sched.FI = pl
+	s.IPC.SetFault(pl)
+	s.Net.SetFault(pl)
+	if pl != nil {
+		pl.Recorder = func(site faultinject.Site, fault faultinject.Fault, key uint32) {
+			s.Machine.Trace.Record(trace.EvFaultInject, -1, -1,
+				uint64(key), uint32(site)<<8|uint32(fault))
+		}
+	}
+}
+
+// FaultPlan returns the armed fault plan, or nil.
+func (s *System) FaultPlan() *faultinject.Plan { return s.faults }
 
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -181,10 +261,11 @@ func (s *System) newImage(p *proc.Proc) {
 	p.Stack = vm.Find(p.Private, stackBase)
 }
 
-// Run starts a fresh top-level process executing main and returns its pid.
-// The process's cdir and rdir are the filesystem root; it owns a standard
-// image and runs as root.
-func (s *System) Run(name string, main Main) int {
+// Start launches a fresh top-level process executing main and returns its
+// pid immediately. The process's cdir and rdir are the filesystem root; it
+// owns a standard image and runs as root. This is the system's one entry
+// point for launching programs (WaitIdle blocks until all have exited).
+func (s *System) Start(name string, main Main) int {
 	p := proc.New(s.allocPID(), name)
 	p.Sched = s.Sched
 	p.ASID = s.Machine.AllocASID()

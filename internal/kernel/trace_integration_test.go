@@ -16,7 +16,7 @@ func TestTraceIntegration(t *testing.T) {
 	cfg.TraceEvents = 2048
 	s := NewSystem(cfg)
 
-	s.Run("traced", func(c *Context) {
+	s.Start("traced", func(c *Context) {
 		// One sproc, one fork, three fresh-page faults, one umask
 		// propagation reconciled by the member, one shrink shootdown,
 		// one caught signal.
@@ -87,7 +87,7 @@ func TestTraceIntegration(t *testing.T) {
 // nothing.
 func TestTraceDisabledByDefault(t *testing.T) {
 	s := NewSystem(testConfig())
-	s.Run("p", func(c *Context) {
+	s.Start("p", func(c *Context) {
 		c.Fork("kid", func(cc *Context) {})
 		c.Wait()
 	})

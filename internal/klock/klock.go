@@ -29,6 +29,16 @@ type Thread interface {
 	Unblock()
 }
 
+// Interruptible is a Thread whose kernel sleeps can be broken by signal
+// delivery. Sleep loops built on WaitList check SignalPending after every
+// wake so a poke from the signal layer turns into EINTR instead of a
+// re-sleep.
+type Interruptible interface {
+	Thread
+	// SignalPending reports whether an unmasked signal is pending.
+	SignalPending() bool
+}
+
 // Spin is a busy-wait kernel lock (lock_t). Kernel spin locks protect short
 // critical sections; the holder never sleeps.
 type Spin struct {
@@ -110,6 +120,21 @@ func (w *WaitList) WakeAll() int {
 	return n
 }
 
+// Remove deregisters t wherever it sits in the list, reporting whether it
+// was present. A waiter woken for a reason other than its wakeup — signal
+// poke, spurious wake — must Remove itself after re-acquiring the owner's
+// lock, or a later WakeOne would spend its wakeup on the stale entry.
+// Caller holds the owner's lock.
+func (w *WaitList) Remove(t Thread) bool {
+	for i, x := range w.ts {
+		if x == t {
+			w.ts = append(w.ts[:i], w.ts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Len returns the number of waiters. Caller holds the owner's lock.
 func (w *WaitList) Len() int { return len(w.ts) }
 
@@ -146,7 +171,18 @@ func (s *Sema) P(t Thread, reason string) {
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
 	s.Sleeps.Add(1)
-	t.Block(reason)
+	// Wake tokens are level-triggered (a signal poke can leave a stale
+	// one), so a returning Block does not by itself mean the semaphore was
+	// granted — re-sleep until V marked this waiter granted.
+	for {
+		t.Block(reason)
+		s.mu.Lock()
+		if w.granted || w.interrupted {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+	}
 }
 
 // PInterruptible is P, but the sleep can be broken by Interrupt (signal
@@ -163,10 +199,25 @@ func (s *Sema) PInterruptible(t Thread, reason string) bool {
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
 	s.Sleeps.Add(1)
-	t.Block(reason)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return !w.interrupted
+	return s.sleep(t, reason, w)
+}
+
+// sleep blocks until the waiter is granted or interrupted, absorbing
+// spurious wakes from stale level-triggered tokens. It reports whether the
+// semaphore was acquired.
+func (s *Sema) sleep(t Thread, reason string, w *waiter) bool {
+	for {
+		t.Block(reason)
+		s.mu.Lock()
+		granted, interrupted := w.granted, w.interrupted
+		s.mu.Unlock()
+		if granted {
+			return true
+		}
+		if interrupted {
+			return false
+		}
+	}
 }
 
 // PInterruptibleIf is PInterruptible with an atomic pre-sleep abort check:
@@ -189,10 +240,7 @@ func (s *Sema) PInterruptibleIf(t Thread, reason string, abort func() bool) bool
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
 	s.Sleeps.Add(1)
-	t.Block(reason)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return !w.interrupted
+	return s.sleep(t, reason, w)
 }
 
 // V increments the semaphore, waking the oldest sleeper if any.

@@ -269,15 +269,27 @@ func (p *Proc) Unblock() {
 		p.Sched.Unblock(p)
 		return
 	}
-	p.wake <- struct{}{}
+	p.NotifyWake()
 }
 
 // WaitWake consumes the wakeup token; the scheduler's Block uses it so an
 // Unblock that raced ahead is not lost.
 func (p *Proc) WaitWake() { <-p.wake }
 
-// NotifyWake deposits the wakeup token.
-func (p *Proc) NotifyWake() { p.wake <- struct{}{} }
+// NotifyWake deposits the wakeup token. The token is level-triggered and
+// the deposit must not block: with signal pokes a second wake can arrive
+// while an unconsumed token already sits in the channel, and the waker may
+// be holding the sleep owner's mutex — the very mutex the woken process
+// needs to make progress. A dropped deposit is always redundant (the
+// existing token wakes the same Block), and every sleep loop re-checks its
+// condition after waking, so tolerating the occasional spurious wake is
+// the whole correctness story.
+func (p *Proc) NotifyWake() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
 
 // shareRef boxes the interface so it can sit behind an atomic pointer.
 type shareRef struct{ g ShareGroup }

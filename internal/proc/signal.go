@@ -62,14 +62,24 @@ func (p *Proc) Post(sig int) {
 }
 
 // interruptSleep breaks the interruptible kernel sleep in progress, if any.
+// A process blocked on a WaitList (pipe, message queue, semaphore set,
+// accept) has no registered sleepSema; poking its wake token makes the
+// sleep loop wake, re-check its condition, and notice SignalPending — the
+// EINTR path. A stale token costs at most one tolerated spurious wake.
 func (p *Proc) interruptSleep() {
 	p.sleepMu.Lock()
 	s := p.sleepSema
 	p.sleepMu.Unlock()
 	if s != nil {
 		s.Interrupt(p)
+		return
 	}
+	p.NotifyWake()
 }
+
+// SignalPending implements klock.Interruptible: it reports whether any
+// deliverable signal is pending.
+func (p *Proc) SignalPending() bool { return p.UnmaskedPending(0) }
 
 // SleepInterruptible performs an interruptible P on s, registering the
 // sleep so Post can break it. It reports whether the semaphore was

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/hw"
 	"repro/internal/proc"
 	"repro/internal/trace"
@@ -85,6 +86,11 @@ type Sched struct {
 	Steals      atomic.Int64 // picks taken from another CPU's queue
 	LocalPicks  atomic.Int64 // picks served from the CPU's own queue
 	StealScans  atomic.Int64 // full steal scans (the slow pick path)
+
+	// FI, when armed at SiteDispatch, forces occasional short slices and
+	// dispatch stalls — the scheduler's deterministic perturbation under a
+	// chaos plan. Set before the first process runs; nil means off.
+	FI *faultinject.Plan
 }
 
 // New creates a scheduler for the machine. slice is the time-slice length
@@ -241,8 +247,16 @@ func (s *Sched) dispatch(p *proc.Proc, cpu int) {
 	p.CPU.Store(int32(cpu))
 	p.LastCPU.Store(int32(cpu))
 	p.Dispatched.Add(1)
-	p.SliceLeft.Store(s.slice)
 	c := s.machine.CPUs[cpu]
+	slice := s.slice
+	if hit, draw := s.FI.Decide(faultinject.SiteDispatch, uint32(p.PID)); hit {
+		// Forced near-immediate preemption: a fraction of the normal slice,
+		// plus an extra context-switch charge as the dispatch stall.
+		slice = 1 + int64(draw>>16)%(s.slice/4+1)
+		c.Charge(s.machine.Cost.ContextSwitch)
+		s.FI.Note(faultinject.SiteDispatch, faultinject.FaultPreempt, uint32(p.PID))
+	}
+	p.SliceLeft.Store(slice)
 	c.Switches.Add(1)
 	c.Charge(s.machine.Cost.ContextSwitch)
 	s.Dispatches.Add(1)

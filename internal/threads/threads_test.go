@@ -12,7 +12,7 @@ import (
 func runSystem(t *testing.T, main kernel.Main) *kernel.System {
 	t.Helper()
 	s := kernel.NewSystem(kernel.Config{NCPU: 4, MemFrames: 8192, TimeSlice: 300})
-	s.Run("main", main)
+	s.Start("main", main)
 	done := make(chan struct{})
 	go func() { s.WaitIdle(); close(done) }()
 	select {

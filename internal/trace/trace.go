@@ -41,12 +41,17 @@ const (
 	// event's Aux field.
 	EvSyscallEnter // gateway entry (Arg: syscall number)
 	EvSyscallExit  // gateway exit (Arg: syscall number, Aux: errno)
+
+	// EvFaultInject records a deterministic injected fault (Arg: the
+	// injection site's key — syscall number, pid, cpu —, Aux: site<<8|fault
+	// in faultinject numbering).
+	EvFaultInject
 )
 
 var kindNames = [...]string{
 	"none", "create", "exit", "dispatch", "preempt", "fault",
 	"shootdown", "signal", "syscall", "propagate", "sync",
-	"sysenter", "sysexit",
+	"sysenter", "sysexit", "faultinj",
 }
 
 func (k Kind) String() string {

@@ -23,7 +23,7 @@ const (
 // consumption stays bounded at bench scale.
 func Creation(cfg kernel.Config, kind CreateKind, dataPages, n int) Metrics {
 	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
-		c.Prctl(kernel.PRSetStackSize, 64*1024)
+		c.SetStackSize(64 * 1024)
 		for i := 0; i < dataPages && i < cfg.DataPages; i++ {
 			c.Store32(dataVA(i), uint32(i))
 		}

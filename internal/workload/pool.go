@@ -175,7 +175,7 @@ func GangBarrier(cfg kernel.Config, gang bool, members, load, rounds, grain int)
 	var stopLoad atomic.Bool
 	loadDone := make(chan struct{}, load)
 	for i := 0; i < load; i++ {
-		s.Sys.Run("load", func(c *kernel.Context) {
+		s.Sys.Start("load", func(c *kernel.Context) {
 			defer func() { loadDone <- struct{}{} }()
 			for !stopLoad.Load() {
 				// Plain compute: burns its slice and gets preempted.
@@ -189,12 +189,12 @@ func GangBarrier(cfg kernel.Config, gang bool, members, load, rounds, grain int)
 	done := make(chan struct{})
 	var memberDispatches int64
 	s.start()
-	s.Sys.Run("group-leader", func(c *kernel.Context) {
+	s.Sys.Start("group-leader", func(c *kernel.Context) {
 		if gang {
 			// The §8 extension is requested per group via prctl.
 			c.Sproc("primer", func(*kernel.Context, int64) {}, proc.PRSALL, 0)
 			c.Wait()
-			c.Prctl(kernel.PRSetGang, 1)
+			c.SetGang(true)
 		}
 		bar := uspin.Barrier{VA: dataBase, N: uint32(members)}
 		bar.Init(c)

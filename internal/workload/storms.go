@@ -138,7 +138,7 @@ func DispatchStorm(cfg kernel.Config, procs, yieldsEach int) Metrics {
 	s.start()
 	for i := 0; i < procs; i++ {
 		wg.Add(1)
-		s.Sys.Run("yielder", func(cc *kernel.Context) {
+		s.Sys.Start("yielder", func(cc *kernel.Context) {
 			defer wg.Done()
 			for n := 0; n < yieldsEach; n++ {
 				cc.P.SliceLeft.Store(0)

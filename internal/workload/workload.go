@@ -117,7 +117,7 @@ func (s *session) metrics(ops int64) Metrics {
 // start/stop), waits for idle, and returns metrics for ops operations.
 func runMeasured(cfg kernel.Config, ops int64, body func(*kernel.Context, *session)) Metrics {
 	s := newSession(cfg)
-	s.Sys.Run("driver", func(c *kernel.Context) {
+	s.Sys.Start("driver", func(c *kernel.Context) {
 		body(c, s)
 	})
 	s.Sys.WaitIdle()

@@ -70,6 +70,13 @@ type (
 	Sysno = kernel.Sysno
 	// SyscallStat is one row of the kernel's per-syscall accounting.
 	SyscallStat = kernel.SyscallStat
+	// Stats is a snapshot of the kernel's hot-path counters, including the
+	// fault-injection and degradation counters.
+	Stats = kernel.Stats
+	// FaultSiteStat is one fault-injection site's check/inject counters.
+	FaultSiteStat = kernel.FaultSiteStat
+	// PrctlOpt selects a prctl(2) operation.
+	PrctlOpt = kernel.PrctlOpt
 )
 
 // ErrnoOf extracts the errno from any error a syscall returned (EOK for
@@ -113,12 +120,16 @@ const (
 	PRSALL    = proc.PRSALL    // share everything
 )
 
-// prctl options (paper §5.2).
+// prctl options (paper §5.2 plus the §8 scheduling extensions). Typed as
+// PrctlOpt; Ctx also offers ergonomic wrappers (MaxProcs, SetStackSize,
+// SetGang, ...) over the raw Prctl call.
 const (
 	PRMaxProcs     = kernel.PRMaxProcs
 	PRMaxPProcs    = kernel.PRMaxPProcs
 	PRSetStackSize = kernel.PRSetStackSize
 	PRGetStackSize = kernel.PRGetStackSize
+	PRSetGang      = kernel.PRSetGang
+	PRGroupPrio    = kernel.PRGroupPrio
 )
 
 // Inode mode bits (Stat.Mode).
@@ -191,21 +202,28 @@ type (
 	Counter = uspin.Counter
 )
 
-// System is a booted simulated machine and kernel.
+// System is a booted simulated machine and kernel. The embedded
+// kernel.System provides the full surface: Start launches a program,
+// WaitIdle blocks until every process has exited, Stats snapshots the
+// kernel counters (including fault-injection and degradation counters).
 type System struct {
 	*kernel.System
 }
 
 // New boots a system. The zero Config gives 4 CPUs, 64 MiB of memory and
-// default limits.
+// default limits. It panics on an invalid configuration (negative CPU or
+// memory counts, out-of-range fault rates); use NewChecked for the error.
 func New(cfg Config) *System {
 	return &System{kernel.NewSystem(cfg)}
 }
 
-// Start launches a fresh top-level process executing main; it returns the
-// new pid immediately.
-func (s *System) Start(name string, main Main) int {
-	return s.Run(name, main)
+// NewChecked is New returning configuration errors instead of panicking.
+func NewChecked(cfg Config) (*System, error) {
+	s, err := kernel.NewSystemChecked(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{s}, nil
 }
 
 // NewTask adopts the calling process as the bootstrap thread of a
