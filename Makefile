@@ -7,6 +7,7 @@ tier1: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -short -run 'Chaos' -count=1 ./internal/workload/
+	$(GO) test -race -short -run 'FaultStorm|COWBreak|StormRace' -count=1 ./internal/vm/ ./internal/workload/
 
 # Chaos: the full seeded fault-injection soak (deterministic per seed).
 .PHONY: chaos
@@ -14,13 +15,18 @@ chaos:
 	$(GO) test -run 'Chaos' -count=1 -v ./internal/workload/
 	$(GO) test -run 'TestFault|TestRestart' -count=1 -v ./internal/kernel/
 
-# Lint: vet, plus two invariants of the syscall layer — every call must
+# Lint: vet, plus three structural invariants — every syscall must
 # dispatch through the descriptor table (never hand-rolled kernel-entry
-# pairs), and exhaustion must surface as an errno, never a kernel panic
-# (panic is reserved for the exit/exec control-flow unwinds).
+# pairs), exhaustion must surface as an errno, never a kernel panic
+# (panic is reserved for the exit/exec control-flow unwinds), and the
+# resident-fault fast path must stay lock-free.
 .PHONY: lint
 lint:
 	$(GO) vet ./...
+	@if grep -nE '\.Lock\(\)|\.RLock\(\)|\.Unlock\(\)|\bsync\.' internal/vm/fillfast.go; then \
+		echo "lint: fillfast.go is the lock-free fault fast path — no mutex or sync primitive may appear there (slow cases belong in region.go)" >&2; \
+		exit 1; \
+	fi
 	@if grep -nE 'EnterKernel|ExitKernel' internal/kernel/syscalls_*.go; then \
 		echo "lint: syscalls_*.go must go through the gateway (invoke/invoke0/invoke1), not EnterKernel/ExitKernel" >&2; \
 		exit 1; \
@@ -38,7 +44,7 @@ vet:
 # that drives them; slower than tier1 but catches sharding bugs.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/hw/... ./internal/sched/... ./internal/trace/... ./internal/workload/... ./internal/kernel/...
+	$(GO) test -race ./internal/hw/... ./internal/vm/... ./internal/klock/... ./internal/core/... ./internal/sched/... ./internal/trace/... ./internal/workload/... ./internal/kernel/...
 
 .PHONY: bench
 bench:

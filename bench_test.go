@@ -186,6 +186,12 @@ func BenchmarkHotPathScaling(b *testing.B) {
 		})
 	}
 	for _, ncpu := range ncpus {
+		b.Run(fmt.Sprintf("resident-fault-storm/ncpu=%d", ncpu), func(b *testing.B) {
+			per := b.N/ncpu + 1
+			report(b, workload.ResidentFaultStorm(mpCfg(ncpu), ncpu, per))
+		})
+	}
+	for _, ncpu := range ncpus {
 		b.Run(fmt.Sprintf("create-storm/ncpu=%d", ncpu), func(b *testing.B) {
 			per := b.N/ncpu + 1
 			report(b, workload.CreateStorm(mpCfg(ncpu), ncpu, per))

@@ -107,6 +107,10 @@ func dump(c *irix.Ctx) {
 	fmt.Printf("    allocs=%d frees=%d cow-copies=%d cache-hits=%d refills=%d drains=%d scavenges=%d pool-allocs=%d cached=%d\n",
 		st.FrameAllocs, st.FrameFrees, st.FrameCopies, st.CacheHits,
 		st.CacheRefills, st.CacheDrains, st.CacheScavenges, st.PoolAllocs, st.FramesCached)
+	fmt.Println("  fault fast path (lock-free fills, pregion caches, batched shootdowns):")
+	fmt.Printf("    fast-fills=%d slow-fills=%d vmcache-hits=%d vmcache-misses=%d page-shootdowns=%d space-shootdowns=%d\n",
+		st.FastFills, st.SlowFills, st.VMCacheHits, st.VMCacheMisses,
+		st.PageShootdowns, st.SpaceShootdowns)
 	fmt.Println("  fault injection and degradation:")
 	fmt.Printf("    checks=%d injected=%d restarts=%d retries=%d reclaims=%d reclaimed-frames=%d\n",
 		st.FaultChecks, st.FaultsInjected, st.SyscallRestarts,

@@ -41,6 +41,14 @@ type ShAddr struct {
 	regions []*vm.PRegion // s_region: the shared pregion list
 	ASID    hw.ASID       // the shared virtual space's identifier
 
+	// gen is the shared-list generation: bumped (under the Acc update
+	// lock) by every mutation of the list or of a listed region's extent,
+	// it validates the members' last-hit pregion caches — a fault whose
+	// cached generation still matches may skip the list scan. nregions
+	// mirrors len(regions) for lock-free diagnostics (String, sgtop).
+	gen      atomic.Uint64
+	nregions atomic.Int32
+
 	// Membership.
 	listLock klock.Spin   // s_listlock
 	members  []*proc.Proc // s_plink
@@ -81,7 +89,21 @@ type ShAddr struct {
 	Propagations atomic.Int64 // shared-resource updates pushed to the block
 	Syncs        atomic.Int64 // member entry synchronizations performed
 	Shootdowns   atomic.Int64 // region shrink/detach shootdowns
+	CacheHits    atomic.Int64 // faults resolved from a member's pregion cache
+	CacheMisses  atomic.Int64 // faults that scanned the shared list
 }
+
+// touchRegions records a mutation of the shared pregion list (or of a
+// listed region's extent): it invalidates every member's lookup cache by
+// bumping the generation and refreshes the lock-free region count. Caller
+// holds the Acc update lock (or is the teardown's last member).
+func (sa *ShAddr) touchRegions() {
+	sa.gen.Add(1)
+	sa.nregions.Store(int32(len(sa.regions)))
+}
+
+// Generation returns the shared-list generation (tests, diagnostics).
+func (sa *ShAddr) Generation() uint64 { return sa.gen.Load() }
 
 // Options selects implementation variants, used by the ablation
 // experiments to measure the design choices the paper made.
@@ -140,6 +162,7 @@ func NewWithOptions(creator *proc.Proc, opts Options) *ShAddr {
 		sa.regions = append(sa.regions, pr)
 	}
 	creator.Private = private
+	sa.touchRegions()
 
 	// Shadow the environment, bumping reference counts for the block.
 	creator.Mu.Lock()
@@ -197,6 +220,7 @@ func (sa *ShAddr) Leave(p *proc.Proc) {
 		if ms.shared {
 			sa.Acc.Lock(p)
 			sa.regions = vm.Remove(sa.regions, ms.pr)
+			sa.touchRegions()
 			sa.Acc.Unlock()
 			ms.pr.Reg.Detach()
 		}
@@ -238,6 +262,7 @@ func (sa *ShAddr) teardown() {
 		pr.Reg.Detach()
 	}
 	sa.regions = nil
+	sa.touchRegions()
 	for i, f := range sa.ofile {
 		if f != nil {
 			f.Release()
@@ -312,5 +337,7 @@ func (sa *ShAddr) String() string {
 	sa.listLock.Lock()
 	n := sa.refcnt
 	sa.listLock.Unlock()
-	return fmt.Sprintf("shaddr{members=%d, regions=%d, asid=%d}", n, len(sa.regions), sa.ASID)
+	// nregions mirrors len(sa.regions) atomically: reading the slice here
+	// would race with list mutations made under the Acc update lock.
+	return fmt.Sprintf("shaddr{members=%d, regions=%d, asid=%d}", n, sa.nregions.Load(), sa.ASID)
 }

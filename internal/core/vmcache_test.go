@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// resolve faults va through the shared fast path and fails the test if no
+// shared pregion covers it.
+func resolve(t *testing.T, sa *ShAddr, p *proc.Proc, va hw.VAddr) {
+	t.Helper()
+	if _, _, _, found, err := sa.ResolveShared(p, va, false); err != nil || !found {
+		t.Fatalf("ResolveShared(%#x) = found=%v err=%v", uint32(va), found, err)
+	}
+}
+
+// TestLookupCacheHitsAndInvalidation drives the per-process last-hit
+// pregion cache through its whole protocol: a first fault misses and
+// seeds the cache, a repeat fault in the same pregion hits, and every
+// list/extent mutation (attach, grow, shrink, detach, member leave) bumps
+// the generation so the next fault re-scans instead of trusting a stale
+// hit.
+func TestLookupCacheHitsAndInvalidation(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+
+	hits := func() int64 { return sa.CacheHits.Load() }
+	misses := func() int64 { return sa.CacheMisses.Load() }
+
+	resolve(t, sa, p, vm.DataBase)
+	if hits() != 0 || misses() != 1 {
+		t.Fatalf("first fault: hits=%d misses=%d, want 0/1", hits(), misses())
+	}
+	resolve(t, sa, p, vm.DataBase+hw.PageSize)
+	if hits() != 1 || misses() != 1 {
+		t.Fatalf("repeat fault: hits=%d misses=%d, want 1/1", hits(), misses())
+	}
+
+	// Attach invalidates: the generation moves, the cached hit is stale.
+	gen := sa.Generation()
+	base := sa.AttachAnon(p, vm.NewRegion(r.mem, vm.RShm, 2))
+	if sa.Generation() == gen {
+		t.Fatal("AttachAnon did not bump the generation")
+	}
+	resolve(t, sa, p, vm.DataBase)
+	if hits() != 1 || misses() != 2 {
+		t.Fatalf("post-attach fault: hits=%d misses=%d, want 1/2", hits(), misses())
+	}
+
+	// Extent changes invalidate too: grow, then shrink.
+	data := sa.FindShared(p, vm.DataBase)
+	gen = sa.Generation()
+	sa.GrowShared(p, data, 2)
+	if sa.Generation() == gen {
+		t.Fatal("GrowShared did not bump the generation")
+	}
+	gen = sa.Generation()
+	sa.ShrinkShared(p, data, 2, func() {})
+	if sa.Generation() == gen {
+		t.Fatal("ShrinkShared did not bump the generation")
+	}
+	resolve(t, sa, p, vm.DataBase)
+	if hits() != 1 || misses() != 3 {
+		t.Fatalf("post-resize fault: hits=%d misses=%d, want 1/3", hits(), misses())
+	}
+
+	// Cache the mapped pregion, detach it, and fault elsewhere: the evicted
+	// entry must not resurface as a hit.
+	resolve(t, sa, p, base) // miss 4, caches the anon pregion
+	pr := sa.FindShared(p, base)
+	gen = sa.Generation()
+	if err := sa.DetachShared(p, pr, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Generation() == gen {
+		t.Fatal("DetachShared did not bump the generation")
+	}
+	resolve(t, sa, p, vm.DataBase)
+	if hits() != 1 || misses() != 5 {
+		t.Fatalf("post-detach fault: hits=%d misses=%d, want 1/5", hits(), misses())
+	}
+	// And the refreshed cache serves hits again.
+	resolve(t, sa, p, vm.DataBase)
+	if hits() != 2 {
+		t.Fatalf("refreshed cache: hits=%d, want 2", hits())
+	}
+}
+
+// TestLookupCacheStaleGenerationMisses checks the cache object itself: a
+// Put under one generation is invisible to Gets under any other.
+func TestLookupCacheStaleGenerationMisses(t *testing.T) {
+	var c vm.LookupCache
+	m := hw.NewMemory(8)
+	pr := &vm.PRegion{Reg: vm.NewRegion(m, vm.RData, 1), Base: vm.DataBase}
+	if c.Get(0) != nil {
+		t.Fatal("empty cache returned a pregion")
+	}
+	c.Put(3, pr)
+	if c.Get(3) != pr {
+		t.Fatal("cache missed its own generation")
+	}
+	if c.Get(4) != nil || c.Get(2) != nil {
+		t.Fatal("cache hit across a generation change")
+	}
+}

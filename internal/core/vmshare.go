@@ -15,7 +15,14 @@ var ErrTextWrite = vm.ErrTextWrite
 // under the shared read lock — the hot path of §6.2. Multiple members
 // fault concurrently; an updater excludes them all. found is false when no
 // shared pregion covers va.
+//
+// The common case touches no lock word shared with another CPU: the read
+// lock is taken on the faulting CPU's own reader slot, the pregion comes
+// from the process's last-hit cache (valid because the list generation,
+// bumped by every mutation under the update lock, still matches), and a
+// resident fill is two atomic loads in the region's page table.
 func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.PFN, writable bool, res vm.FillResult, found bool, err error) {
+	cpu := int(p.CPU.Load())
 	if sa.opts.ExclusiveVMLock {
 		// Ablation: the rejected design — faults serialize on one lock.
 		sa.Acc.Lock(p)
@@ -24,17 +31,25 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 		if pr == nil {
 			return hw.NoPFN, false, vm.FillCached, false, nil
 		}
-		pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, int(p.CPU.Load()))
+		pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, cpu)
 		return pfn, writable, res, true, err
 	}
-	sa.Acc.RLock(p)
-	pr := vm.Find(sa.regions, va)
-	if pr == nil {
-		sa.Acc.RUnlock()
-		return hw.NoPFN, false, vm.FillCached, false, nil
+	slot := sa.Acc.RLockOn(p, cpu)
+	gen := sa.gen.Load()
+	pr := p.VMC.Get(gen)
+	if pr != nil && pr.Contains(va) {
+		sa.CacheHits.Add(1)
+	} else {
+		pr = vm.Find(sa.regions, va)
+		if pr == nil {
+			sa.Acc.RUnlockOn(slot)
+			return hw.NoPFN, false, vm.FillCached, false, nil
+		}
+		sa.CacheMisses.Add(1)
+		p.VMC.Put(gen, pr)
 	}
-	pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, int(p.CPU.Load()))
-	sa.Acc.RUnlock()
+	pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, cpu)
+	sa.Acc.RUnlockOn(slot)
 	return pfn, writable, res, true, err
 }
 
@@ -56,6 +71,7 @@ func (sa *ShAddr) UnshareVM(p *proc.Proc, shoot func()) []*vm.PRegion {
 		sa.regions = vm.Remove(sa.regions, ms.pr)
 		defer ms.pr.Reg.Detach()
 	}
+	sa.touchRegions()
 	shoot()
 	sa.Shootdowns.Add(1)
 	sa.Acc.Unlock()
@@ -65,18 +81,18 @@ func (sa *ShAddr) UnshareVM(p *proc.Proc, shoot func()) []*vm.PRegion {
 // FindShared locates the shared pregion containing va under the read lock
 // (for syscalls that validate an address without filling it).
 func (sa *ShAddr) FindShared(p *proc.Proc, va hw.VAddr) *vm.PRegion {
-	sa.Acc.RLock(p)
+	slot := sa.Acc.RLockOn(p, int(p.CPU.Load()))
 	pr := vm.Find(sa.regions, va)
-	sa.Acc.RUnlock()
+	sa.Acc.RUnlockOn(slot)
 	return pr
 }
 
 // Regions returns a snapshot of the shared pregion list (diagnostics).
 func (sa *ShAddr) RegionList(p *proc.Proc) []*vm.PRegion {
-	sa.Acc.RLock(p)
+	slot := sa.Acc.RLockOn(p, int(p.CPU.Load()))
 	out := make([]*vm.PRegion, len(sa.regions))
 	copy(out, sa.regions)
-	sa.Acc.RUnlock()
+	sa.Acc.RUnlockOn(slot)
 	return out
 }
 
@@ -91,6 +107,7 @@ func (sa *ShAddr) AttachShared(p *proc.Proc, pr *vm.PRegion) error {
 		return fmt.Errorf("core: attach overlaps existing shared region at %#x", uint32(pr.Base))
 	}
 	sa.regions = append(sa.regions, pr)
+	sa.touchRegions()
 	return nil
 }
 
@@ -107,6 +124,7 @@ func (sa *ShAddr) DetachShared(p *proc.Proc, pr *vm.PRegion, shoot func()) error
 	if len(sa.regions) == before {
 		return fmt.Errorf("core: detach of pregion not on shared list")
 	}
+	sa.touchRegions()
 	shoot()
 	sa.Shootdowns.Add(1)
 	if pr.Reg.Type == vm.RShm && pr.Base >= vm.ShmBase && pr.Base < vm.SprocStackBase {
@@ -123,6 +141,7 @@ func (sa *ShAddr) DetachShared(p *proc.Proc, pr *vm.PRegion, shoot func()) error
 func (sa *ShAddr) GrowShared(p *proc.Proc, pr *vm.PRegion, n int) {
 	sa.Acc.Lock(p)
 	pr.Reg.Grow(n)
+	sa.touchRegions()
 	sa.Acc.Unlock()
 }
 
@@ -132,6 +151,7 @@ func (sa *ShAddr) GrowShared(p *proc.Proc, pr *vm.PRegion, n int) {
 func (sa *ShAddr) ShrinkShared(p *proc.Proc, pr *vm.PRegion, n int, shoot func()) int {
 	sa.Acc.Lock(p)
 	defer sa.Acc.Unlock()
+	sa.touchRegions()
 	shoot()
 	sa.Shootdowns.Add(1)
 	return pr.Reg.Shrink(n)
@@ -164,6 +184,7 @@ func (sa *ShAddr) CarveStack(child *proc.Proc, mem *hw.Memory, maxPages int, sha
 	sa.listLock.Unlock()
 	if shared {
 		sa.regions = append(sa.regions, pr)
+		sa.touchRegions()
 	}
 	return pr
 }
@@ -176,6 +197,7 @@ func (sa *ShAddr) AttachAnon(p *proc.Proc, reg *vm.Region) hw.VAddr {
 	defer sa.Acc.Unlock()
 	base := sa.carveShmLocked(reg.Pages())
 	sa.regions = append(sa.regions, &vm.PRegion{Reg: reg, Base: base})
+	sa.touchRegions()
 	return base
 }
 

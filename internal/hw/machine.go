@@ -78,9 +78,22 @@ type Machine struct {
 	// cost path — every Record on a nil ring is a no-op).
 	Trace *trace.Ring
 
-	ShootdownOps atomic.Int64 // machine-wide shootdown operations
-	nextASID     atomic.Uint32
+	ShootdownOps    atomic.Int64 // machine-wide shootdown operations
+	PageShootdowns  atomic.Int64 // shootdowns served page-by-page (small ranges)
+	SpaceShootdowns atomic.Int64 // shootdowns that flushed a whole space
+
+	// PageShootdownMax is the largest freed range (in pages) that
+	// ShootdownRange invalidates page-by-page; anything larger falls back
+	// to a full space flush. Per-page flushes leave the members' unrelated
+	// TLB entries warm and cost one IPI per remote CPU either way; past a
+	// few entries the per-page bookkeeping stops paying for itself.
+	PageShootdownMax int
+
+	nextASID atomic.Uint32
 }
+
+// DefaultPageShootdownMax is the default ShootdownRange threshold.
+const DefaultPageShootdownMax = 8
 
 // NewMachine builds a machine with ncpu processors and memFrames page
 // frames of physical memory.
@@ -89,9 +102,10 @@ func NewMachine(ncpu, memFrames int) *Machine {
 		panic("hw: machine needs at least one CPU")
 	}
 	m := &Machine{
-		CPUs: make([]*CPU, ncpu),
-		Mem:  NewMemory(memFrames),
-		Cost: DefaultCosts(),
+		CPUs:             make([]*CPU, ncpu),
+		Mem:              NewMemory(memFrames),
+		Cost:             DefaultCosts(),
+		PageShootdownMax: DefaultPageShootdownMax,
 	}
 	m.Mem.AttachCaches(ncpu)
 	for i := range m.CPUs {
@@ -118,6 +132,7 @@ func (m *Machine) AllocASID() ASID {
 // complete.
 func (m *Machine) ShootdownSpace(initiator *CPU, space ASID) {
 	m.ShootdownOps.Add(1)
+	m.SpaceShootdowns.Add(1)
 	cpu := int32(-1)
 	if initiator != nil {
 		cpu = int32(initiator.ID)
@@ -139,6 +154,38 @@ func (m *Machine) ShootdownPage(initiator *CPU, vpn uint32, space ASID) {
 	m.ShootdownOps.Add(1)
 	for _, c := range m.CPUs {
 		c.TLB.FlushPage(vpn, space)
+		if c != initiator {
+			c.TLB.Shootdowns.Add(1)
+			if initiator != nil {
+				initiator.Charge(m.Cost.IPI)
+			}
+		}
+	}
+}
+
+// ShootdownRange invalidates npages pages starting at vpn on every CPU.
+// A small range (≤ PageShootdownMax) is flushed page-by-page in a single
+// batch: one IPI per remote processor covers all the pages (the initiator
+// names them in the request), so members keep the rest of their cached
+// translations — the common stack-recycle and small-unmap case. A large
+// range falls back to a full space flush, which is cheaper than walking
+// the TLB once per page.
+func (m *Machine) ShootdownRange(initiator *CPU, vpn uint32, npages int, space ASID) {
+	if max := m.PageShootdownMax; max <= 0 || npages > max {
+		m.ShootdownSpace(initiator, space)
+		return
+	}
+	m.ShootdownOps.Add(1)
+	m.PageShootdowns.Add(1)
+	cpu := int32(-1)
+	if initiator != nil {
+		cpu = int32(initiator.ID)
+	}
+	m.Trace.Record(trace.EvShootdown, int32(npages), cpu, uint64(space), vpn)
+	for _, c := range m.CPUs {
+		for i := 0; i < npages; i++ {
+			c.TLB.FlushPage(vpn+uint32(i), space)
+		}
 		if c != initiator {
 			c.TLB.Shootdowns.Add(1)
 			if initiator != nil {

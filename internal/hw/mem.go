@@ -97,6 +97,11 @@ type Memory struct {
 	Scavenges  atomic.Int64 // frames reclaimed from other CPUs' caches
 	PoolAllocs atomic.Int64 // allocations that went to the global pool
 
+	// Fault-path fill statistics (maintained by vm.FillOn; they live here
+	// because Memory is the one object every region shares).
+	FastFills atomic.Int64 // resident faults resolved lock-free
+	SlowFills atomic.Int64 // faults that took a fill stripe (zero fill, COW, upgrade)
+
 	// Reclaim statistics (exhaustion degradation).
 	Reclaims        atomic.Int64 // cache-drain-and-reclaim passes
 	ReclaimedFrames atomic.Int64 // frames returned to the pool by reclaims

@@ -1,5 +1,7 @@
 package kernel
 
+import "repro/internal/core"
+
 // Stats is a point-in-time snapshot of the kernel's hot-path counters: the
 // per-CPU dispatch, frame-cache, and trace-ring instrumentation added for
 // the MP-scalability work. All counters are cumulative since boot.
@@ -25,6 +27,16 @@ type Stats struct {
 	PoolAllocs     int64 // allocations that fell through to the global pool
 	FramesInUse    int   // referenced frames right now
 	FramesCached   int   // frames parked in per-CPU caches right now
+
+	// Fault fast path (lock-free resident fills, pregion lookup caches,
+	// batched shootdowns). VMCacheHits/Misses are summed over the live
+	// share groups; a torn-down group's counts leave the totals.
+	FastFills       int64 // resident faults resolved with zero lock acquisitions
+	SlowFills       int64 // faults that took a fill stripe (zero fill, COW, upgrade)
+	VMCacheHits     int64 // faults resolved from a member's last-hit pregion cache
+	VMCacheMisses   int64 // faults that scanned the shared pregion list
+	PageShootdowns  int64 // TLB shootdowns served page-by-page (small ranges)
+	SpaceShootdowns int64 // TLB shootdowns that flushed a whole address space
 
 	// Trace ring.
 	TraceEvents  int      // events currently buffered across all shards
@@ -96,6 +108,19 @@ func (s *System) Stats() Stats {
 		PoolAllocs:     mem.PoolAllocs.Load(),
 		FramesInUse:    mem.InUse(),
 		FramesCached:   mem.CachedFrames(),
+
+		FastFills:       mem.FastFills.Load(),
+		SlowFills:       mem.SlowFills.Load(),
+		PageShootdowns:  s.Machine.PageShootdowns.Load(),
+		SpaceShootdowns: s.Machine.SpaceShootdowns.Load(),
+	}
+	groups := map[*core.ShAddr]bool{}
+	for _, p := range s.Procs() {
+		if sa := groupOf(p); sa != nil && !groups[sa] {
+			groups[sa] = true
+			st.VMCacheHits += sa.CacheHits.Load()
+			st.VMCacheMisses += sa.CacheMisses.Load()
+		}
 	}
 	if r := s.Machine.Trace; r != nil {
 		st.TraceEvents = r.Len()

@@ -63,7 +63,11 @@ func (c *Context) Sbrk(delta int64) (hw.VAddr, error) {
 					return 0, ErrNoRegion
 				}
 				cpu := c.cpu()
-				sa.ShrinkShared(p, d, pages, func() { mach.ShootdownSpace(cpu, sa.ASID) })
+				// Only the freed tail needs to leave the TLBs: a small
+				// shrink is shot down page-by-page so members keep their
+				// other cached translations.
+				vpn := uint32(d.Base>>hw.PageShift) + uint32(d.Reg.Pages()-pages)
+				sa.ShrinkShared(p, d, pages, func() { mach.ShootdownRange(cpu, vpn, pages, sa.ASID) })
 			}
 			return old, nil
 		}
@@ -73,7 +77,8 @@ func (c *Context) Sbrk(delta int64) (hw.VAddr, error) {
 			if pages > d.Reg.Pages() {
 				return 0, ErrNoRegion
 			}
-			mach.ShootdownSpace(c.cpu(), p.ASID)
+			vpn := uint32(d.Base>>hw.PageShift) + uint32(d.Reg.Pages()-pages)
+			mach.ShootdownRange(c.cpu(), vpn, pages, p.ASID)
 			d.Reg.Shrink(pages)
 		}
 		return old, nil
@@ -147,14 +152,16 @@ func (c *Context) Munmap(va hw.VAddr) error {
 				return ErrNoRegion
 			}
 			cpu := c.cpu()
-			return sa.DetachShared(p, pr, func() { mach.ShootdownSpace(cpu, sa.ASID) })
+			vpn := uint32(pr.Base >> hw.PageShift)
+			npages := pr.Reg.Pages()
+			return sa.DetachShared(p, pr, func() { mach.ShootdownRange(cpu, vpn, npages, sa.ASID) })
 		}
 		pr := vm.Find(p.Private, va)
 		if pr == nil || pr.Base != va {
 			return ErrNoRegion
 		}
 		p.Private = vm.Remove(p.Private, pr)
-		mach.ShootdownSpace(c.cpu(), p.ASID)
+		mach.ShootdownRange(c.cpu(), uint32(pr.Base>>hw.PageShift), pr.Reg.Pages(), p.ASID)
 		if pr.Reg.Type == vm.RShm && pr.Base >= vm.ShmBase && pr.Base < vm.SprocStackBase {
 			p.FreeShmRange(pr.Base, pr.Reg.Pages())
 		}

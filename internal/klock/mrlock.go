@@ -8,22 +8,28 @@ import "sync/atomic"
 // points to — must wait until all scanners are done, and excludes scanners
 // while it works.
 //
-// The structure mirrors the shaddr_t fields:
-//
-//	s_acclck  — spin lock guarding the counters  -> acclck
-//	s_acccnt  — readers, or -1 while updating    -> acccnt
-//	s_waitcnt — processes waiting for the lock   -> waitcnt
-//	s_updwait — semaphore waiters sleep on       -> the rwait/wwait queues
+// The logical structure still mirrors the shaddr_t fields (s_acclck /
+// s_acccnt / s_waitcnt / s_updwait), but the reader count is distributed:
+// instead of one s_acccnt word that every fault-path acquisition bounces
+// between CPU caches, each CPU increments its own padded slot and checks
+// for a pending update afterwards (increment-then-check). An updater
+// announces itself (wDrain), sums the slots, and sleeps until the last
+// reader's decrement finds the sum at zero. Fault-path readers on
+// different CPUs therefore never write the same cache line, which is what
+// lets the resident-fault storm scale.
 //
 // Updates are preferred over new readers so an updater is not starved by a
 // stream of page faults; the paper notes updates (fork, exec, mmap, sbrk)
 // are rare compared with scans, so the shared lock is almost always free.
 type MRLock struct {
-	acclck  Spin
-	acccnt  int // readers holding the lock; -1 = update in progress
-	waitcnt int // threads sleeping on the lock
-	rwait   []Thread
-	wwait   []Thread
+	slots  [mrSlots]mrSlot // distributed reader counts, one per CPU
+	wstate atomic.Int32    // wNone, wDrain (update waiting), wActive (update holds)
+
+	acclck  Spin // guards the queues, waitcnt, and wstate transitions
+	waitcnt int  // threads sleeping on the lock
+	drainer *mrWaiter
+	rwait   []*mrWaiter
+	wwait   []*mrWaiter
 
 	RLocks  atomic.Int64 // read acquisitions
 	WLocks  atomic.Int64 // update acquisitions
@@ -31,65 +37,184 @@ type MRLock struct {
 	WSleeps atomic.Int64 // update acquisitions that had to sleep
 }
 
-// RLock acquires the lock for scanning. Multiple readers may hold it.
-func (l *MRLock) RLock(t Thread) {
-	l.RLocks.Add(1)
-	l.acclck.Lock()
-	if l.acccnt >= 0 && len(l.wwait) == 0 {
-		l.acccnt++
-		l.acclck.Unlock()
-		return
-	}
-	l.waitcnt++
-	l.rwait = append(l.rwait, t)
-	l.acclck.Unlock()
-	l.RSleeps.Add(1)
-	t.Block("mrlock: wait for update to finish")
-	// The waker granted us the read lock before Unblock.
+// mrSlots is the number of distributed reader slots. CPU c uses slot
+// c&(mrSlots-1); the queue-granted path and the no-affinity entry points
+// use slot 0.
+const mrSlots = 8
+
+// mrSlot is one padded reader count: the padding keeps neighbouring
+// slots off the same cache line, which is the entire point.
+type mrSlot struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
-// RUnlock releases a read hold. The last reader out hands the lock to a
-// waiting updater, if any.
-func (l *MRLock) RUnlock() {
-	l.acclck.Lock()
-	if l.acccnt <= 0 {
+const (
+	wNone   int32 = iota // no update pending: readers take the fast path
+	wDrain               // an updater waits for the reader sum to drain
+	wActive              // an updater holds the lock
+)
+
+// mrWaiter is one thread sleeping on the lock. granted is written under
+// acclck; wake tokens are level-triggered (Thread.Unblock buffers one), so
+// a woken sleeper re-blocks until its waiter is marked granted.
+type mrWaiter struct {
+	t       Thread
+	granted bool
+}
+
+// RLock acquires the lock for scanning with no CPU affinity (slot 0).
+// Multiple readers may hold it. Pair with RUnlock.
+func (l *MRLock) RLock(t Thread) { l.RLockOn(t, 0) }
+
+// RUnlock releases a read hold taken by RLock.
+func (l *MRLock) RUnlock() { l.RUnlockOn(0) }
+
+// RLockOn acquires the lock for scanning, counting the hold on cpu's slot,
+// and returns the slot the caller must pass to RUnlockOn. The fast path —
+// no update pending — is one increment of a CPU-private word and one load:
+// no spin lock, no shared store. cpu < 0 uses slot 0.
+func (l *MRLock) RLockOn(t Thread, cpu int) int {
+	l.RLocks.Add(1)
+	slot := 0
+	if cpu > 0 {
+		slot = cpu & (mrSlots - 1)
+	}
+	if l.wstate.Load() == wNone {
+		// Increment-then-check: publish the hold first, then re-examine.
+		// Every interleaving with an updater's announce-then-sum is safe:
+		// either the updater's sum sees our increment (it waits; we back
+		// out and our decrement re-checks the drain), or our re-check sees
+		// its announcement (we back out and queue).
+		l.slots[slot].n.Add(1)
+		if l.wstate.Load() == wNone {
+			return slot
+		}
+		// An updater announced itself while we entered: back out and take
+		// the slow path. The decrement may be the one that drains the sum
+		// to zero, so it must perform the updater wakeup check.
+		l.RUnlockOn(slot)
+	}
+	for {
+		l.acclck.Lock()
+		if l.wstate.Load() == wNone && len(l.wwait) == 0 && l.drainer == nil {
+			// The update finished between our check and the queue; retry
+			// the fast path rather than sleeping on a free lock.
+			l.acclck.Unlock()
+			l.slots[slot].n.Add(1)
+			if l.wstate.Load() == wNone {
+				return slot
+			}
+			l.RUnlockOn(slot)
+			continue
+		}
+		w := &mrWaiter{t: t}
+		l.rwait = append(l.rwait, w)
+		l.waitcnt++
 		l.acclck.Unlock()
+		l.RSleeps.Add(1)
+		for {
+			t.Block("mrlock: wait for update to finish")
+			l.acclck.Lock()
+			granted := w.granted
+			l.acclck.Unlock()
+			if granted {
+				// The releasing updater registered our hold on slot 0.
+				return 0
+			}
+		}
+	}
+}
+
+// RUnlockOn releases a read hold counted on slot (the value RLockOn
+// returned). The last reader out hands the lock to a draining updater.
+func (l *MRLock) RUnlockOn(slot int) {
+	if l.slots[slot&(mrSlots-1)].n.Add(-1) < 0 {
+		l.slots[slot&(mrSlots-1)].n.Add(1)
 		panic("klock: RUnlock without read hold")
 	}
-	l.acccnt--
-	if l.acccnt == 0 && len(l.wwait) > 0 {
-		w := l.wwait[0]
-		l.wwait = l.wwait[1:]
-		l.waitcnt--
-		l.acccnt = -1
+	if l.wstate.Load() == wDrain {
+		l.drainWake()
+	}
+}
+
+// sumReaders totals the distributed slots. Only meaningful for an updater
+// that has already announced wDrain (new readers back out), or under
+// acclck for diagnostics.
+func (l *MRLock) sumReaders() int64 {
+	var n int64
+	for i := range l.slots {
+		n += l.slots[i].n.Load()
+	}
+	return n
+}
+
+// drainWake grants the lock to the draining updater if the reader sum has
+// reached zero. Called by any decrement that observes wDrain; the acclck
+// serializes it against the updater registering itself.
+func (l *MRLock) drainWake() {
+	l.acclck.Lock()
+	if l.wstate.Load() != wDrain || l.drainer == nil || l.sumReaders() != 0 {
 		l.acclck.Unlock()
-		w.Unblock()
 		return
 	}
+	w := l.drainer
+	l.drainer = nil
+	l.waitcnt--
+	l.wstate.Store(wActive)
+	w.granted = true
 	l.acclck.Unlock()
+	w.t.Unblock()
 }
 
 // Lock acquires the lock for update, excluding all scanners.
 func (l *MRLock) Lock(t Thread) {
 	l.WLocks.Add(1)
 	l.acclck.Lock()
-	if l.acccnt == 0 {
-		l.acccnt = -1
+	if l.wstate.Load() == wNone {
+		// First updater: announce, then count the readers already inside.
+		l.wstate.Store(wDrain)
+		if l.sumReaders() == 0 {
+			l.wstate.Store(wActive)
+			l.acclck.Unlock()
+			return
+		}
+		w := &mrWaiter{t: t}
+		l.drainer = w
+		l.waitcnt++
 		l.acclck.Unlock()
+		l.WSleeps.Add(1)
+		l.sleep(t, w, "mrlock: wait for scanners to drain")
 		return
 	}
+	// Another update is draining or active: FIFO queue behind it.
+	w := &mrWaiter{t: t}
+	l.wwait = append(l.wwait, w)
 	l.waitcnt++
-	l.wwait = append(l.wwait, t)
 	l.acclck.Unlock()
 	l.WSleeps.Add(1)
-	t.Block("mrlock: wait for scanners to drain")
+	l.sleep(t, w, "mrlock: wait for update to finish")
+}
+
+// sleep blocks until w is granted, absorbing stale level-triggered wake
+// tokens (a signal poke can leave one buffered in the thread).
+func (l *MRLock) sleep(t Thread, w *mrWaiter, reason string) {
+	for {
+		t.Block(reason)
+		l.acclck.Lock()
+		granted := w.granted
+		l.acclck.Unlock()
+		if granted {
+			return
+		}
+	}
 }
 
 // Unlock releases an update hold, handing the lock to the next updater if
 // one waits, otherwise admitting every waiting reader at once.
 func (l *MRLock) Unlock() {
 	l.acclck.Lock()
-	if l.acccnt != -1 {
+	if l.wstate.Load() != wActive {
 		l.acclck.Unlock()
 		panic("klock: Unlock without update hold")
 	}
@@ -97,18 +222,28 @@ func (l *MRLock) Unlock() {
 		w := l.wwait[0]
 		l.wwait = l.wwait[1:]
 		l.waitcnt--
-		// acccnt stays -1: ownership passes directly.
+		w.granted = true
+		// wstate stays wActive: ownership passes directly.
 		l.acclck.Unlock()
-		w.Unblock()
+		w.t.Unblock()
 		return
 	}
 	rs := l.rwait
 	l.rwait = nil
 	l.waitcnt -= len(rs)
-	l.acccnt = len(rs)
+	// Register the granted readers' holds (on slot 0) before reopening the
+	// gate, so an updater arriving the instant wstate goes to wNone counts
+	// them in its drain sum.
+	if len(rs) > 0 {
+		l.slots[0].n.Add(int64(len(rs)))
+		for _, w := range rs {
+			w.granted = true
+		}
+	}
+	l.wstate.Store(wNone)
 	l.acclck.Unlock()
-	for _, r := range rs {
-		r.Unblock()
+	for _, w := range rs {
+		w.t.Unblock()
 	}
 }
 
@@ -116,18 +251,17 @@ func (l *MRLock) Unlock() {
 func (l *MRLock) Readers() int {
 	l.acclck.Lock()
 	defer l.acclck.Unlock()
-	if l.acccnt < 0 {
+	if l.wstate.Load() == wActive {
 		return 0
 	}
-	return l.acccnt
+	if n := l.sumReaders(); n > 0 {
+		return int(n)
+	}
+	return 0
 }
 
 // UpdateHeld reports whether an update is in progress.
-func (l *MRLock) UpdateHeld() bool {
-	l.acclck.Lock()
-	defer l.acclck.Unlock()
-	return l.acccnt == -1
-}
+func (l *MRLock) UpdateHeld() bool { return l.wstate.Load() == wActive }
 
 // WaitCount returns the number of threads sleeping on the lock.
 func (l *MRLock) WaitCount() int {

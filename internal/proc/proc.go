@@ -152,6 +152,7 @@ type Proc struct {
 
 	// Virtual memory.
 	ASID     hw.ASID
+	VMC      vm.LookupCache     // last-hit shared-pregion cache (fault fast path)
 	Private  []*vm.PRegion      // private pregion list (scanned first on fault)
 	Stack    *vm.PRegion        // this process's stack (may live on the shared list)
 	StackMax int                // max stack pages (PR_SETSTACKSIZE), inherited

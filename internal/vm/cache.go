@@ -1,0 +1,38 @@
+package vm
+
+import "sync/atomic"
+
+// LookupCache is a one-entry last-hit pregion cache (the vmacache idea):
+// each process remembers the shared pregion its previous fault resolved
+// to, tagged with the generation of the shared list at that moment. A
+// fault first consults the cache under the shared read lock; if the
+// group's generation still matches, the pregion is guaranteed to still be
+// on the list (every list or extent mutation bumps the generation while
+// holding the update lock), and the O(n) list scan is skipped entirely.
+//
+// The cache is written only by its owning process (faults are taken on
+// the process's own execution), but the fields are atomics so diagnostic
+// readers need no lock and a future cross-process toucher cannot tear the
+// pair: Put publishes the pregion before the generation, and Get checks
+// the generation first, so a mismatched pair fails toward a miss.
+type LookupCache struct {
+	gen atomic.Uint64
+	pr  atomic.Pointer[PRegion]
+}
+
+// Get returns the cached pregion if it was stored at generation gen,
+// else nil. The caller must still check the address is inside the
+// pregion (the cache is a last-hit hint, not a mapping).
+func (c *LookupCache) Get(gen uint64) *PRegion {
+	if c.gen.Load() != gen {
+		return nil
+	}
+	return c.pr.Load()
+}
+
+// Put records the pregion a fault resolved to at generation gen. The
+// caller must hold the shared read lock that made gen current.
+func (c *LookupCache) Put(gen uint64, pr *PRegion) {
+	c.pr.Store(pr)
+	c.gen.Store(gen)
+}

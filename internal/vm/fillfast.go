@@ -1,0 +1,55 @@
+// The resident-fault fast path. This file is the lock-free half of the
+// region fault handler and is kept separate so the build can enforce its
+// one structural invariant mechanically: `make lint` rejects any mutex
+// acquisition in this file. The common fault — page already resident,
+// permission adequate — must complete with two atomic loads and no lock
+// (paper §6.2's hot path; the slow cases live in region.go).
+package vm
+
+import "repro/internal/hw"
+
+// FillOn is Fill with CPU affinity: frames allocated or freed on the fault
+// path go through cpu's frame cache, so concurrent faults on different
+// processors never contend on the global frame pool. cpu < 0 uses the
+// global pool.
+//
+// Fast path: load the page table pointer, load the PTE. If the page is
+// present and the access is permitted by the cached writable bit, the
+// fault is resolved with no lock and no store. Everything else — absent
+// page, write to a non-writable PTE — falls to the striped slow path,
+// which re-checks under the slot's stripe (the state may have changed
+// between the unlocked check and the lock).
+//
+// The unlocked read is safe against every concurrent mutation: slot words
+// change atomically and only ever under a stripe lock, and the table
+// pointer is swapped only with all stripes held, so a loaded snapshot is
+// internally consistent. A fast-path read racing a structural teardown
+// (shrink, final detach) behaves exactly like a hardware TLB that has not
+// yet been shot down — and is excluded the same way, by the share group's
+// update-lock + shootdown protocol, before any frame is freed.
+func (r *Region) FillOn(idx int, write bool, cpu int) (pfn hw.PFN, writable bool, res FillResult, err error) {
+	t := r.table.Load()
+	if idx < 0 || idx >= len(t.slots) {
+		return hw.NoPFN, false, FillCached, outOfRange(r, idx, len(t.slots))
+	}
+	if r.Type == RText && write {
+		return hw.NoPFN, false, FillCached, ErrTextWrite
+	}
+	if w := t.slots[idx].Load(); w&ptePresent != 0 {
+		if w&pteWritable != 0 {
+			r.mem.FastFills.Add(1)
+			return hw.PFN(w & ptePFNMask), true, FillCached, nil
+		}
+		if !write && r.Type == RText {
+			r.mem.FastFills.Add(1)
+			return hw.PFN(w & ptePFNMask), false, FillCached, nil
+		}
+		// Non-writable data page: a read could be served here, but the
+		// frame may have become sole-owned again (COW partner detached),
+		// in which case the slow path upgrades the PTE so the *next*
+		// access is a fast hit. Taking the stripe once now is cheaper
+		// than pinning the page read-only forever.
+	}
+	r.mem.SlowFills.Add(1)
+	return r.fillSlow(idx, write, cpu)
+}

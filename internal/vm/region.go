@@ -7,13 +7,19 @@
 // The package supplies the pieces the paper's §6.2 needs: copy-on-write
 // duplication for fork and non-VM-sharing sproc, demand zero-fill, region
 // grow/shrink for sbrk and stack autogrow, and fault resolution that scans
-// a private pregion list first and a shared list second.
+// a private pregion list first and a shared list second. The fault path is
+// built so the common case — page resident, permission adequate — takes no
+// lock at all: the page table is an array of atomic PTE words (fillfast.go)
+// and only the fill slow paths (zero-fill, copy-on-write, permission
+// upgrade) serialize, on a per-page-range stripe rather than a region-wide
+// mutex.
 package vm
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hw"
 )
@@ -45,94 +51,139 @@ func (t RegionType) String() string {
 	return fmt.Sprintf("region(%d)", int(t))
 }
 
-// Region is a contiguous virtual space: its page table (frame per page,
-// NoPFN until demand-filled), a type, and a reference count of attachments.
-// A region attached by several pregions (shared text, SysV shm, a share
-// group's shared list) is one object; copy-on-write duplication creates a
-// second Region whose slots alias the same frames with bumped frame
-// reference counts.
+// The packed PTE word. An empty slot is 0; a filled slot carries the frame
+// number in the low 32 bits, ptePresent, and pteWritable if a store through
+// this region may hit the frame directly. The writable bit is a cached
+// permission, not the authority: it is set only while the region holds the
+// sole reference to the frame (or on a fresh zero fill), cleared by Dup
+// when aliases are created, and re-derived from the frame reference count
+// on the fill slow path. A clear bit therefore never permits a wrong store;
+// at worst it costs one extra fault that upgrades it.
+const (
+	ptePFNMask  uint64 = 1<<32 - 1
+	ptePresent  uint64 = 1 << 32
+	pteWritable uint64 = 1 << 33
+)
+
+// outOfRange builds the fill bounds error (shared by the fast and slow
+// paths; it lives here so fillfast.go stays free of fmt).
+func outOfRange(r *Region, idx, npages int) error {
+	return fmt.Errorf("vm: page %d outside %s region of %d pages", idx, r.Type, npages)
+}
+
+func pteEncode(pfn hw.PFN, writable bool) uint64 {
+	w := uint64(pfn) | ptePresent
+	if writable {
+		w |= pteWritable
+	}
+	return w
+}
+
+// pteTable is an immutable-length page table: the slot values mutate
+// atomically, but the slice itself is only ever swapped wholesale (Grow,
+// Shrink) under every stripe, so a reader holding a *pteTable can index it
+// freely within len(slots).
+type pteTable struct {
+	slots []atomic.Uint64
+}
+
+// regionStripes is the number of fill-path locks per region. Slot idx is
+// protected by stripe idx&(regionStripes-1); structural operations (grow,
+// shrink, duplicate, final detach) hold all stripes.
+const regionStripes = 8
+
+// Region is a contiguous virtual space: its page table (one atomic PTE per
+// page, empty until demand-filled), a type, and a reference count of
+// attachments. A region attached by several pregions (shared text, SysV
+// shm, a share group's shared list) is one object; copy-on-write
+// duplication creates a second Region whose slots alias the same frames
+// with bumped frame reference counts.
+//
+// Concurrency: Fill/FillOn may be called from any number of CPUs at once
+// with no external lock. Structural mutations (Grow, Shrink, Dup, the
+// final Detach) exclude the fill slow paths by taking every stripe, but
+// the lock-free fast path can still be concurrently reading the old table;
+// the share group's update-lock + TLB-shootdown protocol (paper §6.2) is
+// what keeps a racing fault from resurrecting a freed frame, exactly as it
+// keeps a racing hardware TLB from doing the same.
 type Region struct {
-	mu    sync.Mutex
-	Type  RegionType
-	pages []hw.PFN
-	refs  int32 // pregion attachments
-	mem   *hw.Memory
+	Type     RegionType
+	table    atomic.Pointer[pteTable]
+	refs     atomic.Int32 // pregion attachments
+	resident atomic.Int64 // filled slots, maintained so Resident is O(1)
+	mem      *hw.Memory
+	stripes  [regionStripes]sync.Mutex
 }
 
 // NewRegion creates a region of npages demand-zero pages.
 func NewRegion(mem *hw.Memory, typ RegionType, npages int) *Region {
-	r := &Region{Type: typ, pages: make([]hw.PFN, npages), refs: 1, mem: mem}
-	for i := range r.pages {
-		r.pages[i] = hw.NoPFN
-	}
+	r := &Region{Type: typ, mem: mem}
+	r.refs.Store(1)
+	r.table.Store(&pteTable{slots: make([]atomic.Uint64, npages)})
 	return r
 }
 
-// Pages returns the current length of the region in pages.
-func (r *Region) Pages() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.pages)
+// lockAll takes every stripe (in index order; all callers use this helper,
+// so the order is consistent and deadlock-free).
+func (r *Region) lockAll() {
+	for i := range r.stripes {
+		r.stripes[i].Lock()
+	}
 }
+
+func (r *Region) unlockAll() {
+	for i := range r.stripes {
+		r.stripes[i].Unlock()
+	}
+}
+
+// Pages returns the current length of the region in pages.
+func (r *Region) Pages() int { return len(r.table.Load().slots) }
 
 // Refs returns the attachment count.
-func (r *Region) Refs() int32 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.refs
-}
+func (r *Region) Refs() int32 { return r.refs.Load() }
 
 // Attach bumps the attachment count (a new pregion references the region).
-func (r *Region) Attach() {
-	r.mu.Lock()
-	r.refs++
-	r.mu.Unlock()
-}
+func (r *Region) Attach() { r.refs.Add(1) }
 
 // Detach drops one attachment; the last detach frees every resident frame.
 // It returns the remaining count.
 func (r *Region) Detach() int32 {
-	r.mu.Lock()
-	r.refs--
-	n := r.refs
+	n := r.refs.Add(-1)
 	if n < 0 {
-		r.mu.Unlock()
 		panic("vm: Detach below zero")
 	}
 	if n == 0 {
-		for i, pfn := range r.pages {
-			if pfn != hw.NoPFN {
-				r.mem.DecRef(pfn)
-				r.pages[i] = hw.NoPFN
+		r.lockAll()
+		t := r.table.Load()
+		for i := range t.slots {
+			if w := t.slots[i].Load(); w&ptePresent != 0 {
+				r.mem.DecRef(hw.PFN(w & ptePFNMask))
+				t.slots[i].Store(0)
 			}
 		}
+		r.resident.Store(0)
+		r.unlockAll()
 	}
-	r.mu.Unlock()
 	return n
 }
 
 // Frame returns the frame backing page idx, or NoPFN if not yet filled.
 func (r *Region) Frame(idx int) hw.PFN {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if idx < 0 || idx >= len(r.pages) {
+	t := r.table.Load()
+	if idx < 0 || idx >= len(t.slots) {
 		return hw.NoPFN
 	}
-	return r.pages[idx]
+	if w := t.slots[idx].Load(); w&ptePresent != 0 {
+		return hw.PFN(w & ptePFNMask)
+	}
+	return hw.NoPFN
 }
 
-// Resident counts demand-filled pages.
-func (r *Region) Resident() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := 0
-	for _, p := range r.pages {
-		if p != hw.NoPFN {
-			n++
-		}
-	}
-	return n
-}
+// Resident counts demand-filled pages. O(1): the count is maintained on
+// fill, shrink and detach (sgtop and the conservation audits call this
+// per group member).
+func (r *Region) Resident() int { return int(r.resident.Load()) }
 
 // FillResult says how a fault was resolved, so the fault handler can
 // charge the right cost.
@@ -155,62 +206,92 @@ func (r *Region) Fill(idx int, write bool) (pfn hw.PFN, writable bool, res FillR
 	return r.FillOn(idx, write, -1)
 }
 
-// FillOn is Fill with CPU affinity: frames allocated or freed on the fault
-// path go through cpu's frame cache, so concurrent faults on different
-// processors never contend on the global frame pool (the fault hot path of
-// paper §6.2). cpu < 0 uses the global pool.
-func (r *Region) FillOn(idx int, write bool, cpu int) (pfn hw.PFN, writable bool, res FillResult, err error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if idx < 0 || idx >= len(r.pages) {
-		return hw.NoPFN, false, FillCached, fmt.Errorf("vm: page %d outside %s region of %d pages", idx, r.Type, len(r.pages))
+// fillSlow is the locked half of FillOn: zero fill, copy-on-write break,
+// and writable upgrade, serialized per page on the slot's stripe. The
+// caller (the lock-free fast path in fillfast.go) has already failed the
+// unlocked check; everything is re-checked here because another CPU may
+// have filled the slot between the check and the lock.
+func (r *Region) fillSlow(idx int, write bool, cpu int) (pfn hw.PFN, writable bool, res FillResult, err error) {
+	stripe := &r.stripes[idx&(regionStripes-1)]
+	stripe.Lock()
+	defer stripe.Unlock()
+	// Re-load the table under the stripe: holding any stripe excludes the
+	// structural operations, so this snapshot cannot be swapped out from
+	// under us.
+	t := r.table.Load()
+	if idx >= len(t.slots) {
+		return hw.NoPFN, false, FillCached, fmt.Errorf("vm: page %d outside %s region of %d pages", idx, r.Type, len(t.slots))
 	}
-	if r.Type == RText && write {
-		return hw.NoPFN, false, FillCached, ErrTextWrite
-	}
-	pfn = r.pages[idx]
-	if pfn == hw.NoPFN {
+	slot := &t.slots[idx]
+	w := slot.Load()
+	if w&ptePresent == 0 {
+		// Demand zero fill.
 		pfn, err = r.mem.AllocOn(cpu)
 		if err != nil {
 			return hw.NoPFN, false, FillCached, err
 		}
-		r.pages[idx] = pfn
-		return pfn, r.Type != RText, FillZeroed, nil
+		writable = r.Type != RText
+		slot.Store(pteEncode(pfn, writable))
+		r.resident.Add(1)
+		return pfn, writable, FillZeroed, nil
 	}
+	pfn = hw.PFN(w & ptePFNMask)
 	if r.Type == RText {
 		return pfn, false, FillCached, nil
 	}
+	if w&pteWritable != 0 {
+		// Another CPU resolved this page (zero fill or COW break) between
+		// our fast-path check and taking the stripe.
+		return pfn, true, FillCached, nil
+	}
 	if r.mem.Ref(pfn) == 1 {
+		// Sole owner again (the alias detached since Dup cleared the bit):
+		// upgrade in place.
+		slot.Store(pteEncode(pfn, true))
 		return pfn, true, FillCached, nil
 	}
 	if !write {
 		return pfn, false, FillCached, nil
 	}
 	// Copy-on-write: break the alias.
-	copy, err := r.mem.CopyFrameOn(pfn, cpu)
+	cp, err := r.mem.CopyFrameOn(pfn, cpu)
 	if err != nil {
 		return hw.NoPFN, false, FillCached, err
 	}
 	r.mem.DecRefOn(pfn, cpu)
-	r.pages[idx] = copy
-	return copy, true, FillCopied, nil
+	slot.Store(pteEncode(cp, true))
+	return cp, true, FillCopied, nil
 }
 
 // Dup creates a copy-on-write duplicate of the region: a new Region whose
 // page table aliases the same frames with incremented frame reference
 // counts. Subsequent writes through either region break the alias page by
-// page (the fork path of paper §6.2). The caller is responsible for
-// flushing stale writable TLB entries for the source space.
+// page (the fork path of paper §6.2). Because the frames become aliased,
+// the source region's writable bits are cleared too — a later store through
+// the source re-faults and the slow path re-derives the permission — and
+// the caller is responsible for flushing stale writable TLB entries for
+// the source space.
 func (r *Region) Dup() *Region {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	d := &Region{Type: r.Type, pages: make([]hw.PFN, len(r.pages)), refs: 1, mem: r.mem}
-	for i, pfn := range r.pages {
-		d.pages[i] = pfn
-		if pfn != hw.NoPFN {
-			r.mem.IncRef(pfn)
+	r.lockAll()
+	defer r.unlockAll()
+	t := r.table.Load()
+	d := &Region{Type: r.Type, mem: r.mem}
+	d.refs.Store(1)
+	dt := &pteTable{slots: make([]atomic.Uint64, len(t.slots))}
+	n := int64(0)
+	for i := range t.slots {
+		w := t.slots[i].Load()
+		if w&ptePresent == 0 {
+			continue
 		}
+		pfn := hw.PFN(w & ptePFNMask)
+		r.mem.IncRef(pfn)
+		t.slots[i].Store(pteEncode(pfn, false))
+		dt.slots[i].Store(pteEncode(pfn, false))
+		n++
 	}
+	d.table.Store(dt)
+	d.resident.Store(n)
 	return d
 }
 
@@ -219,11 +300,14 @@ func (r *Region) Grow(n int) {
 	if n < 0 {
 		panic("vm: Grow with negative count")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for i := 0; i < n; i++ {
-		r.pages = append(r.pages, hw.NoPFN)
+	r.lockAll()
+	defer r.unlockAll()
+	t := r.table.Load()
+	nt := &pteTable{slots: make([]atomic.Uint64, len(t.slots)+n)}
+	for i := range t.slots {
+		nt.slots[i].Store(t.slots[i].Load())
 	}
+	r.table.Store(nt)
 }
 
 // Shrink removes the last n pages, releasing their frames. The caller must
@@ -233,18 +317,21 @@ func (r *Region) Grow(n int) {
 // them; the synchronous shootdown provides that agreement). It returns the
 // number of frames released.
 func (r *Region) Shrink(n int) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if n < 0 || n > len(r.pages) {
+	r.lockAll()
+	defer r.unlockAll()
+	t := r.table.Load()
+	if n < 0 || n > len(t.slots) {
 		panic("vm: Shrink out of range")
 	}
 	freed := 0
-	for i := len(r.pages) - n; i < len(r.pages); i++ {
-		if r.pages[i] != hw.NoPFN {
-			r.mem.DecRef(r.pages[i])
+	for i := len(t.slots) - n; i < len(t.slots); i++ {
+		if w := t.slots[i].Load(); w&ptePresent != 0 {
+			r.mem.DecRef(hw.PFN(w & ptePFNMask))
+			t.slots[i].Store(0)
 			freed++
 		}
 	}
-	r.pages = r.pages[:len(r.pages)-n]
+	r.resident.Add(int64(-freed))
+	r.table.Store(&pteTable{slots: t.slots[:len(t.slots)-n]})
 	return freed
 }

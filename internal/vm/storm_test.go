@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// Fault-storm races over the lock-free fill fast path. These tests are the
+// -race companions of the property test in region_test.go: many goroutines
+// (standing in for CPUs) fault concurrently through FillOn while frames are
+// zero-filled, shared, COW-broken and upgraded, and the invariant checked
+// is conservation — every frame allocated is freed exactly once, and the
+// O(1) resident counter never drifts from the page table it summarizes.
+
+// TestFaultStormRefcountConservation hammers one region from several
+// goroutines with mixed read/write faults. First-touch zero fills race on
+// the same stripes; resident re-faults take the lock-free path. Afterwards
+// the resident counter must match the table and detach must free every
+// frame.
+func TestFaultStormRefcountConservation(t *testing.T) {
+	const (
+		ncpu   = 4
+		pages  = 64
+		rounds = 500
+	)
+	m := hw.NewMemory(4 * pages)
+	m.AttachCaches(ncpu)
+	r := NewRegion(m, RData, pages)
+
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			idx := (cpu * 17) % pages
+			for i := 0; i < rounds; i++ {
+				write := i%3 != 0
+				pfn, w, _, err := r.FillOn(idx, write, cpu)
+				if err != nil {
+					t.Errorf("cpu %d: FillOn(%d,%v) = %v", cpu, idx, write, err)
+					return
+				}
+				if write && !w {
+					t.Errorf("cpu %d: write fill of page %d came back read-only", cpu, idx)
+					return
+				}
+				if write {
+					// Each goroutine owns word index cpu, so stores to a
+					// shared frame never race on the same word.
+					m.StoreWord(pfn, uint32(cpu), uint32(i))
+				}
+				idx = (idx + 7) % pages
+			}
+		}(cpu)
+	}
+	wg.Wait()
+
+	present := 0
+	for i := 0; i < pages; i++ {
+		if r.Frame(i) != hw.NoPFN {
+			present++
+		}
+	}
+	if got := r.Resident(); got != present {
+		t.Fatalf("resident counter = %d, table has %d present pages", got, present)
+	}
+	if m.InUse() != present {
+		t.Fatalf("InUse = %d, want %d", m.InUse(), present)
+	}
+	r.Detach()
+	if m.InUse() != 0 {
+		t.Fatalf("frames leaked: InUse = %d after detach", m.InUse())
+	}
+}
+
+// TestConcurrentCOWBreakConservation duplicates a fully-resident region and
+// lets writers hammer parent and child concurrently. Competing COW breaks
+// on the same frame must neither leak it (both copiers decrement once, so
+// the ref reaches zero exactly when the last sharer leaves) nor double-free
+// it. Readers mixed in exercise the sole-owner writable upgrade racing the
+// copies.
+func TestConcurrentCOWBreakConservation(t *testing.T) {
+	const (
+		pages   = 32
+		writers = 4
+		rounds  = 300
+	)
+	m := hw.NewMemory(8 * pages)
+	m.AttachCaches(writers)
+	parent := NewRegion(m, RData, pages)
+	for i := 0; i < pages; i++ {
+		if _, _, _, err := parent.Fill(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	child := parent.Dup()
+	if got := child.Resident(); got != pages {
+		t.Fatalf("dup resident = %d, want %d", got, pages)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := parent
+			if w%2 == 1 {
+				r = child
+			}
+			idx := (w * 11) % pages
+			for i := 0; i < rounds; i++ {
+				pfn, writable, _, err := r.FillOn(idx, i%4 != 0, w)
+				if err != nil {
+					t.Errorf("writer %d: FillOn(%d) = %v", w, idx, err)
+					return
+				}
+				if i%4 != 0 {
+					if !writable {
+						t.Errorf("writer %d: write fill of page %d read-only", w, idx)
+						return
+					}
+					m.StoreWord(pfn, uint32(w), uint32(i))
+				}
+				idx = (idx + 5) % pages
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every page of both regions is resident; every frame ref must match
+	// how many of the two regions map it.
+	for i := 0; i < pages; i++ {
+		pp, cp := parent.Frame(i), child.Frame(i)
+		if pp == hw.NoPFN || cp == hw.NoPFN {
+			t.Fatalf("page %d lost residency: parent=%v child=%v", i, pp, cp)
+		}
+		want := int32(1)
+		if pp == cp {
+			want = 2
+		}
+		if m.Ref(pp) != want {
+			t.Fatalf("page %d: parent frame ref = %d, want %d", i, m.Ref(pp), want)
+		}
+		if pp != cp && m.Ref(cp) != 1 {
+			t.Fatalf("page %d: child frame ref = %d, want 1", i, m.Ref(cp))
+		}
+	}
+	parent.Detach()
+	child.Detach()
+	if m.InUse() != 0 {
+		t.Fatalf("frames leaked or double-freed: InUse = %d", m.InUse())
+	}
+}

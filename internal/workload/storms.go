@@ -6,15 +6,18 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/kernel"
+	"repro/internal/proc"
 	"repro/internal/trace"
+	"repro/internal/uspin"
 )
 
 // The storm drivers measure the de-serialized MP hot paths in isolation:
 // each hammers exactly one substrate (frame allocator, process creation,
 // trace ring, dispatcher) from a configurable number of processors, so the
-// scaling benchmarks can show throughput holding up as NCPU grows. They are
-// deliberately free of share groups — the point is the contention on the
-// machine-wide structures underneath, not the paper's sharing protocol.
+// scaling benchmarks can show throughput holding up as NCPU grows. All but
+// ResidentFaultStorm are deliberately free of share groups — the point is
+// the contention on the machine-wide structures underneath; the resident
+// storm is the exception, hammering the sharing protocol's own hot path.
 
 // FaultStorm hammers the frame allocator: `workers` forked (fully private)
 // processes each demand-fault pagesEach fresh pages through a bounded
@@ -58,6 +61,63 @@ func FaultStorm(cfg kernel.Config, workers, pagesEach int) Metrics {
 		}
 		s.stop()
 	})
+}
+
+// ResidentFaultStorm hammers the paper's §6.2 hot path in its purest form:
+// the fault that finds its page already resident with the right permission.
+// The creator maps a shared window far larger than the 64-entry TLB and
+// touches every page resident, then `members` share-group siblings each
+// perform touchesEach strided stores across the window. Every store misses
+// the TLB (the working set is 8x the TLB) and re-enters the fault handler,
+// which must find the pregion, find the cached frame, and return — no
+// allocation, no copy. Throughput here is bounded purely by the fault
+// path's synchronization. Ops = touches.
+func ResidentFaultStorm(cfg kernel.Config, members, touchesEach int) Metrics {
+	const window = 512 // pages; 8x the TLB, so resident touches still fault
+	var rlocks, wlocks, sleeps, fast, slow, hits int64
+	total := int64(members * touchesEach)
+	m := runMeasured(cfg, total, func(c *kernel.Context, s *session) {
+		va, err := c.Mmap(window)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < window; i++ {
+			c.Store32(va+hw.VAddr(i*pageSize), uint32(i))
+		}
+		gate := uspin.Barrier{VA: dataBase, N: uint32(members) + 1}
+		gate.Init(c)
+		for mIdx := 0; mIdx < members; mIdx++ {
+			c.Sproc("refaulter", func(cc *kernel.Context, arg int64) {
+				gate.Enter(cc) // storm start
+				p := int(arg) * 67
+				for i := 0; i < touchesEach; i++ {
+					p = (p + 67) % window // coprime stride: spreads the window
+					cc.Store32(va+hw.VAddr(p*pageSize), uint32(i))
+				}
+				gate.Enter(cc) // storm done
+			}, proc.PRSALL, int64(mIdx))
+		}
+		s.start()
+		gate.Enter(c) // release the storm
+		gate.Enter(c) // wait for every member
+		s.stop()
+		if sa := kernel.GroupOf(c.P); sa != nil {
+			rlocks = sa.Acc.RLocks.Load()
+			wlocks = sa.Acc.WLocks.Load()
+			sleeps = sa.Acc.RSleeps.Load() + sa.Acc.WSleeps.Load()
+			hits = sa.CacheHits.Load()
+		}
+		fast = c.S.Machine.Mem.FastFills.Load()
+		slow = c.S.Machine.Mem.SlowFills.Load()
+		for mIdx := 0; mIdx < members; mIdx++ {
+			if _, _, err := c.Wait(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	m.RLocks, m.WLocks, m.LockSleeps = rlocks, wlocks, sleeps
+	m.FastFills, m.SlowFills, m.CacheHits = fast, slow, hits
+	return m
 }
 
 // CreateStorm hammers process creation and teardown: `creators` forked

@@ -27,6 +27,9 @@ type Metrics struct {
 	WLocks     int64         // exclusive acquisitions of the VM lock
 	LockSleeps int64         // times a process slept on the VM lock
 	Dispatches int64         // CPU dispatches of the measured processes
+	FastFills  int64         // faults resolved on the lock-free PTE path
+	SlowFills  int64         // faults that took a region fill stripe
+	CacheHits  int64         // faults served by a last-hit pregion cache
 }
 
 // UpdaterPerOp returns the driver process's own cycles per operation —

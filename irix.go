@@ -71,7 +71,9 @@ type (
 	// SyscallStat is one row of the kernel's per-syscall accounting.
 	SyscallStat = kernel.SyscallStat
 	// Stats is a snapshot of the kernel's hot-path counters, including the
-	// fault-injection and degradation counters.
+	// fault-injection and degradation counters and the fault fast-path
+	// counters (lock-free fills, pregion-cache hits, page-vs-space
+	// shootdowns).
 	Stats = kernel.Stats
 	// FaultSiteStat is one fault-injection site's check/inject counters.
 	FaultSiteStat = kernel.FaultSiteStat
