@@ -377,9 +377,19 @@ func TestGrowShrinkShared(t *testing.T) {
 		t.Fatal("grown page not faultable")
 	}
 	shot := 0
-	freed := sa.ShrinkShared(p, data, 4, func() { shot++ })
+	freed, err := sa.ShrinkShared(p, data, 4, func() { shot++ })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if freed != 1 || shot != 1 {
 		t.Fatalf("shrink freed=%d shot=%d", freed, shot)
+	}
+	// Over-shrinking is rejected under the update lock, without a shootdown.
+	if _, err := sa.ShrinkShared(p, data, data.Reg.Pages()+1, func() { shot++ }); err == nil {
+		t.Fatal("shrink past the region's extent succeeded")
+	}
+	if shot != 1 {
+		t.Fatalf("rejected shrink still shot down: shot=%d", shot)
 	}
 	if _, _, _, found, _ := sa.ResolveShared(p, va, false); found {
 		t.Fatal("shrunk page still resolvable")

@@ -241,6 +241,10 @@ func (sa *ShAddr) Leave(p *proc.Proc) {
 	sa.listLock.Unlock()
 	p.SetShare(nil)
 	p.SetShMask(0)
+	// The lookup cache must not outlive the membership: generations are
+	// per-group counters, so a stale entry carried into a later group
+	// could validate against a colliding generation.
+	p.VMC.Clear()
 
 	if last {
 		sa.teardown()

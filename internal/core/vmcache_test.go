@@ -59,7 +59,9 @@ func TestLookupCacheHitsAndInvalidation(t *testing.T) {
 		t.Fatal("GrowShared did not bump the generation")
 	}
 	gen = sa.Generation()
-	sa.ShrinkShared(p, data, 2, func() {})
+	if _, err := sa.ShrinkShared(p, data, 2, func() {}); err != nil {
+		t.Fatal(err)
+	}
 	if sa.Generation() == gen {
 		t.Fatal("ShrinkShared did not bump the generation")
 	}
@@ -88,6 +90,46 @@ func TestLookupCacheHitsAndInvalidation(t *testing.T) {
 	if hits() != 2 {
 		t.Fatalf("refreshed cache: hits=%d, want 2", hits())
 	}
+}
+
+// TestLookupCacheClearedOnLeave: generations are per-group counters, so a
+// cached pregion must not survive the owner's departure — carried into a
+// later group, a colliding generation would validate it against a list it
+// is not on.
+func TestLookupCacheClearedOnLeave(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	resolve(t, sa, p, vm.DataBase)
+	gen := sa.Generation()
+	if p.VMC.Get(gen) == nil {
+		t.Fatal("fault did not seed the cache")
+	}
+	sa.Leave(p)
+	if p.VMC.Get(gen) != nil {
+		t.Fatal("Leave left a cached shared pregion behind")
+	}
+}
+
+// TestLookupCacheClearedOnUnshareVM: same hazard when a member keeps its
+// group membership but stops sharing VM.
+func TestLookupCacheClearedOnUnshareVM(t *testing.T) {
+	r := newRig()
+	p := r.newProc(1)
+	sa := New(p)
+	resolve(t, sa, p, vm.DataBase)
+	if p.VMC.Get(sa.Generation()) == nil {
+		t.Fatal("fault did not seed the cache")
+	}
+	gen := sa.Generation()
+	img := sa.UnshareVM(p, func() {})
+	if len(img) == 0 {
+		t.Fatal("UnshareVM returned no image")
+	}
+	if p.VMC.Get(gen) != nil || p.VMC.Get(sa.Generation()) != nil {
+		t.Fatal("UnshareVM left a cached shared pregion behind")
+	}
+	vm.DetachList(img)
 }
 
 // TestLookupCacheStaleGenerationMisses checks the cache object itself: a

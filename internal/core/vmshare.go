@@ -72,6 +72,10 @@ func (sa *ShAddr) UnshareVM(p *proc.Proc, shoot func()) []*vm.PRegion {
 		defer ms.pr.Reg.Detach()
 	}
 	sa.touchRegions()
+	// p resolves faults privately from now on; a cached shared pregion
+	// must not survive into a future group, where a colliding generation
+	// could validate it.
+	p.VMC.Clear()
 	shoot()
 	sa.Shootdowns.Add(1)
 	sa.Acc.Unlock()
@@ -146,15 +150,22 @@ func (sa *ShAddr) GrowShared(p *proc.Proc, pr *vm.PRegion, n int) {
 }
 
 // ShrinkShared removes the last n pages of a shared region: update lock,
-// machine-wide TLB flush, then the frames are freed. Returns the number of
-// resident frames released.
-func (sa *ShAddr) ShrinkShared(p *proc.Proc, pr *vm.PRegion, n int, shoot func()) int {
+// TLB flush, then the frames are freed. Returns the number of resident
+// frames released. The region's extent is validated under the update lock
+// (another member may have shrunk it since the caller looked), and shoot
+// runs under the lock too — a range-based shootdown must compute its range
+// inside the closure, where pr.Reg.Pages() is stable, or it will flush the
+// wrong tail.
+func (sa *ShAddr) ShrinkShared(p *proc.Proc, pr *vm.PRegion, n int, shoot func()) (int, error) {
 	sa.Acc.Lock(p)
 	defer sa.Acc.Unlock()
+	if n > pr.Reg.Pages() {
+		return 0, fmt.Errorf("core: shrink of %d pages exceeds region's %d", n, pr.Reg.Pages())
+	}
 	sa.touchRegions()
 	shoot()
 	sa.Shootdowns.Add(1)
-	return pr.Reg.Shrink(n)
+	return pr.Reg.Shrink(n), nil
 }
 
 // CarveStack allocates a non-overlapping stack range in the shared space

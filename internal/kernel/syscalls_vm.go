@@ -59,15 +59,21 @@ func (c *Context) Sbrk(delta int64) (hw.VAddr, error) {
 			if delta > 0 {
 				sa.GrowShared(p, d, pages)
 			} else {
-				if pages > d.Reg.Pages() {
-					return 0, ErrNoRegion
-				}
 				cpu := c.cpu()
 				// Only the freed tail needs to leave the TLBs: a small
 				// shrink is shot down page-by-page so members keep their
-				// other cached translations.
-				vpn := uint32(d.Base>>hw.PageShift) + uint32(d.Reg.Pages()-pages)
-				sa.ShrinkShared(p, d, pages, func() { mach.ShootdownRange(cpu, vpn, pages, sa.ASID) })
+				// other cached translations. The tail is computed inside
+				// the closure, which ShrinkShared runs under the group's
+				// update lock: another member may grow or shrink the
+				// region between our size check and the lock, and a range
+				// captured early would flush the wrong pages while the
+				// ones actually freed kept stale TLB entries.
+				if _, err := sa.ShrinkShared(p, d, pages, func() {
+					vpn := uint32(d.Base>>hw.PageShift) + uint32(d.Reg.Pages()-pages)
+					mach.ShootdownRange(cpu, vpn, pages, sa.ASID)
+				}); err != nil {
+					return 0, ErrNoRegion
+				}
 			}
 			return old, nil
 		}
@@ -152,9 +158,12 @@ func (c *Context) Munmap(va hw.VAddr) error {
 				return ErrNoRegion
 			}
 			cpu := c.cpu()
-			vpn := uint32(pr.Base >> hw.PageShift)
-			npages := pr.Reg.Pages()
-			return sa.DetachShared(p, pr, func() { mach.ShootdownRange(cpu, vpn, npages, sa.ASID) })
+			// The range is read inside the closure — under DetachShared's
+			// update lock — so a concurrent resize of the region cannot
+			// leave the shootdown covering a stale extent.
+			return sa.DetachShared(p, pr, func() {
+				mach.ShootdownRange(cpu, uint32(pr.Base>>hw.PageShift), pr.Reg.Pages(), sa.ASID)
+			})
 		}
 		pr := vm.Find(p.Private, va)
 		if pr == nil || pr.Base != va {

@@ -36,3 +36,11 @@ func (c *LookupCache) Put(gen uint64, pr *PRegion) {
 	c.pr.Store(pr)
 	c.gen.Store(gen)
 }
+
+// Clear evicts the cached entry. Called when the owner leaves its share
+// group (or unshares VM): generations are per-group counters, so an entry
+// carried into a different group could collide with that group's
+// generation and validate a pregion that is not on its list.
+func (c *LookupCache) Clear() {
+	c.pr.Store(nil)
+}
