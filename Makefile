@@ -7,7 +7,7 @@ tier1: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -short -run 'Chaos' -count=1 ./internal/workload/
-	$(GO) test -race -short -run 'FaultStorm|COWBreak|StormRace' -count=1 ./internal/vm/ ./internal/workload/
+	$(GO) test -race -short -run 'FaultStorm|COWBreak|StormRace' -count=1 ./internal/vm/ ./internal/workload/ ./internal/uspin/
 
 # Chaos: the full seeded fault-injection soak (deterministic per seed).
 .PHONY: chaos
@@ -35,6 +35,16 @@ lint:
 		echo "lint: syscalls_*.go must return *SysError on exhaustion, not panic (only processExit/processExec unwinds may panic)" >&2; \
 		exit 1; \
 	fi
+	@for d in sysBlockproc sysUnblockproc sysSetblockproccnt; do \
+		if ! grep -q "$$d" internal/kernel/systab.go; then \
+			echo "lint: $$d missing from the systab descriptor table — the sleep-wake calls must dispatch through the gateway" >&2; \
+			exit 1; \
+		fi; \
+	done
+	@if grep -rnE '\.SpinWait32\(|\.SpinWaitBounded\(' --include='*.go' . | grep -vE '^\./(internal/uspin/|internal/kernel/)'; then \
+		echo "lint: raw SpinWait32/SpinWaitBounded outside internal/uspin and internal/kernel — user code must spin through the uspin primitives (interruptible, spin-then-block)" >&2; \
+		exit 1; \
+	fi
 
 .PHONY: vet
 vet:
@@ -44,7 +54,7 @@ vet:
 # that drives them; slower than tier1 but catches sharding bugs.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/hw/... ./internal/vm/... ./internal/klock/... ./internal/core/... ./internal/sched/... ./internal/trace/... ./internal/workload/... ./internal/kernel/...
+	$(GO) test -race ./internal/hw/... ./internal/vm/... ./internal/klock/... ./internal/core/... ./internal/sched/... ./internal/trace/... ./internal/workload/... ./internal/kernel/... ./internal/uspin/...
 
 .PHONY: bench
 bench:

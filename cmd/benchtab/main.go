@@ -107,6 +107,7 @@ func main() {
 	e6()
 	e7()
 	e10()
+	s5()
 	scaling()
 	s4()
 	ablations()
@@ -363,6 +364,27 @@ func e7() {
 		row(fmt.Sprintf("%d workers", w), workload.Pool(cfg(), workload.PoolSproc, w, items, grain), "")
 	}
 	fmt.Println("  paper: preallocated self-scheduling pools make creation speed irrelevant (§3)")
+}
+
+// S5 — the blockproc(2) sleep-wake subsystem under overcommit (§3): one
+// contended lock, twice as many group members as processors. Pure
+// spinning burns whole slices against descheduled holders; the hybrid
+// spin-then-block lock gives the processor back; gang mode cannot help
+// because a group bigger than the machine can never be co-resident.
+func s5() {
+	iters := n(200, 40)
+	const members, grain = 8, 600
+	table("S5 — contended lock under 2x overcommit (8 members, 4 CPUs, blockproc sleep-wake)",
+		"  waiting discipline       simcyc/op         wall  shootdn   faults")
+	for _, mode := range []workload.LockMode{
+		workload.LockSpin, workload.LockHybrid, workload.LockGang,
+	} {
+		m := workload.Contention(cfg(), mode, members, iters, grain)
+		row(string(mode), m, fmt.Sprintf("  blocks=%d wakes=%d banked=%d spin-to-block=%d preempts=%d",
+			m.Blocks, m.Wakes, m.BankedWakes, m.SpinToBlocks, m.Preempts))
+	}
+	fmt.Println("  paper (§3): when the holder is descheduled, spinning wastes the machine;")
+	fmt.Println("  blockproc/unblockproc let waiters sleep without losing a single wakeup")
 }
 
 // E10 — gang scheduling ablation (§8 future work).

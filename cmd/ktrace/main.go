@@ -19,19 +19,19 @@ func main() {
 
 	sys.Start("traced", func(c *irix.Ctx) {
 		shm, _ := c.Mmap(4)
-		done := shm + 8
+		done := irix.Word{VA: shm + 8}
 		// Two members: one faults pages in, one updates shared attributes.
 		c.Sproc("faulter", func(w *irix.Ctx, _ int64) {
 			for i := 0; i < 3; i++ {
 				w.Store32(shm+irix.VAddr(i*irix.PageSize), 1)
 			}
-			w.Add32(done, 1)
+			done.Add(w, 1)
 		}, irix.PRSALL, 0)
 		c.Sproc("updater", func(w *irix.Ctx, _ int64) {
 			w.Umask(0o027)
-			w.Add32(done, 1)
+			done.Add(w, 1)
 		}, irix.PRSALL, 0)
-		c.SpinWait32(done, func(v uint32) bool { return v == 2 })
+		done.AwaitEq(c, 2)
 		c.Getpid() // reconcile the umask update (EvSync)
 		c.Wait()
 		c.Wait()

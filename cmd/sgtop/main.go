@@ -20,24 +20,26 @@ func main() {
 		fd, _ := c.Open("/srv/log", irix.ORead|irix.OWrite|irix.OCreat, 0o644)
 		shm, _ := c.Mmap(8)
 
-		phase := shm + 12
+		// The lock owns shm..shm+SyncBytes; data words follow it.
 		lock := irix.Spinlock{VA: shm}
 		lock.Init(c)
+		sum := irix.Word{VA: shm + irix.SyncBytes}
+		phase := irix.Word{VA: shm + irix.SyncBytes + 4}
 		for i := 0; i < 3; i++ {
 			c.Sproc("member", func(cc *irix.Ctx, arg int64) {
 				lock.Lock(cc)
-				cc.Add32(shm+8, uint32(arg+1))
+				sum.Add(cc, uint32(arg+1))
 				lock.Unlock(cc)
 				cc.WriteString(fd, cc.StackBase(), fmt.Sprintf("member %d here\n", arg))
 				// Hold membership until the dump is done.
-				cc.SpinWait32(phase, func(v uint32) bool { return v != 0 })
+				phase.AwaitNe(cc, 0)
 			}, irix.PRSALL, int64(i))
 		}
 		c.Chdir("/srv")
-		c.SpinWait32(shm+8, func(v uint32) bool { return v == 1+2+3 })
+		sum.AwaitEq(c, 1+2+3)
 
 		dump(c)
-		c.Store32(phase, 1)
+		phase.Store(c, 1)
 		for i := 0; i < 3; i++ {
 			c.Wait()
 		}
@@ -111,6 +113,9 @@ func dump(c *irix.Ctx) {
 	fmt.Printf("    fast-fills=%d slow-fills=%d vmcache-hits=%d vmcache-misses=%d page-shootdowns=%d space-shootdowns=%d\n",
 		st.FastFills, st.SlowFills, st.VMCacheHits, st.VMCacheMisses,
 		st.PageShootdowns, st.SpaceShootdowns)
+	fmt.Println("  sleep-wake (blockproc/unblockproc, hybrid uspin):")
+	fmt.Printf("    blocks=%d wakes=%d banked-wakes=%d spin-to-blocks=%d\n",
+		st.ProcBlocks, st.ProcWakes, st.BankedWakes, st.SpinToBlocks)
 	fmt.Println("  fault injection and degradation:")
 	fmt.Printf("    checks=%d injected=%d restarts=%d retries=%d reclaims=%d reclaimed-frames=%d\n",
 		st.FaultChecks, st.FaultsInjected, st.SyscallRestarts,

@@ -52,7 +52,7 @@ func main() {
 		// directly usable. A monotonic doorbell word wakes it from its
 		// cache spin without races.
 		ctl := ring + nslots*slotSize + 32*1024
-		doorbell, stop := ctl, ctl+4
+		doorbell, stop := irix.Word{VA: ctl}, ctl+4
 		c.Sproc("io-worker", func(w *irix.Ctx, _ int64) {
 			var seen uint32
 			for {
@@ -77,8 +77,7 @@ func main() {
 					return
 				}
 				if !served {
-					last := seen
-					v, _ := w.SpinWait32(doorbell, func(v uint32) bool { return v != last })
+					v, _ := doorbell.AwaitNe(w, seen)
 					seen = v
 				}
 			}
@@ -112,7 +111,7 @@ func main() {
 			c.Store32(slot+slotBuf, uint32(buf))
 			c.Store32(slot+slotLen, uint32(len(msg)))
 			c.Store32(slot+slotState, 1)
-			c.Add32(doorbell, 1) // ring the worker
+			doorbell.Add(c, 1) // ring the worker
 			submitted++
 
 			// Overlapped computation.
@@ -124,10 +123,10 @@ func main() {
 		// Drain: wait until every slot is free or complete.
 		for s := 0; s < nslots; s++ {
 			slot := ring + irix.VAddr(s*slotSize)
-			c.SpinWait32(slot+slotState, func(v uint32) bool { return v != 1 })
+			irix.Word{VA: slot + slotState}.AwaitNe(c, 1)
 		}
 		c.Store32(stop, 1)
-		c.Add32(doorbell, 1)
+		doorbell.Add(c, 1)
 		c.Wait()
 
 		st, _ := c.Stat("/journal")

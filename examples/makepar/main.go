@@ -46,7 +46,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		doneCount := tbl + irix.VAddr(len(deps)*jobSize)
+		doneCount := irix.Word{VA: tbl + irix.VAddr(len(deps)*jobSize)}
 
 		// Build the shared job table: dependency counts; roots are ready.
 		for j, dl := range deps {
@@ -68,7 +68,7 @@ func main() {
 		for w := 0; w < workers; w++ {
 			c.Sproc("builder", func(wc *irix.Ctx, id int64) {
 				for {
-					n, _ := wc.Load32(doneCount)
+					n, _ := doneCount.Load(wc)
 					if n == uint32(len(deps)) {
 						return
 					}
@@ -82,9 +82,7 @@ func main() {
 					}
 					if claimed < 0 {
 						// Nothing ready: spin on the done counter.
-						wc.SpinWait32(doneCount, func(v uint32) bool {
-							return v != n
-						})
+						doneCount.AwaitNe(wc, n)
 						continue
 					}
 					runJob(wc, id, claimed, logFd)
@@ -102,7 +100,7 @@ func main() {
 							}
 						}
 					}
-					wc.Add32(doneCount, 1)
+					doneCount.Add(wc, 1)
 				}
 			}, irix.PRSADDR|irix.PRSFDS|irix.PRSDIR, int64(w))
 		}

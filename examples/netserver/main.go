@@ -33,7 +33,7 @@ func main() {
 		}
 		// Mailbox protocol: word 0 = ticket (fd+1 when a job is ready,
 		// 0 when free, ^0 = shutdown); word 1 = jobs completed.
-		ticket, done := mbox, mbox+4
+		ticket, done := irix.Word{VA: mbox}, irix.Word{VA: mbox + 4}
 
 		l, err := c.NetListen("echo")
 		if err != nil {
@@ -44,14 +44,14 @@ func main() {
 			c.Sproc("worker", func(wc *irix.Ctx, id int64) {
 				for {
 					// Claim a ticket with the hardware interlock.
-					v, err := wc.SpinWait32(ticket, func(v uint32) bool { return v != 0 })
+					v, err := ticket.AwaitNe(wc, 0)
 					if err != nil {
 						return
 					}
 					if v == ^uint32(0) {
 						return // shutdown broadcast: leave it set for the others
 					}
-					ok, _ := wc.CAS32(ticket, v, 0)
+					ok, _ := wc.CAS32(ticket.VA, v, 0)
 					if !ok {
 						continue // another worker claimed it
 					}
@@ -65,7 +65,7 @@ func main() {
 					}
 					wc.WriteString(fd, buf+128, fmt.Sprintf("worker %d echoes %q", id, req))
 					wc.Close(fd)
-					wc.Add32(done, 1)
+					done.Add(wc, 1)
 				}
 			}, irix.PRSADDR|irix.PRSFDS, int64(w))
 		}
@@ -100,14 +100,14 @@ func main() {
 				c.Close(fd)
 				continue
 			}
-			c.SpinWait32(ticket, func(v uint32) bool { return v == 0 })
-			c.Store32(ticket, uint32(fd+1))
+			ticket.AwaitEq(c, 0)
+			ticket.Store(c, uint32(fd+1))
 		}
 
 		// Wait for completion, then broadcast shutdown.
-		c.SpinWait32(done, func(v uint32) bool { return v == clients })
-		c.SpinWait32(ticket, func(v uint32) bool { return v == 0 })
-		c.Store32(ticket, ^uint32(0))
+		done.AwaitEq(c, clients)
+		ticket.AwaitEq(c, 0)
+		ticket.Store(c, ^uint32(0))
 		for i := 0; i < workers+clients; i++ {
 			c.Wait()
 		}

@@ -21,8 +21,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		lock := irix.Spinlock{VA: shm} // word 0: a spinlock
-		counter := shm + 4             // word 1: protected counter
+		lock := irix.Spinlock{VA: shm}  // the lock owns shm..shm+SyncBytes
+		counter := shm + irix.SyncBytes // protected counter, past the lock
 		lock.Init(c)
 
 		// Create four members sharing everything. Each increments the

@@ -41,6 +41,9 @@ const (
 	SiteIPCSleep
 	// SiteIPCData injects short reads and short writes on pipe data moves.
 	SiteIPCData
+	// SiteBlockSleep injects a spurious wakeup where blockproc(2) is about
+	// to sleep — the sleeper must re-check its count and go back down.
+	SiteBlockSleep
 
 	// NSites bounds the per-site arrays.
 	NSites
@@ -48,6 +51,7 @@ const (
 
 var siteNames = [...]string{
 	"sysenter", "sysexit", "framealloc", "dispatch", "ipcsleep", "ipcdata",
+	"blocksleep",
 }
 
 func (s Site) String() string {

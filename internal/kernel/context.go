@@ -56,17 +56,28 @@ func (c *Context) charge(n int64) {
 
 // DeliverSignals runs pending, unmasked signal actions: handlers execute
 // on this process's own context; fatal defaults terminate it.
-func (c *Context) DeliverSignals() {
+func (c *Context) DeliverSignals() { c.deliverPending() }
+
+// deliverPending is the delivery core: it consumes every pending unmasked
+// signal and reports whether a caught handler actually ran. Fatal
+// defaults unwind the process; signals whose default action discards them
+// (SIGCLD) are consumed without counting as a delivery — the distinction
+// SpinWait32 needs, because a spin must break with EINTR only when the
+// process observably handled a signal, not when the kernel threw one
+// away.
+func (c *Context) deliverPending() bool {
+	delivered := false
 	for {
 		sig := c.P.PendingSignal()
 		if sig == 0 {
-			return
+			return delivered
 		}
 		h, fatal := c.P.SignalAction(sig)
 		c.S.Machine.Trace.Record(trace.EvSignal, int32(c.P.PID), c.P.CPU.Load(), uint64(sig), 0)
 		switch {
 		case h != nil:
 			h(sig)
+			delivered = true
 		case fatal:
 			panic(processExit{status: 128 + sig})
 		}
@@ -247,6 +258,10 @@ func (c *Context) StoreBytes(va hw.VAddr, src []byte) error {
 	return nil
 }
 
+// SpinPollBatch is the number of cached polls a spinner runs between
+// full-cost refreshes — one "round" of SpinWaitBounded's budget.
+const SpinPollBatch = 4096
+
 // SpinWait32 busy-waits until pred is true of the word at va and returns
 // the observed value. It models a processor spinning on a cached word
 // (paper §3: "processes that attempt to acquire the lock simply loop"):
@@ -255,36 +270,71 @@ func (c *Context) StoreBytes(va hw.VAddr, src []byte) error {
 // A small periodic charge keeps the spinner preemptible, so a descheduled
 // partner can still be dispatched — the situation gang scheduling (§8)
 // exists to avoid.
+//
+// At each full-cost refresh the spinner polls for pending unmasked
+// signals: a caught handler runs and the spin returns ErrInterrupt
+// (EINTR), and a fatal default terminates the process — so a spinner
+// orphaned by a dead partner dies on kill instead of looping forever.
+// Discarded signals (default-ignored SIGCLD) do not break the spin.
 func (c *Context) SpinWait32(va hw.VAddr, pred func(uint32) bool) (uint32, error) {
 	for {
-		// Full-cost access: re-translates, honouring remaps, and keeps
-		// the TLB entry warm.
-		v, err := c.Load32(va)
-		if err != nil {
-			return 0, err
-		}
-		if pred(v) {
-			return v, nil
-		}
-		pfn, err := c.translate(va, false)
-		if err != nil {
-			return 0, err
-		}
-		word := va.Offset() >> 2
-		for i := 0; i < 4096; i++ {
-			v = c.S.Machine.Mem.LoadWord(pfn, word)
-			if pred(v) {
-				return v, nil
-			}
-			if i&7 == 7 {
-				// Cache spin: near-zero cost per poll, but enough drip
-				// charge that a spinner exhausts its slice and can be
-				// preempted in reasonable time when CPUs are overcommitted.
-				c.charge(1)
-			}
-			runtime.Gosched()
+		v, done, err := c.spinBatch(va, pred)
+		if done || err != nil {
+			return v, err
 		}
 	}
+}
+
+// SpinWaitBounded is SpinWait32 with a budget: at most rounds full-cost
+// refreshes of SpinPollBatch cached polls each. It reports done=false
+// when the budget expires without pred holding — the point where a hybrid
+// spin-then-block primitive stops burning the processor and falls back to
+// blockproc(2).
+func (c *Context) SpinWaitBounded(va hw.VAddr, pred func(uint32) bool, rounds int) (v uint32, done bool, err error) {
+	for r := 0; r < rounds; r++ {
+		v, done, err = c.spinBatch(va, pred)
+		if done || err != nil {
+			return v, done, err
+		}
+	}
+	return v, false, nil
+}
+
+// spinBatch runs one refresh-plus-cached-polls round of a spin wait.
+func (c *Context) spinBatch(va hw.VAddr, pred func(uint32) bool) (uint32, bool, error) {
+	// Signal poll at the refresh boundary: without it a spinner whose
+	// partner died holding the lock is unkillable except by SIGKILL.
+	if c.P.UnmaskedPending(0) && c.deliverPending() {
+		return 0, false, ErrInterrupt
+	}
+	// Full-cost access: re-translates, honouring remaps, and keeps the
+	// TLB entry warm.
+	v, err := c.Load32(va)
+	if err != nil {
+		return 0, false, err
+	}
+	if pred(v) {
+		return v, true, nil
+	}
+	pfn, err := c.translate(va, false)
+	if err != nil {
+		return 0, false, err
+	}
+	word := va.Offset() >> 2
+	for i := 0; i < SpinPollBatch; i++ {
+		v = c.S.Machine.Mem.LoadWord(pfn, word)
+		if pred(v) {
+			return v, true, nil
+		}
+		if i&7 == 7 {
+			// Cache spin: near-zero cost per poll, but enough drip
+			// charge that a spinner exhausts its slice and can be
+			// preempted in reasonable time when CPUs are overcommitted.
+			c.charge(1)
+		}
+		runtime.Gosched()
+	}
+	return v, false, nil
 }
 
 // StackBase returns the lowest address of this process's stack region.

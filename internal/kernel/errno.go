@@ -103,7 +103,7 @@ var errnoTable = []struct {
 	{fs.ErrFileLimit, EFBIG}, {fs.ErrBadFd, EBADF}, {fs.ErrInval, EINVAL},
 	{fs.ErrPipe, EPIPE}, {fs.ErrAgain, EAGAIN},
 	{ErrNoChildren, ECHILD}, {ErrInterrupt, EINTR}, {ErrNoProc, ESRCH},
-	{ErrTooMany, EAGAIN}, {ErrPerm, EPERM},
+	{ErrTooMany, EAGAIN}, {ErrPerm, EPERM}, {ErrBadBlockPid, EINVAL},
 	{ErrNoRegion, EINVAL}, {ErrNoMem, ENOMEM}, {hw.ErrNoMemory, ENOMEM},
 	{vm.ErrTextWrite, EFAULT},
 	{ipc.ErrNoEntry, EINVAL}, {ipc.ErrTooBig, EINVAL}, {ipc.ErrAgainIPC, EINTR},

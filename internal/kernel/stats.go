@@ -57,6 +57,12 @@ type Stats struct {
 	ReclaimedFrames int64           // frames repatriated to the pool by reclaims
 	SyscallRestarts int64           // EINTR auto-restarts (SA_RESTART policy)
 	SyscallRetries  int64           // EAGAIN retries with backoff
+
+	// Blockproc sleep-wake subsystem (paper §3 blockproc/unblockproc).
+	ProcBlocks   int64 // blockproc(2) calls that actually slept
+	ProcWakes    int64 // unblockproc/setblockproccnt calls that released a sleeper
+	BankedWakes  int64 // unblocks banked with no sleeper to release (wasted wakes)
+	SpinToBlocks int64 // uspin bounded spins converted to blockproc sleeps
 }
 
 // FaultSiteStat is one injection site's counters.
@@ -143,6 +149,10 @@ func (s *System) Stats() Stats {
 	st.ReclaimedFrames = mem.ReclaimedFrames.Load()
 	st.SyscallRestarts = s.restarts.Load()
 	st.SyscallRetries = s.retries.Load()
+	st.ProcBlocks = s.blocks.Load()
+	st.ProcWakes = s.blockWakes.Load()
+	st.BankedWakes = s.bankedWakes.Load()
+	st.SpinToBlocks = s.spinBlocks.Load()
 	if pl := s.faults; pl != nil {
 		st.FaultChecks = pl.TotalChecks()
 		st.FaultsInjected = pl.TotalInjected()

@@ -72,6 +72,12 @@ const (
 	SysSigmask
 	SysPause
 
+	// Sleep-wake (syscalls_block.go): the paper's §3 process-blocking
+	// calls backing hybrid spin-then-block synchronization.
+	SysBlockproc
+	SysUnblockproc
+	SysSetblockproccnt
+
 	// NSys bounds the table; it is the size of every per-syscall array.
 	NSys
 )
@@ -177,6 +183,13 @@ var (
 	sysSignal      = &sysDesc{SysSignal, "signal", ClassProc, 0, 0}
 	sysSigmask     = &sysDesc{SysSigmask, "sigmask", ClassProc, 0, 0}
 	sysPause       = &sysDesc{SysPause, "pause", ClassProc, 0, 0}
+
+	// blockproc is not sfRestart: like pause(2) and wait(2), returning
+	// EINTR after a caught signal is its contract — the hybrid uspin
+	// primitives depend on it to withdraw their waiter registration.
+	sysBlockproc       = &sysDesc{SysBlockproc, "blockproc", ClassProc, 0, sfInjEINTR}
+	sysUnblockproc     = &sysDesc{SysUnblockproc, "unblockproc", ClassProc, 0, 0}
+	sysSetblockproccnt = &sysDesc{SysSetblockproccnt, "setblockproccnt", ClassProc, 0, 0}
 )
 
 // sysTable indexes the descriptors by number for name and class lookups.
@@ -192,6 +205,7 @@ var sysTable = func() [NSys]*sysDesc {
 		sysNetListen, sysNetAccept, sysNetConnect, sysGetpid, sysGetppid,
 		sysFork, sysSproc, sysThread, sysPrctl, sysUnshare, sysExec,
 		sysExit, sysWait, sysKill, sysSignal, sysSigmask, sysPause,
+		sysBlockproc, sysUnblockproc, sysSetblockproccnt,
 	} {
 		if t[d.num] != nil {
 			panic("kernel: duplicate syscall number " + d.name)

@@ -127,6 +127,12 @@ type System struct {
 	restarts atomic.Int64 // EINTR auto-restarts performed by the gateway
 	retries  atomic.Int64 // EAGAIN retries performed by the gateway
 
+	// Blockproc sleep-wake counters (syscalls_block.go).
+	blocks      atomic.Int64 // blockproc calls that actually slept
+	blockWakes  atomic.Int64 // unblocks that released a sleeper
+	bankedWakes atomic.Int64 // unblocks banked with no sleeper to release
+	spinBlocks  atomic.Int64 // uspin bounded spins converted to blockproc
+
 	wg sync.WaitGroup // live processes
 }
 

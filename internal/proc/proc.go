@@ -183,6 +183,14 @@ type Proc struct {
 	RunGate    chan int      // dispatch channel: scheduler sends the CPU id
 	SliceLeft  atomic.Int64  // remaining charge units in this time slice
 
+	// Blockproc sleep-wake state (blockproc(2)/unblockproc(2), paper §3):
+	// blockCnt is the saturating count of banked unblocks, driven negative
+	// by a block in progress; blockSleep marks a sleeper waiting for the
+	// count to return to zero. Guarded by blockMu; see blockcnt.go.
+	blockMu    sync.Mutex
+	blockCnt   int32
+	blockSleep bool
+
 	// Signals.
 	SigPending atomic.Uint32
 	SigMask    uint32

@@ -25,6 +25,7 @@ package sched
 import (
 	"math"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -86,6 +87,7 @@ type Sched struct {
 	Steals      atomic.Int64 // picks taken from another CPU's queue
 	LocalPicks  atomic.Int64 // picks served from the CPU's own queue
 	StealScans  atomic.Int64 // full steal scans (the slow pick path)
+	Sleeps      atomic.Int64 // kernel sleeps (processes leaving the run queues)
 
 	// FI, when armed at SiteDispatch, forces occasional short slices and
 	// dispatch stalls — the scheduler's deterministic perturbation under a
@@ -468,21 +470,28 @@ func (s *Sched) score(p *proc.Proc) int {
 // ─── blocking, preemption, exit ──────────────────────────────────────────
 
 // Block implements proc.Scheduler: release the CPU, sleep until Unblock,
-// then contend for a CPU again. Called by p's own goroutine.
+// then contend for a CPU again. Called by p's own goroutine. A blocked
+// process is off every run queue — it costs the dispatcher nothing until
+// its wake token arrives.
 func (s *Sched) Block(p *proc.Proc, reason string) {
 	p.LastSleep.Store(reason)
+	cpu := p.CPU.Load()
 	if c := s.cpuOf(p); c != nil {
 		c.Charge(s.machine.Cost.SemaSleep)
 	}
+	s.Sleeps.Add(1)
+	s.machine.Trace.Record(trace.EvBlock, int32(p.PID), cpu, 0, 0)
 	s.releaseCPU(p)
 	p.SetState(proc.SSleep)
 	p.WaitWake()
+	s.machine.Trace.Record(trace.EvUnblock, int32(p.PID), -1, 0, 0)
 	s.Ready(p)
 	<-p.RunGate
 }
 
 // Unblock implements proc.Scheduler: deposit the wakeup token. The sleeping
-// goroutine re-enters the run queue itself.
+// goroutine re-enters the run queue itself — wake is the non-blocking
+// NotifyWake edge, safe to call from a waker holding arbitrary locks.
 func (s *Sched) Unblock(p *proc.Proc) {
 	p.NotifyWake()
 }
@@ -523,14 +532,24 @@ func (s *Sched) gangSticky(p *proc.Proc) bool {
 
 // Yield is the preemption point: when p's slice is exhausted and another
 // process is ready, p surrenders its CPU and waits to be dispatched again.
+//
+// Every keep-the-CPU exit still yields the host thread: a woken process
+// is runnable (its wake token is deposited) for a window before its
+// goroutine re-enters a run queue, and a compute-bound process that never
+// cedes the host during that window starves it indefinitely when
+// GOMAXPROCS is low — the run queue stays empty, so no preemption ever
+// fires and the group serializes. One Gosched per simulated quantum
+// bounds that wake-to-runnable latency without measurable cost.
 func (s *Sched) Yield(p *proc.Proc) {
 	if s.queued.Load() == 0 {
 		p.SliceLeft.Store(s.slice)
+		runtime.Gosched()
 		return
 	}
 	if s.gangSticky(p) {
 		s.StickyHolds.Add(1)
 		p.SliceLeft.Store(s.slice)
+		runtime.Gosched()
 		return
 	}
 	cpu := int(p.CPU.Load())
@@ -541,6 +560,7 @@ func (s *Sched) Yield(p *proc.Proc) {
 	if next == nil {
 		// The queues drained while we decided: keep the CPU.
 		p.SliceLeft.Store(s.slice)
+		runtime.Gosched()
 		return
 	}
 	p.CPU.Store(-1)

@@ -46,12 +46,18 @@ const (
 	// injection site's key — syscall number, pid, cpu —, Aux: site<<8|fault
 	// in faultinject numbering).
 	EvFaultInject
+
+	// Sleep-wake spans: a process leaving the run queues for a kernel
+	// sleep (blockproc, semaphore, wait list) and the wakeup that makes it
+	// runnable again.
+	EvBlock   // process blocked in the kernel (Arg: 0)
+	EvUnblock // blocked process made runnable (Arg: 0)
 )
 
 var kindNames = [...]string{
 	"none", "create", "exit", "dispatch", "preempt", "fault",
 	"shootdown", "signal", "syscall", "propagate", "sync",
-	"sysenter", "sysexit", "faultinj",
+	"sysenter", "sysexit", "faultinj", "block", "unblock",
 }
 
 func (k Kind) String() string {

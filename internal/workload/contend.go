@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/uspin"
+)
+
+// LockMode selects a waiting discipline for the S5 overcommit contention
+// experiment.
+type LockMode string
+
+const (
+	// LockSpin is the paper's pure busy-wait lock: cheap while the holder
+	// runs, pathological when the holder is descheduled — the waiters burn
+	// their slices spinning on a lock that cannot be released.
+	LockSpin LockMode = "spin-only"
+	// LockHybrid spins a bounded budget, then blocks in the kernel with
+	// blockproc(2) so the CPU goes to a process that can make progress.
+	LockHybrid LockMode = "hybrid"
+	// LockGang is pure spinning under gang scheduling (§8): the dispatcher
+	// keeps the whole group co-resident, so the holder is (mostly) running
+	// whenever a waiter spins.
+	LockGang LockMode = "gang-spin"
+)
+
+// Contention measures a contended critical section under CPU overcommit:
+// `members` share-group processes (deliberately more than the machine has
+// processors) each perform `iters` increments of a shared, non-atomic
+// counter protected by one uspin.Mutex, with `grain` stores of extra work
+// inside the critical section so holding spans a meaningful fraction of a
+// time slice. The member count exceeding NCPU is the point — a lock
+// holder regularly loses its processor while waiters hold theirs, which
+// is exactly the case blockproc(2) exists for. The counter is read back
+// and checked after the run: any lost update means mutual exclusion was
+// broken, any hang means a wakeup was lost.
+func Contention(cfg kernel.Config, mode LockMode, members, iters, grain int) Metrics {
+	total := int64(members * iters)
+	var blocks, wakes, banked, s2b int64
+	m := runMeasured(cfg, total, func(c *kernel.Context, s *session) {
+		if mode == LockGang {
+			c.Sproc("primer", func(*kernel.Context, int64) {}, proc.PRSALL, 0)
+			c.Wait()
+			c.SetGang(true)
+		}
+		lock := uspin.Mutex{VA: dataBase}
+		lock.Init(c)
+		shared := dataBase + uspin.MutexBytes
+		gate := uspin.Barrier{VA: dataBase + uspin.MutexBytes + 64, N: uint32(members) + 1}
+		gate.Init(c)
+		st0 := c.S.Stats()
+		for w := 0; w < members; w++ {
+			c.Sproc("contender", func(cc *kernel.Context, _ int64) {
+				if err := gate.Enter(cc); err != nil {
+					return
+				}
+				for i := 0; i < iters; i++ {
+					var err error
+					if mode == LockHybrid {
+						err = lock.Lock(cc)
+					} else {
+						err = lock.LockSpin(cc)
+					}
+					if err != nil {
+						panic(fmt.Sprintf("workload: contender lock: %v", err))
+					}
+					// Non-atomic read-modify-write: only mutual exclusion
+					// keeps this update from being lost.
+					v, _ := cc.Load32(shared)
+					doWork(cc, grain)
+					cc.Store32(shared, v+1)
+					if err := lock.Unlock(cc); err != nil {
+						panic(fmt.Sprintf("workload: contender unlock: %v", err))
+					}
+				}
+			}, proc.PRSALL, int64(w))
+		}
+		s.start()
+		if err := gate.Enter(c); err != nil {
+			panic(err)
+		}
+		for w := 0; w < members; w++ {
+			if _, _, err := c.Wait(); err != nil {
+				panic(err)
+			}
+		}
+		s.stop()
+		if v, _ := c.Load32(shared); v != uint32(total) {
+			panic(fmt.Sprintf("workload: contention lost updates: counter=%d want=%d", v, total))
+		}
+		st1 := c.S.Stats()
+		blocks = st1.ProcBlocks - st0.ProcBlocks
+		wakes = st1.ProcWakes - st0.ProcWakes
+		banked = st1.BankedWakes - st0.BankedWakes
+		s2b = st1.SpinToBlocks - st0.SpinToBlocks
+	})
+	m.Blocks, m.Wakes, m.BankedWakes, m.SpinToBlocks = blocks, wakes, banked, s2b
+	return m
+}

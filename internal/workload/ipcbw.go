@@ -6,6 +6,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/proc"
+	"repro/internal/uspin"
 )
 
 // Mech selects a data-passing mechanism for the E5 bandwidth comparison.
@@ -147,26 +148,26 @@ func ipcShm(c *kernel.Context, s *session, chunk, chunks int) {
 	if err != nil {
 		panic(err)
 	}
-	flagVA := bufVA // word 0: ready flag; data at +64
+	flag := uspin.Word{VA: bufVA} // word 0: ready flag; data at +64
 	data := bufVA + 64
 	c.Sproc("consumer", func(cc *kernel.Context, _ int64) {
 		buf := make([]byte, chunk)
 		for i := 0; i < chunks; i++ {
-			if _, err := cc.SpinWait32(flagVA, func(v uint32) bool { return v == 1 }); err != nil {
+			if err := flag.AwaitEq(cc, 1); err != nil {
 				return
 			}
 			cc.LoadBytes(data, buf) // consume in place
-			cc.Store32(flagVA, 0)
+			flag.Store(cc, 0)
 		}
 	}, proc.PRSALL, 0)
 	s.start()
 	buf := make([]byte, chunk)
 	for i := 0; i < chunks; i++ {
-		if _, err := c.SpinWait32(flagVA, func(v uint32) bool { return v == 0 }); err != nil {
+		if err := flag.AwaitEq(c, 0); err != nil {
 			panic(err)
 		}
 		c.StoreBytes(data, buf) // produce directly into shared memory
-		c.Store32(flagVA, 1)
+		flag.Store(c, 1)
 	}
 	c.Wait()
 	s.stop()

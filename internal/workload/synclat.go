@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/proc"
+	"repro/internal/uspin"
 )
 
 // SyncMech selects a synchronization mechanism for the E6 latency
@@ -41,22 +42,21 @@ func SyncLatency(cfg kernel.Config, mech SyncMech, rounds int) Metrics {
 
 // latSpin ping-pongs a shared word: each side waits for its parity.
 func latSpin(c *kernel.Context, s *session, rounds int) {
-	va := dataBase
-	c.Store32(va, 0)
+	ball := uspin.Word{VA: dataBase}
+	ball.Store(c, 0)
 	c.Sproc("ponger", func(cc *kernel.Context, _ int64) {
 		for i := 0; i < rounds; i++ {
 			want := uint32(2*i + 1)
-			if _, err := cc.SpinWait32(va, func(v uint32) bool { return v == want }); err != nil {
+			if err := ball.AwaitEq(cc, want); err != nil {
 				return
 			}
-			cc.Store32(va, want+1)
+			ball.Store(cc, want+1)
 		}
 	}, proc.PRSALL, 0)
 	s.start()
 	for i := 0; i < rounds; i++ {
-		c.Store32(va, uint32(2*i+1))
-		want := uint32(2*i + 2)
-		if _, err := c.SpinWait32(va, func(v uint32) bool { return v == want }); err != nil {
+		ball.Store(c, uint32(2*i+1))
+		if err := ball.AwaitEq(c, uint32(2*i+2)); err != nil {
 			panic(err)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/proc"
+	"repro/internal/uspin"
 )
 
 // SyscallNull measures the null-system-call (getpid) cost for E3: a plain
@@ -31,8 +32,8 @@ func SyscallNull(cfg kernel.Config, group bool, n int) Metrics {
 func SyscallOpenClose(cfg kernel.Config, group, storm bool, n int) Metrics {
 	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
 		c.Creat("/victim", 0o644)
-		turn := dataBase
-		c.Store32(turn, 0)
+		turn := uspin.Word{VA: dataBase}
+		turn.Store(c, 0)
 		stormers := 0
 		if group {
 			c.Sproc("bystander", func(cc *kernel.Context, _ int64) {}, proc.PRSALL, 0)
@@ -42,14 +43,14 @@ func SyscallOpenClose(cfg kernel.Config, group, storm bool, n int) Metrics {
 				c.Sproc("stormer", func(cc *kernel.Context, _ int64) {
 					for i := 0; i < n; i++ {
 						want := uint32(2*i + 1)
-						if _, err := cc.SpinWait32(turn, func(v uint32) bool { return v == want }); err != nil {
+						if err := turn.AwaitEq(cc, want); err != nil {
 							return
 						}
 						fd, err := cc.Open("/victim", fs.ORead, 0)
 						if err == nil {
 							cc.Close(fd)
 						}
-						cc.Store32(turn, want+1)
+						turn.Store(cc, want+1)
 					}
 				}, proc.PRSALL, 0)
 			}
@@ -58,9 +59,8 @@ func SyscallOpenClose(cfg kernel.Config, group, storm bool, n int) Metrics {
 		for i := 0; i < n; i++ {
 			if storm {
 				// Let the sibling dirty the table first.
-				c.Store32(turn, uint32(2*i+1))
-				want := uint32(2*i + 2)
-				if _, err := c.SpinWait32(turn, func(v uint32) bool { return v == want }); err != nil {
+				turn.Store(c, uint32(2*i+1))
+				if err := turn.AwaitEq(c, uint32(2*i+2)); err != nil {
 					panic(err)
 				}
 			}
@@ -138,15 +138,14 @@ func diffSyscalls(before, after []kernel.SyscallStat) []kernel.SyscallStat {
 func AttrSync(cfg kernel.Config, members, n int) Metrics {
 	var syncs, updater int64
 	m := runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
-		gen := dataBase     // generation word the driver advances
-		ack := dataBase + 4 // members increment after syncing
-		c.Store32(gen, 0)
-		c.Store32(ack, 0)
+		gen := uspin.Word{VA: dataBase}     // generation word the driver advances
+		ack := uspin.Word{VA: dataBase + 4} // members increment after syncing
+		gen.Store(c, 0)
+		ack.Store(c, 0)
 		for i := 0; i < members; i++ {
 			c.Sproc("enterer", func(cc *kernel.Context, _ int64) {
 				for g := 1; g <= n; g++ {
-					want := uint32(g)
-					if _, err := cc.SpinWait32(gen, func(v uint32) bool { return v >= want }); err != nil {
+					if _, err := gen.AwaitMin(cc, uint32(g)); err != nil {
 						return
 					}
 					cc.Getpid() // kernel entry: the single-test sync point
@@ -156,7 +155,7 @@ func AttrSync(cfg kernel.Config, members, n int) Metrics {
 					if got != uint16(g&0o777) {
 						panic("attr sync: member missed umask update")
 					}
-					cc.Add32(ack, 1)
+					ack.Add(cc, 1)
 				}
 			}, proc.PRSALL, 0)
 		}
@@ -168,9 +167,8 @@ func AttrSync(cfg kernel.Config, members, n int) Metrics {
 			// is excluded from the updater-cycles metric.
 			c.Umask(uint16(g & 0o777))
 			updater += c.P.Cycles.Load() - u0
-			c.Store32(gen, uint32(g))
-			want := uint32(g * members)
-			if _, err := c.SpinWait32(ack, func(v uint32) bool { return v >= want }); err != nil {
+			gen.Store(c, uint32(g))
+			if _, err := ack.AwaitMin(c, uint32(g*members)); err != nil {
 				panic(err)
 			}
 			u0 = c.P.Cycles.Load()

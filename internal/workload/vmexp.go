@@ -46,8 +46,9 @@ func FaultScaling(cfg kernel.Config, members, pagesEach int) Metrics {
 
 		gate := uspin.Barrier{VA: dataBase, N: uint32(members) + 1}
 		gate.Init(c)
-		ctl := dataBase + 32 // words: per-round window base
-		stop := dataBase + 36
+		// Control words live past the barrier's whole footprint.
+		ctl := dataBase + uspin.BarrierBytes     // per-round window base
+		stop := dataBase + uspin.BarrierBytes + 4
 		for mIdx := 0; mIdx < members; mIdx++ {
 			c.Sproc("faulter", func(cc *kernel.Context, arg int64) {
 				for {
@@ -105,11 +106,11 @@ func FaultScaling(cfg kernel.Config, members, pagesEach int) Metrics {
 // with hot TLBs, so every shrink really invalidates remote state.
 func ShrinkShootdown(cfg kernel.Config, spinners, n int) Metrics {
 	return runMeasured(cfg, int64(n), func(c *kernel.Context, s *session) {
-		stopVA := dataBase
-		c.Store32(stopVA, 0)
+		stop := uspin.Word{VA: dataBase}
+		stop.Store(c, 0)
 		for i := 0; i < spinners; i++ {
 			c.Sproc("spinner", func(cc *kernel.Context, _ int64) {
-				cc.SpinWait32(stopVA, func(v uint32) bool { return v != 0 })
+				stop.AwaitNe(cc, 0)
 			}, proc.PRSALL, 0)
 		}
 		s.start()
@@ -124,7 +125,7 @@ func ShrinkShootdown(cfg kernel.Config, spinners, n int) Metrics {
 			}
 		}
 		s.stop()
-		c.Store32(stopVA, 1)
+		stop.Store(c, 1)
 		for i := 0; i < spinners; i++ {
 			c.Wait()
 		}

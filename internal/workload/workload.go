@@ -30,6 +30,12 @@ type Metrics struct {
 	FastFills  int64         // faults resolved on the lock-free PTE path
 	SlowFills  int64         // faults that took a region fill stripe
 	CacheHits  int64         // faults served by a last-hit pregion cache
+
+	// Sleep-wake subsystem (blockproc/unblockproc, hybrid uspin).
+	Blocks       int64 // blockproc(2) calls that actually slept
+	Wakes        int64 // unblocks that released a sleeper
+	BankedWakes  int64 // unblocks banked with no sleeper (wasted wakes)
+	SpinToBlocks int64 // bounded spins converted to blockproc sleeps
 }
 
 // UpdaterPerOp returns the driver process's own cycles per operation —

@@ -194,15 +194,30 @@ var (
 	ErrPipe       = fs.ErrPipe
 )
 
-// User-level busy-wait synchronization in shared memory (paper §3).
+// User-level synchronization in shared memory (paper §3). The lock and
+// barrier are hybrid spin-then-block: a bounded busy-wait, then a
+// blockproc(2) sleep with unblockproc(2) wakeup. Each owns SyncBytes of
+// memory at its VA (lock word plus waiter table).
 type (
-	// Spinlock is a busy-wait mutual-exclusion lock at a shared word.
+	// Spinlock is a hybrid mutual-exclusion lock. Lock spins then
+	// blocks; LockSpin is the paper's pure busy-wait discipline.
 	Spinlock = uspin.Mutex
-	// Barrier is a sense-reversing spin barrier (two shared words).
+	// Barrier is a sense-reversing hybrid barrier for N members.
 	Barrier = uspin.Barrier
 	// Counter is an atomic work-claiming cursor (self-scheduling).
 	Counter = uspin.Counter
+	// Word is a shared signalling word with interruptible Await waits —
+	// the primitive for hand-rolled phase flags and readiness counts.
+	Word = uspin.Word
 )
+
+// SyncBytes is the memory footprint of a Spinlock or Barrier: the lock
+// words plus the waiter-pid table the blocking slow path registers in.
+// Data placed beside a primitive must start at VA+SyncBytes or later.
+const SyncBytes = uspin.MutexBytes
+
+// ErrZeroBarrier rejects Barrier{N: 0}, which could never release.
+var ErrZeroBarrier = uspin.ErrZeroBarrier
 
 // System is a booted simulated machine and kernel. The embedded
 // kernel.System provides the full surface: Start launches a program,
