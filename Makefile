@@ -21,7 +21,7 @@ chaos:
 # (panic is reserved for the exit/exec control-flow unwinds), and the
 # resident-fault fast path must stay lock-free.
 .PHONY: lint
-lint:
+lint: lint-pregion
 	$(GO) vet ./...
 	@if grep -nE '\.Lock\(\)|\.RLock\(\)|\.Unlock\(\)|\bsync\.' internal/vm/fillfast.go; then \
 		echo "lint: fillfast.go is the lock-free fault fast path — no mutex or sync primitive may appear there (slow cases belong in region.go)" >&2; \
@@ -43,6 +43,19 @@ lint:
 	done
 	@if grep -rnE '\.SpinWait32\(|\.SpinWaitBounded\(' --include='*.go' . | grep -vE '^\./(internal/uspin/|internal/kernel/)'; then \
 		echo "lint: raw SpinWait32/SpinWaitBounded outside internal/uspin and internal/kernel — user code must spin through the uspin primitives (interruptible, spin-then-block)" >&2; \
+		exit 1; \
+	fi
+
+# lint-pregion: pregion lists are an ordered interval index maintained by
+# internal/vm (sorted by base, binary-searched). Kernel-side code must go
+# through the vm API — Find/Overlaps/Insert/Remove/DupList/MergeLists/
+# Partition/TotalPages — never walk a pregion slice linearly, or the O(n)
+# scan the index removed silently comes back. Display tools under cmd/ may
+# enumerate for output; lookup paths live in internal/.
+.PHONY: lint-pregion
+lint-pregion:
+	@if grep -rnE 'range [a-zA-Z_.]*(Private\b|\.regions\b|RegionList\()' --include='*.go' internal/ | grep -v '^internal/vm/' | grep -v '_test.go'; then \
+		echo "lint: linear scan over a pregion slice outside internal/vm — use the vm index API (Find/Overlaps/Insert/Remove/DupList/MergeLists/Partition/TotalPages)" >&2; \
 		exit 1; \
 	fi
 

@@ -118,6 +118,10 @@ type Options struct {
 	// not be available ("it could even be waiting for a resource that
 	// the examining process controls").
 	EagerAttrSync bool
+	// Topo shapes the shared read lock's distributed reader slots to the
+	// machine's NUMA topology, so member CPUs that share a slot are always
+	// node-mates. The zero value leaves the flat slot hash.
+	Topo hw.Topology
 }
 
 // Gang implements proc.ShareGroup: whether the group asked for gang
@@ -152,16 +156,14 @@ func NewWithOptions(creator *proc.Proc, opts Options) *ShAddr {
 		opts:        opts,
 	}
 
-	// Move sharable pregions to the shared list.
-	var private []*vm.PRegion
-	for _, pr := range creator.Private {
-		if pr.Reg.Type == vm.RPRDA {
-			private = append(private, pr)
-			continue
-		}
-		sa.regions = append(sa.regions, pr)
-	}
+	// Move sharable pregions to the shared list; only the PRDA stays
+	// private. Both halves of the partition keep the index's sort order.
+	shared, private := vm.Partition(creator.Private, func(pr *vm.PRegion) bool {
+		return pr.Reg.Type != vm.RPRDA
+	})
+	sa.regions = shared
 	creator.Private = private
+	sa.Acc.ConfigureTopology(opts.Topo.NCPU, opts.Topo.Nodes)
 	sa.touchRegions()
 
 	// Shadow the environment, bumping reference counts for the block.
@@ -262,9 +264,7 @@ func (sa *ShAddr) takeMemberStack(p *proc.Proc) memberStack {
 // teardown releases everything the block holds. Only the last leaving
 // member calls it, so no locks are needed.
 func (sa *ShAddr) teardown() {
-	for _, pr := range sa.regions {
-		pr.Reg.Detach()
-	}
+	vm.DetachList(sa.regions)
 	sa.regions = nil
 	sa.touchRegions()
 	for i, f := range sa.ofile {

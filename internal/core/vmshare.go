@@ -60,8 +60,7 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 // shootdown, exactly like a shrink.
 func (sa *ShAddr) UnshareVM(p *proc.Proc, shoot func()) []*vm.PRegion {
 	sa.Acc.Lock(p)
-	img := vm.DupList(p.Private)
-	img = append(img, vm.DupList(sa.regions)...)
+	img := vm.MergeLists(vm.DupList(p.Private), vm.DupList(sa.regions))
 	// Withdraw p's own stack from the shared space; p keeps the COW dup.
 	sa.listLock.Lock()
 	ms := sa.memberStack[p]
@@ -110,7 +109,7 @@ func (sa *ShAddr) AttachShared(p *proc.Proc, pr *vm.PRegion) error {
 	if vm.Overlaps(sa.regions, pr.Base, pr.Reg.Pages()) {
 		return fmt.Errorf("core: attach overlaps existing shared region at %#x", uint32(pr.Base))
 	}
-	sa.regions = append(sa.regions, pr)
+	sa.regions = vm.Insert(sa.regions, pr)
 	sa.touchRegions()
 	return nil
 }
@@ -194,7 +193,7 @@ func (sa *ShAddr) CarveStack(child *proc.Proc, mem *hw.Memory, maxPages int, sha
 	sa.memberStack[child] = memberStack{pr: pr, pages: maxPages, shared: shared}
 	sa.listLock.Unlock()
 	if shared {
-		sa.regions = append(sa.regions, pr)
+		sa.regions = vm.Insert(sa.regions, pr)
 		sa.touchRegions()
 	}
 	return pr
@@ -207,7 +206,7 @@ func (sa *ShAddr) AttachAnon(p *proc.Proc, reg *vm.Region) hw.VAddr {
 	sa.Acc.Lock(p)
 	defer sa.Acc.Unlock()
 	base := sa.carveShmLocked(reg.Pages())
-	sa.regions = append(sa.regions, &vm.PRegion{Reg: reg, Base: base})
+	sa.regions = vm.Insert(sa.regions, &vm.PRegion{Reg: reg, Base: base})
 	sa.touchRegions()
 	return base
 }
@@ -247,8 +246,7 @@ func (sa *ShAddr) AttachPrivateRange(p *proc.Proc, npages int) hw.VAddr {
 func (sa *ShAddr) COWImage(parent *proc.Proc, shoot func()) []*vm.PRegion {
 	sa.Acc.Lock(parent)
 	defer sa.Acc.Unlock()
-	img := vm.DupList(parent.Private)
-	img = append(img, vm.DupList(sa.regions)...)
+	img := vm.MergeLists(vm.DupList(parent.Private), vm.DupList(sa.regions))
 	shoot()
 	sa.Shootdowns.Add(1)
 	return img

@@ -1,0 +1,92 @@
+package hw
+
+// Topology describes the machine's NUMA shape: NCPU processors grouped
+// into Nodes locality domains of contiguous CPU ids. Each node owns an
+// equal slice of physical memory (its frame pool); accesses that cross a
+// node boundary pay Costs.RemoteAccess on top of the local cost.
+//
+// A Topology with Nodes <= 1 is the flat SMP the paper measured: every
+// frame is local and no remote penalty is ever charged. The node distance
+// model is linear — |a-b| hops — which is what a ring or dance-hall
+// interconnect gives; only the nearest-first *order* it induces matters to
+// the allocator, not the absolute distances.
+type Topology struct {
+	NCPU  int
+	Nodes int
+}
+
+// NewTopology builds a topology of ncpu processors over nodes domains.
+// nodes is clamped to [1, ncpu]; CPUs are dealt to nodes in contiguous
+// blocks of ceil(ncpu/nodes).
+func NewTopology(ncpu, nodes int) Topology {
+	if ncpu < 1 {
+		ncpu = 1
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes > ncpu {
+		nodes = ncpu
+	}
+	return Topology{NCPU: ncpu, Nodes: nodes}
+}
+
+// Flat reports whether the topology has a single locality domain.
+func (t Topology) Flat() bool { return t.Nodes <= 1 }
+
+// CPUsPerNode returns the size of one node's CPU block (the last node may
+// be smaller when nodes does not divide NCPU).
+func (t Topology) CPUsPerNode() int {
+	if t.Nodes <= 1 {
+		if t.NCPU < 1 {
+			return 1
+		}
+		return t.NCPU
+	}
+	return (t.NCPU + t.Nodes - 1) / t.Nodes
+}
+
+// NodeOf returns the node a CPU belongs to. Out-of-range ids (the
+// no-affinity -1 paths) map to node 0.
+func (t Topology) NodeOf(cpu int) int {
+	if t.Nodes <= 1 || cpu < 0 || cpu >= t.NCPU {
+		return 0
+	}
+	n := cpu / t.CPUsPerNode()
+	if n >= t.Nodes {
+		n = t.Nodes - 1
+	}
+	return n
+}
+
+// Distance returns the hop count between two nodes (0 = same node).
+func (t Topology) Distance(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// NodeOrder returns every node id ordered nearest-first from node: node
+// itself, then its neighbours by increasing distance (lower id first on a
+// tie). This is the fallback order the allocator walks when a home pool
+// runs dry.
+func (t Topology) NodeOrder(node int) []int {
+	if node < 0 || node >= t.Nodes {
+		node = 0
+	}
+	out := make([]int, 0, t.Nodes)
+	out = append(out, node)
+	for d := 1; d < t.Nodes; d++ {
+		if node-d >= 0 {
+			out = append(out, node-d)
+		}
+		if node+d < t.Nodes {
+			out = append(out, node+d)
+		}
+		if len(out) == t.Nodes {
+			break
+		}
+	}
+	return out
+}

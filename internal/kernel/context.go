@@ -155,6 +155,12 @@ func (c *Context) fault(va hw.VAddr, write bool) (hw.PFN, error) {
 	case vm.FillCopied:
 		cpu.Charge(c.S.Machine.Cost.PageFault + c.S.Machine.Cost.PageCopy)
 	}
+	// On a NUMA machine a fill backed by a remote node's frame pays the
+	// interconnect round trip (per hop). Locality-aware allocation makes
+	// this rare; the node-blind ablation makes it the norm.
+	if penalty := c.S.Machine.NodePenalty(cpu.ID, pfn); penalty > 0 {
+		cpu.Charge(penalty)
+	}
 	cpu.TLB.Insert(va.VPN(), c.P.ASID, pfn, writable)
 	return pfn, nil
 }

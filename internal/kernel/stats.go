@@ -1,6 +1,9 @@
 package kernel
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/hw"
+)
 
 // Stats is a point-in-time snapshot of the kernel's hot-path counters: the
 // per-CPU dispatch, frame-cache, and trace-ring instrumentation added for
@@ -15,6 +18,16 @@ type Stats struct {
 	StealScans  int64 // slow-path scans over all run queues
 	RunqLen     int   // ready, undispatched processes right now
 	IdleCPUs    int   // processors with nothing to run right now
+
+	// NUMA locality (all zero on a flat machine).
+	NUMANodes    int               // locality domains
+	LocalSteals  int64             // steals from a queue on the thief's own node
+	RemoteSteals int64             // steals that crossed a node boundary
+	LocalTakes   int64             // frames refilled from the home-node pool
+	RemoteTakes  int64             // frames refilled from a remote node's pool
+	RemoteFills  int64             // page fills backed by a remote-node frame
+	RemoteIPIs   int64             // shootdown IPIs that crossed a node boundary
+	NodePools    []hw.NodePoolStat // per-node frame-pool occupancy right now
 
 	// Frame allocator.
 	FrameAllocs    int64 // frames handed out
@@ -119,6 +132,16 @@ func (s *System) Stats() Stats {
 		SlowFills:       mem.SlowFills.Load(),
 		PageShootdowns:  s.Machine.PageShootdowns.Load(),
 		SpaceShootdowns: s.Machine.SpaceShootdowns.Load(),
+	}
+	if !s.Machine.Topo.Flat() {
+		st.NUMANodes = s.Machine.Topo.Nodes
+		st.LocalSteals = s.Sched.LocalSteals.Load()
+		st.RemoteSteals = s.Sched.RemoteSteals.Load()
+		st.LocalTakes = mem.LocalTakes.Load()
+		st.RemoteTakes = mem.RemoteTakes.Load()
+		st.RemoteFills = s.Machine.RemoteFills.Load()
+		st.RemoteIPIs = s.Machine.RemoteIPIs.Load()
+		st.NodePools = mem.NodeOccupancy()
 	}
 	groups := map[*core.ShAddr]bool{}
 	for _, p := range s.Procs() {

@@ -156,7 +156,7 @@ func (c *Context) Shmat(id int) (hw.VAddr, error) {
 			return sa.AttachAnon(p, seg.Reg), nil
 		}
 		base := p.AllocShmRange(seg.Reg.Pages())
-		p.Private = append(p.Private, &vm.PRegion{Reg: seg.Reg, Base: base})
+		p.Private = vm.Insert(p.Private, &vm.PRegion{Reg: seg.Reg, Base: base})
 		return base, nil
 	})
 }

@@ -107,10 +107,7 @@ func (c *Context) Fork(name string, childMain Main) (int, error) {
 
 		// Charge what fork costs: proc setup plus page-table duplication plus
 		// descriptor duplication.
-		pages := 0
-		for _, pr := range child.Private {
-			pages += pr.Reg.Pages()
-		}
+		pages := vm.TotalPages(child.Private)
 		c.charge(mach.Cost.ProcCreate + int64(pages)*mach.Cost.RegionDup + int64(nfds)*mach.Cost.FDTableCopy)
 
 		c.S.Machine.Trace.Record(trace.EvCreate, int32(p.PID), c.P.CPU.Load(), uint64(child.PID), trace.CreateFork)
@@ -178,6 +175,7 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 		sa = core.NewWithOptions(p, core.Options{
 			ExclusiveVMLock: c.S.cfg.ExclusiveVMLock,
 			EagerAttrSync:   c.S.cfg.EagerAttrSync,
+			Topo:            mach.Topo,
 		})
 	}
 	shmask &= p.ShMask() // strict inheritance
@@ -203,23 +201,18 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 		// not visible in the share group (paper §5.1).
 		child.ASID = mach.AllocASID()
 		img := sa.COWImage(p, func() { mach.ShootdownSpace(cpu, sa.ASID) })
-		// Replace the inherited PRDA copy with a fresh private one.
-		for _, pr := range img {
-			if pr.Reg.Type == vm.RPRDA {
-				img = vm.Remove(img, pr)
-				pr.Reg.Detach()
-				break
-			}
+		// Replace the inherited PRDA copy with a fresh private one; the
+		// PRDA sits at its fixed base in every image, so the index finds it
+		// without a scan.
+		if pr := vm.Find(img, vm.PRDABase); pr != nil && pr.Reg.Type == vm.RPRDA {
+			img = vm.Remove(img, pr)
+			pr.Reg.Detach()
 		}
-		img = append(img, &vm.PRegion{Reg: vm.NewRegion(mach.Mem, vm.RPRDA, vm.PRDAPages), Base: vm.PRDABase})
+		img = vm.Insert(img, &vm.PRegion{Reg: vm.NewRegion(mach.Mem, vm.RPRDA, vm.PRDAPages), Base: vm.PRDABase})
 		child.Stack = sa.CarveStack(child, mach.Mem, child.StackMax, false)
-		img = append(img, child.Stack)
+		img = vm.Insert(img, child.Stack)
 		child.Private = img
-		pages := 0
-		for _, pr := range img {
-			pages += pr.Reg.Pages()
-		}
-		c.charge(mach.Cost.ProcCreate + int64(pages)*mach.Cost.RegionDup)
+		c.charge(mach.Cost.ProcCreate + int64(vm.TotalPages(img))*mach.Cost.RegionDup)
 	}
 
 	// Descriptors and directories: from the block when shared, from the

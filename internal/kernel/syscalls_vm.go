@@ -113,7 +113,7 @@ func (c *Context) Mmap(npages int) (hw.VAddr, error) {
 			return sa.AttachAnon(p, reg), nil
 		}
 		base := p.AllocShmRange(npages)
-		p.Private = append(p.Private, &vm.PRegion{Reg: reg, Base: base})
+		p.Private = vm.Insert(p.Private, &vm.PRegion{Reg: reg, Base: base})
 		return base, nil
 	})
 }
@@ -140,7 +140,7 @@ func (c *Context) MmapPrivate(npages int) (hw.VAddr, error) {
 		} else {
 			base = p.AllocShmRange(npages)
 		}
-		p.Private = append(p.Private, &vm.PRegion{Reg: reg, Base: base})
+		p.Private = vm.Insert(p.Private, &vm.PRegion{Reg: reg, Base: base})
 		return base, nil
 	})
 }

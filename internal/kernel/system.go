@@ -37,6 +37,15 @@ type Config struct {
 	MaxProcs  int   // per-user process limit, PR_MAXPROCS (default 256)
 	Gang      bool  // gang-schedule share groups (paper §8 extension)
 
+	// NUMANodes splits the CPUs and physical memory into that many
+	// locality domains (default 1 = the flat SMP the paper measured).
+	// Values above NCPU are clamped by the topology.
+	NUMANodes int
+	// NodeBlindAlloc disables locality in the frame allocator (round-robin
+	// over the node pools) while keeping the cost model's remote penalty —
+	// the S6 ablation that shows what node-aware placement buys.
+	NodeBlindAlloc bool
+
 	// Image geometry for fresh processes.
 	TextPages int // default 16
 	DataPages int // default 64
@@ -89,6 +98,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kernel: Config.TimeSlice must be >= 0 (0 = default), got %d", c.TimeSlice)
 	case c.MaxProcs < 0:
 		return fmt.Errorf("kernel: Config.MaxProcs must be >= 0 (0 = default), got %d", c.MaxProcs)
+	case c.NUMANodes < 0:
+		return fmt.Errorf("kernel: Config.NUMANodes must be >= 0 (0 = flat), got %d", c.NUMANodes)
 	case c.TextPages < 0:
 		return fmt.Errorf("kernel: Config.TextPages must be >= 0 (0 = default), got %d", c.TextPages)
 	case c.DataPages < 0:
@@ -153,7 +164,12 @@ func NewSystemChecked(cfg Config) (*System, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	m := hw.NewMachine(cfg.NCPU, cfg.MemFrames)
+	nodes := cfg.NUMANodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	m := hw.NewMachineNUMA(cfg.NCPU, cfg.MemFrames, nodes)
+	m.Mem.NodeBlind = cfg.NodeBlindAlloc
 	s := &System{
 		Machine: m,
 		FS:      fs.New(),
@@ -258,12 +274,12 @@ func (s *System) Procs() []*proc.Proc {
 func (s *System) newImage(p *proc.Proc) {
 	mem := s.Machine.Mem
 	stackBase := vm.MainStackTop - hw.VAddr(p.StackMax*hw.PageSize)
-	p.Private = []*vm.PRegion{
-		{Reg: vm.NewRegion(mem, vm.RText, s.cfg.TextPages), Base: vm.TextBase},
-		{Reg: vm.NewRegion(mem, vm.RData, s.cfg.DataPages), Base: vm.DataBase},
-		{Reg: vm.NewRegion(mem, vm.RStack, p.StackMax), Base: stackBase},
-		{Reg: vm.NewRegion(mem, vm.RPRDA, vm.PRDAPages), Base: vm.PRDABase},
-	}
+	p.Private = vm.BuildList(
+		&vm.PRegion{Reg: vm.NewRegion(mem, vm.RText, s.cfg.TextPages), Base: vm.TextBase},
+		&vm.PRegion{Reg: vm.NewRegion(mem, vm.RData, s.cfg.DataPages), Base: vm.DataBase},
+		&vm.PRegion{Reg: vm.NewRegion(mem, vm.RStack, p.StackMax), Base: stackBase},
+		&vm.PRegion{Reg: vm.NewRegion(mem, vm.RPRDA, vm.PRDAPages), Base: vm.PRDABase},
+	)
 	p.Stack = vm.Find(p.Private, stackBase)
 }
 

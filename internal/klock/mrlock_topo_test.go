@@ -1,0 +1,68 @@
+package klock
+
+import "testing"
+
+// Slot-sharing CPUs must always be node-mates once the lock is shaped:
+// sharing a padded counter inside one node is cheap cache traffic, sharing
+// it across nodes is interconnect ping-pong.
+func TestMRLockSlotTopology(t *testing.T) {
+	for _, tc := range []struct{ ncpu, nodes int }{
+		{8, 2}, {64, 8}, {256, 32}, {256, 8}, {96, 12}, {5, 3},
+	} {
+		var l MRLock
+		l.ConfigureTopology(tc.ncpu, tc.nodes)
+		cpn := (tc.ncpu + tc.nodes - 1) / tc.nodes
+		slotNode := make(map[int]int)
+		for cpu := 1; cpu < tc.ncpu; cpu++ {
+			s := l.slotOf(cpu)
+			if s < 0 || s >= mrSlots {
+				t.Fatalf("ncpu=%d nodes=%d: slotOf(%d) = %d out of range", tc.ncpu, tc.nodes, cpu, s)
+			}
+			node := cpu / cpn
+			if prev, ok := slotNode[s]; ok && prev != node {
+				t.Fatalf("ncpu=%d nodes=%d: slot %d shared by nodes %d and %d",
+					tc.ncpu, tc.nodes, s, prev, node)
+			}
+			slotNode[s] = node
+		}
+	}
+}
+
+// Unshaped locks keep the legacy modulo hash, and slot 0 stays reserved for
+// the no-affinity paths in both modes.
+func TestMRLockSlotDefault(t *testing.T) {
+	var l MRLock
+	for _, cpu := range []int{-1, 0} {
+		if l.slotOf(cpu) != 0 {
+			t.Fatalf("slotOf(%d) = %d, want 0", cpu, l.slotOf(cpu))
+		}
+	}
+	if l.slotOf(5) != 5 || l.slotOf(mrSlots+3) != 3 {
+		t.Fatalf("unshaped slotOf not a modulo hash")
+	}
+	l.ConfigureTopology(256, 8)
+	if l.slotOf(0) != 0 || l.slotOf(-1) != 0 {
+		t.Fatalf("shaped slotOf(<=0) must stay 0")
+	}
+}
+
+// The shaped mapping must round-trip through RLockOn/RUnlockOn: the slot
+// returned is the one the hold was counted on, and releases drain exactly.
+func TestMRLockShapedRoundTrip(t *testing.T) {
+	var l MRLock
+	l.ConfigureTopology(256, 8)
+	th := newGoThread()
+	var slots []int
+	for cpu := 0; cpu < 256; cpu += 17 {
+		slots = append(slots, l.RLockOn(th, cpu))
+	}
+	if l.Readers() != len(slots) {
+		t.Fatalf("Readers = %d, want %d", l.Readers(), len(slots))
+	}
+	for _, s := range slots {
+		l.RUnlockOn(s)
+	}
+	if l.Readers() != 0 {
+		t.Fatalf("Readers = %d after release, want 0", l.Readers())
+	}
+}

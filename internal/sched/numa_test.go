@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/proc"
+)
+
+// fakeGroup satisfies proc.ShareGroup for placement tests.
+type fakeGroup struct{ gang bool }
+
+func (g *fakeGroup) Gang() bool           { return g.gang }
+func (g *fakeGroup) SyncEntry(*proc.Proc) {}
+func (g *fakeGroup) Leave(*proc.Proc)     {}
+func (g *fakeGroup) Size() int            { return 1 }
+
+func TestScanOrderLocality(t *testing.T) {
+	m := hw.NewMachineNUMA(16, 1024, 4) // 4 CPUs per node
+	s := New(m, 0)
+	for cpu := 0; cpu < 16; cpu++ {
+		order := s.scanOrder[cpu]
+		if len(order) != 15 {
+			t.Fatalf("cpu %d: scanOrder has %d entries", cpu, len(order))
+		}
+		myNode := cpu / 4
+		// The first three entries are the node-mates.
+		for i := 0; i < 3; i++ {
+			if order[i]/4 != myNode {
+				t.Fatalf("cpu %d: scanOrder[%d] = %d crosses nodes before mates done", cpu, i, order[i])
+			}
+		}
+		// Distances are non-decreasing after that.
+		dist := func(a, b int) int {
+			if a > b {
+				return a - b
+			}
+			return b - a
+		}
+		prev := 0
+		for _, c := range order {
+			d := dist(c/4, myNode)
+			if d < prev {
+				t.Fatalf("cpu %d: scanOrder not nearest-first: %v", cpu, order)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestScanOrderFlatMachine(t *testing.T) {
+	m := hw.NewMachine(4, 256)
+	s := New(m, 0)
+	for cpu := 0; cpu < 4; cpu++ {
+		if len(s.scanOrder[cpu]) != 3 {
+			t.Fatalf("flat scanOrder[%d] = %v", cpu, s.scanOrder[cpu])
+		}
+	}
+}
+
+func TestHomeNodePlacement(t *testing.T) {
+	m := hw.NewMachineNUMA(8, 1024, 4) // 2 CPUs per node
+	s := New(m, 0)
+
+	// A process that ran on CPU 5 is homed on node 2.
+	p := proc.New(1, "old")
+	p.Sched = s
+	p.LastCPU.Store(5)
+	if n := s.homeNode(p); n != 2 {
+		t.Fatalf("homeNode(last=5) = %d, want 2", n)
+	}
+
+	// A fresh group member homes where its group-mate runs.
+	grp := &fakeGroup{}
+	mate := proc.New(2, "mate")
+	mate.SetShare(grp)
+	s.cpuProc[6].Store(mate) // node 3
+
+	fresh := proc.New(3, "fresh")
+	fresh.SetShare(grp)
+	if n := s.homeNode(fresh); n != 3 {
+		t.Fatalf("homeNode(fresh member) = %d, want 3", n)
+	}
+
+	// No history, no group: no preference.
+	lone := proc.New(4, "lone")
+	if n := s.homeNode(lone); n != -1 {
+		t.Fatalf("homeNode(lone) = %d, want -1", n)
+	}
+
+	// claimIdleOn claims only within the node.
+	cpu := s.claimIdleOn(3)
+	if cpu != 6 && cpu != 7 {
+		t.Fatalf("claimIdleOn(3) = %d", cpu)
+	}
+	if again := s.claimIdleOn(3); again == cpu {
+		t.Fatalf("claimIdleOn returned the same CPU twice")
+	}
+	s.setIdle(6)
+	s.setIdle(7)
+}

@@ -71,8 +71,15 @@ type runQueue struct {
 type Sched struct {
 	machine *hw.Machine
 	slice   int64
+	topo    hw.Topology // the machine's NUMA shape (flat when Nodes <= 1)
 	gang    atomic.Bool // global gang-mode switch
 	sawGang atomic.Bool // a per-group gang flag has been seen (sticky)
+
+	// scanOrder[cpu] lists every other CPU in locality order: node-mates
+	// first, then remote nodes nearest-first. Steal scans and hint checks
+	// walk this order so same-node work is found (and taken) before the
+	// scan ever crosses the interconnect. Built once in New.
+	scanOrder [][]int
 
 	queues   []*runQueue
 	cpuProc  []atomic.Pointer[proc.Proc] // what each CPU runs (nil = idle)
@@ -81,13 +88,15 @@ type Sched struct {
 	rr       atomic.Uint32               // round-robin cursor for unplaced processes
 	readySeq atomic.Uint64               // global enqueue stamp (machine-wide FIFO)
 
-	Dispatches  atomic.Int64
-	Preemptions atomic.Int64
-	StickyHolds atomic.Int64 // preemptions suppressed by gang stickiness
-	Steals      atomic.Int64 // picks taken from another CPU's queue
-	LocalPicks  atomic.Int64 // picks served from the CPU's own queue
-	StealScans  atomic.Int64 // full steal scans (the slow pick path)
-	Sleeps      atomic.Int64 // kernel sleeps (processes leaving the run queues)
+	Dispatches   atomic.Int64
+	Preemptions  atomic.Int64
+	StickyHolds  atomic.Int64 // preemptions suppressed by gang stickiness
+	Steals       atomic.Int64 // picks taken from another CPU's queue
+	LocalSteals  atomic.Int64 // steals from a queue on the thief's own node
+	RemoteSteals atomic.Int64 // steals that crossed a node boundary
+	LocalPicks   atomic.Int64 // picks served from the CPU's own queue
+	StealScans   atomic.Int64 // full steal scans (the slow pick path)
+	Sleeps       atomic.Int64 // kernel sleeps (processes leaving the run queues)
 
 	// FI, when armed at SiteDispatch, forces occasional short slices and
 	// dispatch stalls — the scheduler's deterministic perturbation under a
@@ -102,9 +111,16 @@ func New(machine *hw.Machine, slice int64) *Sched {
 		slice = DefaultSlice
 	}
 	ncpu := machine.NCPU()
+	topo := machine.Topo
+	if topo.NCPU != ncpu || topo.Nodes < 1 {
+		// Machines built outside NewMachineNUMA carry a zero Topology;
+		// normalize to flat so the locality paths degenerate cleanly.
+		topo = hw.NewTopology(ncpu, 1)
+	}
 	s := &Sched{
 		machine: machine,
 		slice:   slice,
+		topo:    topo,
 		queues:  make([]*runQueue, ncpu),
 		cpuProc: make([]atomic.Pointer[proc.Proc], ncpu),
 		idle:    make([]atomic.Uint64, (ncpu+63)/64),
@@ -113,6 +129,23 @@ func New(machine *hw.Machine, slice int64) *Sched {
 		s.queues[i] = &runQueue{}
 		s.queues[i].maxPrio.Store(noPrio)
 		s.queues[i].oldest.Store(noSeq)
+	}
+	s.scanOrder = make([][]int, ncpu)
+	cpn := topo.CPUsPerNode()
+	for cpu := 0; cpu < ncpu; cpu++ {
+		order := make([]int, 0, ncpu-1)
+		for _, n := range topo.NodeOrder(topo.NodeOf(cpu)) {
+			lo, hi := n*cpn, (n+1)*cpn
+			if hi > ncpu {
+				hi = ncpu
+			}
+			for c := lo; c < hi; c++ {
+				if c != cpu {
+					order = append(order, c)
+				}
+			}
+		}
+		s.scanOrder[cpu] = order
 	}
 	for cpu := 0; cpu < ncpu; cpu++ {
 		s.setIdle(cpu)
@@ -189,10 +222,21 @@ func (s *Sched) Spawn(p *proc.Proc, body func()) {
 }
 
 // Ready makes p runnable, dispatching it immediately if a CPU is idle.
+// On a NUMA machine the idle claim prefers p's home node — where it last
+// ran, or for a never-dispatched group member, where a group-mate is
+// already running, so new members start next to the group's working set.
 func (s *Sched) Ready(p *proc.Proc) {
 	p.SetState(proc.SReady)
 	if g := p.ShareGrp(); g != nil && g.Gang() {
 		s.sawGang.Store(true)
+	}
+	if !s.topo.Flat() {
+		if node := s.homeNode(p); node >= 0 {
+			if cpu := s.claimIdleOn(node); cpu >= 0 {
+				s.dispatch(p, cpu)
+				return
+			}
+		}
 	}
 	if cpu := s.claimIdle(); cpu >= 0 {
 		s.dispatch(p, cpu)
@@ -204,12 +248,55 @@ func (s *Sched) Ready(p *proc.Proc) {
 	s.kickIdle()
 }
 
-// enqueue places p on its last CPU's queue (cache affinity), or spreads
-// fresh processes round-robin.
+// homeNode returns the node p should land on: its last CPU's node when it
+// has run before, else the node of a running share-group mate (the frames
+// a new member will fault on are the ones its siblings already touched),
+// else -1.
+func (s *Sched) homeNode(p *proc.Proc) int {
+	if last := int(p.LastCPU.Load()); last >= 0 && last < len(s.queues) {
+		return s.topo.NodeOf(last)
+	}
+	if grp := p.ShareGrp(); grp != nil {
+		for i := range s.cpuProc {
+			if r := s.cpuProc[i].Load(); r != nil && r.ShareGrp() == grp {
+				return s.topo.NodeOf(i)
+			}
+		}
+	}
+	return -1
+}
+
+// claimIdleOn claims an idle CPU on the given node, or returns -1.
+func (s *Sched) claimIdleOn(node int) int {
+	cpn := s.topo.CPUsPerNode()
+	lo, hi := node*cpn, (node+1)*cpn
+	if hi > len(s.queues) {
+		hi = len(s.queues)
+	}
+	for cpu := lo; cpu < hi; cpu++ {
+		if s.claimThis(cpu) {
+			return cpu
+		}
+	}
+	return -1
+}
+
+// enqueue places p on its last CPU's queue (cache affinity). A fresh
+// process with no dispatch history spreads round-robin — within its home
+// node's block when a group-mate pins one.
 func (s *Sched) enqueue(p *proc.Proc) {
 	cpu := int(p.LastCPU.Load())
 	if cpu < 0 || cpu >= len(s.queues) {
-		cpu = int(s.rr.Add(1)) % len(s.queues)
+		if node := s.homeNode(p); node >= 0 && !s.topo.Flat() {
+			cpn := s.topo.CPUsPerNode()
+			lo, n := node*cpn, cpn
+			if lo+n > len(s.queues) {
+				n = len(s.queues) - lo
+			}
+			cpu = lo + int(s.rr.Add(1))%n
+		} else {
+			cpu = int(s.rr.Add(1)) % len(s.queues)
+		}
 	}
 	q := s.queues[cpu]
 	seq := s.readySeq.Add(1)
@@ -315,10 +402,7 @@ func (s *Sched) pickNext(cpu int) *proc.Proc {
 	own.mu.Lock()
 	li, lscore, lseq := s.bestOf(own)
 	steal := false
-	for i := range s.queues {
-		if i == cpu {
-			continue
-		}
+	for _, i := range s.scanOrder[cpu] {
 		h := s.queues[i].maxPrio.Load()
 		if h == noPrio {
 			continue
@@ -357,14 +441,21 @@ func (s *Sched) pickNext(cpu int) *proc.Proc {
 	return s.pickStealing(cpu)
 }
 
-// pickStealing is the slow pick path: peek every queue (own first, one
-// lock at a time), choose the globally best candidate — highest score,
-// then oldest ready stamp — and re-verify and pop it.
+// pickStealing is the slow pick path: peek every queue (own first, then
+// node-mates, then remote nodes nearest-first, one lock at a time), choose
+// the globally best candidate — highest score, then oldest ready stamp —
+// and re-verify and pop it. On a NUMA machine a remote candidate's age is
+// handicapped by ageSlack before comparison: equal-score ties go to the
+// thief's own node, but a remote process more than ageSlack enqueues older
+// still wins, so the machine-wide starvation bound survives the locality
+// bias (it merely widens by one slack).
 func (s *Sched) pickStealing(cpu int) *proc.Proc {
 	s.StealScans.Add(1)
+	slack := s.ageSlack()
+	myNode := s.topo.NodeOf(cpu)
 	for attempt := 0; attempt < 4; attempt++ {
 		bestQ, bestScore := -1, math.MinInt
-		bestSeq := uint64(noSeq)
+		bestEff := uint64(noSeq)
 		scan := func(i int) {
 			q := s.queues[i]
 			if i != cpu && q.maxPrio.Load() == noPrio {
@@ -373,15 +464,20 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 			q.mu.Lock()
 			idx, sc, seq := s.bestOf(q)
 			q.mu.Unlock()
-			if idx >= 0 && (sc > bestScore || (sc == bestScore && seq < bestSeq)) {
-				bestQ, bestScore, bestSeq = i, sc, seq
+			if idx < 0 {
+				return
+			}
+			eff := seq
+			if s.topo.NodeOf(i) != myNode {
+				eff += slack
+			}
+			if sc > bestScore || (sc == bestScore && eff < bestEff) {
+				bestQ, bestScore, bestEff = i, sc, eff
 			}
 		}
 		scan(cpu)
-		for i := range s.queues {
-			if i != cpu {
-				scan(i)
-			}
+		for _, i := range s.scanOrder[cpu] {
+			scan(i)
 		}
 		if bestQ < 0 {
 			return nil
@@ -400,6 +496,11 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 			s.LocalPicks.Add(1)
 		} else {
 			s.Steals.Add(1)
+			if s.topo.NodeOf(bestQ) == myNode {
+				s.LocalSteals.Add(1)
+			} else {
+				s.RemoteSteals.Add(1)
+			}
 		}
 		return p
 	}

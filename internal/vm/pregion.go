@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hw"
 )
@@ -52,38 +53,88 @@ func (p *PRegion) String() string {
 		p.Reg.Type, uint32(p.Base), uint32(p.End()), p.Reg.Pages(), p.Reg.Refs())
 }
 
-// Find scans a pregion list for the one containing va. This is the scan
-// the paper protects with the shared read lock: "the shared pregion list
-// is protected via the shared lock in all places that the pregion list is
-// accessed".
+// Pregion lists are an ordered interval index: every list handled by the
+// functions below is sorted by Base, and attachments never overlap (Insert
+// callers check Overlaps first). Find and Overlaps are therefore binary
+// searches — O(log n) where the paper's linear pregion scan was O(n) —
+// which is what keeps the fault path flat when a share group maps tens of
+// thousands of regions. The one wrinkle is zero-page pregions (a region
+// shrunk to nothing): they occupy a base address but no address *space*,
+// so another region's extent may legitimately span them; searches skip
+// them, membership operations keep them.
+//
+// The paper's locking story is unchanged: "the shared pregion list is
+// protected via the shared lock in all places that the pregion list is
+// accessed" — the index only changes what a scan costs under that lock.
+
+// searchBase returns the index of the first pregion with Base > va.
+func searchBase(list []*PRegion, va hw.VAddr) int {
+	return sort.Search(len(list), func(i int) bool { return list[i].Base > va })
+}
+
+// Find returns the pregion containing va, or nil. It binary-searches for
+// the last pregion based at or below va, then walks left past any
+// zero-page entries parked inside a larger region's span.
 func Find(list []*PRegion, va hw.VAddr) *PRegion {
-	for _, pr := range list {
-		if pr.Contains(va) {
-			return pr
+	for i := searchBase(list, va) - 1; i >= 0; i-- {
+		if list[i].Contains(va) {
+			return list[i]
+		}
+		if list[i].Reg.Pages() > 0 {
+			// A non-empty pregion at or below va that doesn't contain it:
+			// everything further left ends even lower.
+			return nil
 		}
 	}
 	return nil
 }
 
 // Overlaps reports whether a new attachment [base, base+pages) would
-// collide with any pregion in the list.
+// collide with any pregion in the list. Zero-length probes never collide,
+// and zero-page entries never obstruct.
 func Overlaps(list []*PRegion, base hw.VAddr, pages int) bool {
+	if pages <= 0 {
+		return false
+	}
 	end := base + hw.VAddr(pages*hw.PageSize)
-	for _, pr := range list {
-		if base < pr.End() && pr.Base < end {
-			return true
+	// First pregion based at or past end cannot overlap; scan left from
+	// there, skipping zero-page entries (they occupy no address space).
+	// The first non-empty pregion decides: if it ends at or below base,
+	// every earlier one ends lower still.
+	for i := searchBase(list, end-1) - 1; i >= 0; i-- {
+		if list[i].Reg.Pages() == 0 {
+			continue
 		}
+		return list[i].End() > base
 	}
 	return false
 }
 
+// Insert adds pr to the list, keeping it sorted by Base, and returns the
+// grown list. Callers must have checked Overlaps (the list stays a set of
+// disjoint intervals); equal bases (zero-page entries) keep insertion
+// order.
+func Insert(list []*PRegion, pr *PRegion) []*PRegion {
+	i := searchBase(list, pr.Base)
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = pr
+	return list
+}
+
 // Remove deletes pr from list, returning the shortened list. It is the
 // caller's job to hold whatever lock protects the list and to detach the
-// region afterwards.
+// region afterwards. The vacated tail slot is cleared so the backing array
+// keeps no stale pointer pinning the detached pregion.
 func Remove(list []*PRegion, pr *PRegion) []*PRegion {
-	for i, q := range list {
-		if q == pr {
-			return append(list[:i], list[i+1:]...)
+	// Binary search to the first candidate with pr's base, then match by
+	// identity (equal bases are possible among zero-page entries).
+	i := sort.Search(len(list), func(i int) bool { return list[i].Base >= pr.Base })
+	for ; i < len(list) && list[i].Base == pr.Base; i++ {
+		if list[i] == pr {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
 		}
 	}
 	return list
@@ -92,7 +143,8 @@ func Remove(list []*PRegion, pr *PRegion) []*PRegion {
 // DupList copy-on-write-duplicates a pregion list (the fork path). Text
 // regions are shared rather than duplicated — System V shares text on fork
 // — and shm regions stay attached to the same segment, matching System V
-// shared-memory semantics (a segment remains shared across fork).
+// shared-memory semantics (a segment remains shared across fork). Order is
+// preserved, so a sorted input yields a sorted copy.
 func DupList(list []*PRegion) []*PRegion {
 	out := make([]*PRegion, 0, len(list))
 	for _, pr := range list {
@@ -106,11 +158,63 @@ func DupList(list []*PRegion) []*PRegion {
 	return out
 }
 
+// MergeLists combines two sorted pregion lists into one sorted list (the
+// unshare path joining a proc's private list with its group's shared
+// list). The inputs must be address-disjoint, as private and shared
+// attachments always are.
+func MergeLists(a, b []*PRegion) []*PRegion {
+	out := make([]*PRegion, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Base <= b[j].Base {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Partition splits a sorted list into the pregions satisfying keep and the
+// rest, both still sorted (the share-group creation path separating what
+// moves to the shared block from what stays private).
+func Partition(list []*PRegion, keep func(*PRegion) bool) (kept, rest []*PRegion) {
+	for _, pr := range list {
+		if keep(pr) {
+			kept = append(kept, pr)
+		} else {
+			rest = append(rest, pr)
+		}
+	}
+	return kept, rest
+}
+
+// BuildList sorts prs by base and returns it as a valid index (address-
+// space construction, where the natural build order — text, data, stack,
+// PRDA — is not address order).
+func BuildList(prs ...*PRegion) []*PRegion {
+	sort.Slice(prs, func(i, j int) bool { return prs[i].Base < prs[j].Base })
+	return prs
+}
+
 // DetachList detaches every region in the list.
 func DetachList(list []*PRegion) {
 	for _, pr := range list {
 		pr.Reg.Detach()
 	}
+}
+
+// TotalPages sums the mapped pages across a list.
+func TotalPages(list []*PRegion) int {
+	n := 0
+	for _, pr := range list {
+		n += pr.Reg.Pages()
+	}
+	return n
 }
 
 // ResidentPages sums the demand-filled pages across a list.

@@ -47,7 +47,7 @@ func FaultScaling(cfg kernel.Config, members, pagesEach int) Metrics {
 		gate := uspin.Barrier{VA: dataBase, N: uint32(members) + 1}
 		gate.Init(c)
 		// Control words live past the barrier's whole footprint.
-		ctl := dataBase + uspin.BarrierBytes     // per-round window base
+		ctl := dataBase + uspin.BarrierBytes // per-round window base
 		stop := dataBase + uspin.BarrierBytes + 4
 		for mIdx := 0; mIdx < members; mIdx++ {
 			c.Sproc("faulter", func(cc *kernel.Context, arg int64) {
