@@ -7,7 +7,7 @@ tier1: lint
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -short -run 'Chaos' -count=1 ./internal/workload/
-	$(GO) test -race -short -run 'FaultStorm|COWBreak|StormRace' -count=1 ./internal/vm/ ./internal/workload/ ./internal/uspin/
+	$(GO) test -race -short -run 'FaultStorm|COWBreak|StormRace' -count=1 ./internal/vm/ ./internal/workload/ ./internal/uspin/ ./internal/ipc/
 
 # Chaos: the full seeded fault-injection soak (deterministic per seed).
 .PHONY: chaos
@@ -45,6 +45,16 @@ lint: lint-pregion
 		echo "lint: raw SpinWait32/SpinWaitBounded outside internal/uspin and internal/kernel — user code must spin through the uspin primitives (interruptible, spin-then-block)" >&2; \
 		exit 1; \
 	fi
+	@for s in $$(grep -oE '^	Sys[A-Z][A-Za-z0-9]*' internal/kernel/systab.go); do \
+		if ! grep -q "sysDesc{$$s," internal/kernel/systab.go; then \
+			echo "lint: $$s has no sysDesc descriptor in systab.go — every syscall number must have a table entry (name, class, charge, flags) or the gateway cannot dispatch or account it" >&2; \
+			exit 1; \
+		fi; \
+	done
+	@if grep -rnE '\bsleepOn\(|\bevQueue\b|\.sleepers\b' --include='*.go' internal/ cmd/ examples/ *.go | grep -v '^internal/ipc/'; then \
+		echo "lint: stream sleep-wake outside internal/ipc — blocking and readiness go through the evQueue protocol (waitOn/wake/baton); other layers consume fs.Pollable or the poll(2) syscall" >&2; \
+		exit 1; \
+	fi
 
 # lint-pregion: pregion lists are an ordered interval index maintained by
 # internal/vm (sorted by base, binary-searched). Kernel-side code must go
@@ -67,7 +77,7 @@ vet:
 # that drives them; slower than tier1 but catches sharding bugs.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/hw/... ./internal/vm/... ./internal/klock/... ./internal/core/... ./internal/sched/... ./internal/trace/... ./internal/workload/... ./internal/kernel/... ./internal/uspin/...
+	$(GO) test -race ./internal/hw/... ./internal/vm/... ./internal/klock/... ./internal/core/... ./internal/sched/... ./internal/trace/... ./internal/workload/... ./internal/kernel/... ./internal/uspin/... ./internal/ipc/... ./internal/fs/...
 
 .PHONY: bench
 bench:

@@ -42,6 +42,10 @@ type benchResult struct {
 	Ops            int64   `json:"ops"`
 	Shootdowns     int64   `json:"shootdowns"`
 	Faults         int64   `json:"faults"`
+
+	// S7 serving rows only.
+	P50Simcyc int64 `json:"p50_simcyc,omitempty"`
+	P99Simcyc int64 `json:"p99_simcyc,omitempty"`
 }
 
 var (
@@ -113,6 +117,7 @@ func main() {
 	scaling()
 	s4()
 	s6()
+	s7()
 	ablations()
 
 	if *jsonOut {
@@ -296,6 +301,47 @@ func s6pregion() {
 	}
 	fmt.Println("  shape: index ns/lookup near-flat in the region count (log n); the linear")
 	fmt.Println("  scan grows ~100x from 1k to 100k regions")
+}
+
+// rowServe is row() for S7 serving runs: the extra column is the
+// request→response latency distribution in simulated cycles, plus the
+// readiness-layer counters behind it.
+func rowServe(name string, m workload.ServeMetrics) {
+	row(name, m.Metrics, fmt.Sprintf("  p50=%d p99=%d poll-sleeps=%d transitions=%d",
+		m.P50, m.P99, m.PollSleeps, m.Transitions))
+	results[len(results)-1].P50Simcyc = m.P50
+	results[len(results)-1].P99Simcyc = m.P99
+}
+
+// s7 — the C10k serving experiment (EXPERIMENTS S7): how many share-group
+// members does it take to hold N concurrent client connections open and
+// answer them all? The poll-driven organization multiplexes the whole load
+// through a fixed small pool whose size is independent of the connection
+// count; the blocking organization holds one member *per connection* by
+// construction, so its member count is its connection count and the 10k
+// load would need a 10000-member group.
+func s7() {
+	conns := n(10000, 1000)
+	table(fmt.Sprintf("S7 — C10k serving: %d concurrent connections, poll pool vs blocking thread-per-connection", conns),
+		"  organization             simcyc/op         wall  shootdn   faults")
+	for _, members := range []int{2, 4, 8} {
+		m := workload.Serve(cfg(), workload.ServePoll,
+			workload.ServeConfig{Conns: conns, Members: members, Clients: 4})
+		rowServe(fmt.Sprintf("poll, %d members", members), m)
+	}
+	c8 := cfg()
+	c8.NCPU = 8
+	m := workload.Serve(c8, workload.ServePoll,
+		workload.ServeConfig{Conns: conns, Members: 8, Clients: 4})
+	rowServe("poll, 8 members/8cpu", m)
+
+	bconns := n(512, 128)
+	m = workload.Serve(cfg(), workload.ServeBlocking,
+		workload.ServeConfig{Conns: bconns, Members: bconns, Clients: 4})
+	rowServe(fmt.Sprintf("blocking, %d members", bconns), m)
+	fmt.Printf("  shape: an 8-member group answers all %d connections through poll(2); the\n", conns)
+	fmt.Printf("  blocking organization needs members = connections (%d here) just to hold\n", bconns)
+	fmt.Println("  them open, so member count scales with load instead of staying fixed")
 }
 
 // ablations — DESIGN.md §6: the rejected designs, measured.

@@ -110,6 +110,28 @@ func faultDemo() {
 		rfd, wfd, _ := c.Pipe()
 		id := c.Semget(1, 1)
 		for i := 0; i < 12; i++ {
+			// A sleeping poll(2) released by a forked writer: the pollsleep
+			// site injects spurious wakeups into the wait, and an injected
+			// EINTR at the gateway is poll's contract, so retry it.
+			c.Fork("writer", func(k *irix.Ctx) {
+				for j := 0; j < 100; j++ {
+					k.Getpid()
+				}
+				k.WriteString(wfd, irix.DataBase, "x")
+			})
+			set := []irix.PollFd{{Fd: rfd, Events: irix.PollIn}}
+			for {
+				if _, err := c.Poll(set, -1); err == nil || irix.ErrnoOf(err) != irix.EINTR {
+					break
+				}
+			}
+			c.ReadString(rfd, irix.DataBase+64, 1)
+			for {
+				if _, _, err := c.Wait(); err == nil || irix.ErrnoOf(err) != irix.EINTR {
+					break
+				}
+			}
+
 			c.WriteString(wfd, irix.DataBase, "payload")
 			c.ReadString(rfd, irix.DataBase+64, 7)
 			c.Semop(id, 0, 1)
@@ -140,6 +162,8 @@ func faultDemo() {
 	st := sys.Stats()
 	fmt.Printf("faults:    checks=%d injected=%d restarts=%d retries=%d\n",
 		st.FaultChecks, st.FaultsInjected, st.SyscallRestarts, st.SyscallRetries)
+	fmt.Printf("readiness: poll-sleeps=%d transitions=%d sleeper-wakes=%d poller-wakes=%d\n",
+		st.PollSleeps, st.ReadyTransitions, st.ReadySleeperWakes, st.ReadyPollerWakes)
 	for _, row := range st.FaultSites {
 		if row.Checks > 0 {
 			fmt.Printf("  site %-10s checks=%-6d injected=%d\n", row.Site, row.Checks, row.Injected)

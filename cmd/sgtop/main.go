@@ -19,6 +19,7 @@ func main() {
 		c.Mkdir("/srv", 0o755)
 		fd, _ := c.Open("/srv/log", irix.ORead|irix.OWrite|irix.OCreat, 0o644)
 		shm, _ := c.Mmap(8)
+		rp, wp, _ := c.Pipe()
 
 		// The lock owns shm..shm+SyncBytes; data words follow it.
 		lock := irix.Spinlock{VA: shm}
@@ -31,11 +32,27 @@ func main() {
 				sum.Add(cc, uint32(arg+1))
 				lock.Unlock(cc)
 				cc.WriteString(fd, cc.StackBase(), fmt.Sprintf("member %d here\n", arg))
+				cc.Write(wp, cc.StackBase(), 4) // announce over the shared pipe
 				// Hold membership until the dump is done.
 				phase.AwaitNe(cc, 0)
 			}, irix.PRSALL, int64(i))
 		}
 		c.Chdir("/srv")
+		// Collect the member announcements through poll(2) — the readiness
+		// counters this exercises appear in the machine dump below.
+		c.SetNonblock(rp, true)
+		set := []irix.PollFd{{Fd: rp, Events: irix.PollIn}}
+		for got := 0; got < 3; {
+			if _, err := c.Poll(set, -1); err != nil {
+				break
+			}
+			for {
+				if _, err := c.Read(rp, irix.DataBase, 4); err != nil {
+					break
+				}
+				got++
+			}
+		}
 		sum.AwaitEq(c, 1+2+3)
 
 		dump(c)
@@ -137,6 +154,9 @@ func dump(c *irix.Ctx) {
 	fmt.Println("  sleep-wake (blockproc/unblockproc, hybrid uspin):")
 	fmt.Printf("    blocks=%d wakes=%d banked-wakes=%d spin-to-blocks=%d\n",
 		st.ProcBlocks, st.ProcWakes, st.BankedWakes, st.SpinToBlocks)
+	fmt.Println("  readiness (poll(2) over the stream event queues):")
+	fmt.Printf("    poll-sleeps=%d transitions=%d sleeper-wakes=%d poller-wakes=%d\n",
+		st.PollSleeps, st.ReadyTransitions, st.ReadySleeperWakes, st.ReadyPollerWakes)
 	fmt.Println("  fault injection and degradation:")
 	fmt.Printf("    checks=%d injected=%d restarts=%d retries=%d reclaims=%d reclaimed-frames=%d\n",
 		st.FaultChecks, st.FaultsInjected, st.SyscallRestarts,

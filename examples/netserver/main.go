@@ -5,9 +5,18 @@
 // message containing the descriptor."
 //
 // The dispatcher accepts connections, performs the "security check", and
-// passes each accepted descriptor *number* to a waiting share-group worker
-// through a shared-memory mailbox — the descriptor itself is already in
-// the worker's table because descriptors are shared (PR_SFDS).
+// passes each accepted descriptor *number* to a share-group worker — the
+// descriptor itself is already in the worker's table because descriptors
+// are shared (PR_SFDS).
+//
+// Member count, before and after: the original version of this example
+// drove 3 workers through a one-slot busy-wait mailbox, so at most one
+// connection was in flight at a time and holding more open would have
+// taken one blocked worker each. With the readiness layer the pool is
+// poll(2)-driven end to end — the dispatcher multiplexes the listener and
+// the per-worker job pipes, each worker multiplexes its whole shard of
+// connections through one poll set — and 2 workers now hold all 12 client
+// connections open concurrently.
 package main
 
 import (
@@ -18,8 +27,8 @@ import (
 )
 
 const (
-	workers = 3
-	clients = 6
+	workers = 2
+	clients = 12
 )
 
 func main() {
@@ -27,46 +36,27 @@ func main() {
 
 	// The server process: dispatcher + worker pool in one share group.
 	sys.Start("server", func(c *irix.Ctx) {
-		mbox, err := c.Mmap(1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Mailbox protocol: word 0 = ticket (fd+1 when a job is ready,
-		// 0 when free, ^0 = shutdown); word 1 = jobs completed.
-		ticket, done := irix.Word{VA: mbox}, irix.Word{VA: mbox + 4}
-
 		l, err := c.NetListen("echo")
 		if err != nil {
 			log.Fatal(err)
 		}
 
+		// One job pipe per worker: accepted descriptor numbers travel as
+		// 4-byte messages. The read ends are non-blocking from the start
+		// (workers batch-drain them); the flag rides the shared table.
+		jobR := make([]int, workers)
+		jobW := make([]int, workers)
+		for w := range jobR {
+			r, wr, err := c.Pipe()
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.SetNonblock(r, true)
+			jobR[w], jobW[w] = r, wr
+		}
 		for w := 0; w < workers; w++ {
 			c.Sproc("worker", func(wc *irix.Ctx, id int64) {
-				for {
-					// Claim a ticket with the hardware interlock.
-					v, err := ticket.AwaitNe(wc, 0)
-					if err != nil {
-						return
-					}
-					if v == ^uint32(0) {
-						return // shutdown broadcast: leave it set for the others
-					}
-					ok, _ := wc.CAS32(ticket.VA, v, 0)
-					if !ok {
-						continue // another worker claimed it
-					}
-					fd := int(v - 1)
-					// The shared descriptor is immediately usable: serve
-					// the connection and close our use of it.
-					buf := wc.StackBase()
-					req, err := wc.ReadString(fd, buf, 64)
-					if err != nil {
-						log.Fatalf("worker read: %v", err)
-					}
-					wc.WriteString(fd, buf+128, fmt.Sprintf("worker %d echoes %q", id, req))
-					wc.Close(fd)
-					done.Add(wc, 1)
-				}
+				serveWorker(wc, id, jobR[id])
 			}, irix.PRSADDR|irix.PRSFDS, int64(w))
 		}
 
@@ -88,9 +78,13 @@ func main() {
 			})
 		}
 
-		// Dispatcher loop: accept, check, hand the descriptor number to
-		// whichever worker grabs it first.
+		// Poll-driven dispatcher: sleep until the listener turns readable,
+		// accept, check, deal the descriptor number round-robin.
+		lset := []irix.PollFd{{Fd: l, Events: irix.PollIn}}
 		for i := 0; i < clients; i++ {
+			if _, err := c.Poll(lset, -1); err != nil {
+				log.Fatal(err)
+			}
 			fd, err := c.NetAccept(l)
 			if err != nil {
 				log.Fatal(err)
@@ -100,20 +94,77 @@ func main() {
 				c.Close(fd)
 				continue
 			}
-			ticket.AwaitEq(c, 0)
-			ticket.Store(c, uint32(fd+1))
+			c.Store32(irix.DataBase, uint32(fd))
+			if _, err := c.Write(jobW[i%workers], irix.DataBase, 4); err != nil {
+				log.Fatal(err)
+			}
 		}
 
-		// Wait for completion, then broadcast shutdown.
-		done.AwaitEq(c, clients)
-		ticket.AwaitEq(c, 0)
-		ticket.Store(c, ^uint32(0))
+		// Shutdown sentinel down every job pipe, then reap.
+		for w := 0; w < workers; w++ {
+			c.Store32(irix.DataBase, ^uint32(0))
+			if _, err := c.Write(jobW[w], irix.DataBase, 4); err != nil {
+				log.Fatal(err)
+			}
+		}
 		for i := 0; i < workers+clients; i++ {
 			c.Wait()
 		}
-		fmt.Printf("served %d clients with %d share-group workers (descriptors passed by number)\n",
+		fmt.Printf("served %d clients with %d poll-driven share-group workers (descriptors passed by number)\n",
 			clients, workers)
 	})
 
 	sys.WaitIdle()
+}
+
+// serveWorker multiplexes the job pipe plus every owned connection through
+// one poll set: slot 0 is the job pipe, the rest are accepted descriptors
+// this worker was dealt. A readable connection gets the echo treatment; a
+// readable job pipe is batch-drained for new descriptor numbers until the
+// shutdown sentinel arrives, after which the worker finishes its remaining
+// connections and exits.
+func serveWorker(wc *irix.Ctx, id int64, jobR int) {
+	buf := wc.StackBase()
+	set := []irix.PollFd{{Fd: jobR, Events: irix.PollIn}}
+	draining := false
+	for {
+		if draining && len(set) == 1 {
+			wc.Close(jobR)
+			return
+		}
+		if _, err := wc.Poll(set, -1); err != nil {
+			log.Fatalf("worker poll: %v", err)
+		}
+		live := set[:1]
+		for _, pf := range set[1:] {
+			if pf.Revents == 0 {
+				live = append(live, irix.PollFd{Fd: pf.Fd, Events: irix.PollIn})
+				continue
+			}
+			// Sole reader of this connection: the PollIn edge cannot be
+			// consumed by anyone else, so a blocking read returns at once.
+			req, err := wc.ReadString(pf.Fd, buf, 64)
+			if err != nil {
+				log.Fatalf("worker read: %v", err)
+			}
+			wc.WriteString(pf.Fd, buf+128, fmt.Sprintf("worker %d echoes %q", id, req))
+			wc.Close(pf.Fd)
+		}
+		set = live
+		if set[0].Revents != 0 && !draining {
+			for {
+				n, err := wc.Read(jobR, buf+256, 4)
+				if err != nil || n != 4 {
+					break // EAGAIN: batch drained
+				}
+				v, _ := wc.Load32(buf + 256)
+				if v == ^uint32(0) {
+					draining = true
+					break
+				}
+				set = append(set, irix.PollFd{Fd: int(v), Events: irix.PollIn})
+			}
+		}
+		set[0] = irix.PollFd{Fd: jobR, Events: irix.PollIn}
+	}
 }

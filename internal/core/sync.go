@@ -50,6 +50,8 @@ func (sa *ShAddr) syncFdsLocked(p *proc.Proc) {
 		}
 		p.FdFlags[i] = sa.pofile[i]
 	}
+	// The copy may have cleared slots below the allocation scan hint.
+	p.ResetFdHint()
 	p.Mu.Unlock()
 }
 
@@ -114,7 +116,7 @@ func (sa *ShAddr) BeginFdUpdate(p *proc.Proc) {
 func (sa *ShAddr) EndFdUpdate(p *proc.Proc, fds ...int) {
 	p.Mu.Lock()
 	for _, fd := range fds {
-		if fd < 0 || fd >= proc.NOFILE {
+		if fd < 0 || fd >= p.FdCeiling() {
 			continue
 		}
 		if fd >= len(sa.ofile) {

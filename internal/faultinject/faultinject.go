@@ -44,6 +44,10 @@ const (
 	// SiteBlockSleep injects a spurious wakeup where blockproc(2) is about
 	// to sleep — the sleeper must re-check its count and go back down.
 	SiteBlockSleep
+	// SitePollSleep injects a spurious wakeup where poll(2) is about to
+	// sleep on its readiness set — the poller must re-scan and go back
+	// down when nothing is ready.
+	SitePollSleep
 
 	// NSites bounds the per-site arrays.
 	NSites
@@ -51,7 +55,7 @@ const (
 
 var siteNames = [...]string{
 	"sysenter", "sysexit", "framealloc", "dispatch", "ipcsleep", "ipcdata",
-	"blocksleep",
+	"blocksleep", "pollsleep",
 }
 
 func (s Site) String() string {

@@ -25,10 +25,14 @@ const (
 
 // Stream is a non-regular file endpoint (pipe end, socket end). Reads and
 // writes may sleep, so they take the calling thread; wakeups are addressed
-// to specific threads through klock.WaitList.
+// to specific threads through klock.WaitList. With nonblock set an
+// operation that would sleep returns ErrAgain instead — the per-descriptor
+// FdNonblock mode the kernel threads through from the fd table. Streams
+// that can block also implement Pollable (poll.go), the waitable-
+// descriptor half of the same readiness protocol.
 type Stream interface {
-	Read(t klock.Thread, p []byte) (int, error)
-	Write(t klock.Thread, p []byte) (int, error)
+	Read(t klock.Thread, p []byte, nonblock bool) (int, error)
+	Write(t klock.Thread, p []byte, nonblock bool) (int, error)
 	Close()
 }
 
@@ -90,14 +94,15 @@ func (f *File) Offset() int64 {
 	return f.offset
 }
 
-// Read reads from the file at the shared offset, advancing it.
-func (f *File) Read(t klock.Thread, p []byte) (int, error) {
+// Read reads from the file at the shared offset, advancing it. nonblock
+// applies to streams only: a read that would sleep returns ErrAgain.
+func (f *File) Read(t klock.Thread, p []byte, nonblock bool) (int, error) {
 	if f.Flags&ORead == 0 {
 		return 0, ErrBadFd
 	}
 	f.Reads.Add(1)
 	if f.Stream != nil {
-		return f.Stream.Read(t, p)
+		return f.Stream.Read(t, p, nonblock)
 	}
 	if f.Inode.IsDir() {
 		return 0, ErrIsDir
@@ -110,14 +115,15 @@ func (f *File) Read(t klock.Thread, p []byte) (int, error) {
 }
 
 // Write writes at the shared offset (or end-of-file with OAppend),
-// enforcing the caller's ulimit.
-func (f *File) Write(t klock.Thread, p []byte, ulimit int64) (int, error) {
+// enforcing the caller's ulimit. nonblock applies to streams only: a write
+// that would sleep with nothing transferred returns ErrAgain.
+func (f *File) Write(t klock.Thread, p []byte, ulimit int64, nonblock bool) (int, error) {
 	if f.Flags&OWrite == 0 {
 		return 0, ErrBadFd
 	}
 	f.Writes.Add(1)
 	if f.Stream != nil {
-		return f.Stream.Write(t, p)
+		return f.Stream.Write(t, p, nonblock)
 	}
 	if f.Inode.IsDir() {
 		return 0, ErrIsDir

@@ -26,14 +26,14 @@ func TestCreateLookupReadWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	th := newNopThread()
-	if n, err := file.Write(th, []byte("hello, world"), noLimit); n != 12 || err != nil {
+	if n, err := file.Write(th, []byte("hello, world"), noLimit, false); n != 12 || err != nil {
 		t.Fatalf("Write = (%d,%v)", n, err)
 	}
 	if _, err := file.Seek(0, SeekSet); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 32)
-	n, err := file.Read(th, buf)
+	n, err := file.Read(th, buf, false)
 	if err != nil || string(buf[:n]) != "hello, world" {
 		t.Fatalf("Read = (%q,%v)", buf[:n], err)
 	}
@@ -136,7 +136,7 @@ func TestUnlinkOpenFileKeepsData(t *testing.T) {
 	c := rootCred(f)
 	file, _ := f.Open(c, "/tmpfile", ORead|OWrite|OCreat, 0o644)
 	th := newNopThread()
-	file.Write(th, []byte("still here"), noLimit)
+	file.Write(th, []byte("still here"), noLimit, false)
 	if err := f.Unlink(c, "/tmpfile"); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestUnlinkOpenFileKeepsData(t *testing.T) {
 	}
 	file.Seek(0, SeekSet)
 	buf := make([]byte, 16)
-	n, _ := file.Read(th, buf)
+	n, _ := file.Read(th, buf, false)
 	if string(buf[:n]) != "still here" {
 		t.Fatalf("open unlinked file lost data: %q", buf[:n])
 	}
@@ -203,8 +203,8 @@ func TestSharedOffsetThroughDup(t *testing.T) {
 	file, _ := f.Open(c, "/log", ORead|OWrite|OCreat, 0o644)
 	dup := file.Hold()
 	th := newNopThread()
-	file.Write(th, []byte("one"), noLimit)
-	dup.Write(th, []byte("two"), noLimit)
+	file.Write(th, []byte("one"), noLimit, false)
+	dup.Write(th, []byte("two"), noLimit, false)
 	if file.Offset() != 6 {
 		t.Fatalf("offset = %d, want 6 (shared)", file.Offset())
 	}
@@ -217,10 +217,10 @@ func TestUlimitEnforced(t *testing.T) {
 	c := rootCred(f)
 	file, _ := f.Open(c, "/big", OWrite|OCreat, 0o644)
 	th := newNopThread()
-	if _, err := file.Write(th, make([]byte, 100), 50); err != ErrFileLimit {
+	if _, err := file.Write(th, make([]byte, 100), 50, false); err != ErrFileLimit {
 		t.Fatalf("ulimit write: %v", err)
 	}
-	if n, err := file.Write(th, make([]byte, 50), 50); n != 50 || err != nil {
+	if n, err := file.Write(th, make([]byte, 50), 50, false); n != 50 || err != nil {
 		t.Fatalf("write at limit = (%d,%v)", n, err)
 	}
 	file.Release()
@@ -231,11 +231,11 @@ func TestAppendMode(t *testing.T) {
 	c := rootCred(f)
 	file, _ := f.Open(c, "/app", OWrite|OCreat, 0o644)
 	th := newNopThread()
-	file.Write(th, []byte("start"), noLimit)
+	file.Write(th, []byte("start"), noLimit, false)
 	file.Release()
 
 	app, _ := f.Open(c, "/app", OWrite|OAppend, 0)
-	app.Write(th, []byte("+end"), noLimit)
+	app.Write(th, []byte("+end"), noLimit, false)
 	app.Release()
 	st, _ := f.StatPath(c, "/app")
 	if st.Size != 9 {
@@ -248,12 +248,12 @@ func TestOpenModes(t *testing.T) {
 	c := rootCred(f)
 	file, _ := f.Open(c, "/x", OWrite|OCreat, 0o644)
 	th := newNopThread()
-	if _, err := file.Read(th, make([]byte, 4)); err != ErrBadFd {
+	if _, err := file.Read(th, make([]byte, 4), false); err != ErrBadFd {
 		t.Fatalf("read on write-only fd: %v", err)
 	}
 	file.Release()
 	ro, _ := f.Open(c, "/x", ORead, 0)
-	if _, err := ro.Write(th, []byte("no"), noLimit); err != ErrBadFd {
+	if _, err := ro.Write(th, []byte("no"), noLimit, false); err != ErrBadFd {
 		t.Fatalf("write on read-only fd: %v", err)
 	}
 	ro.Release()
@@ -270,7 +270,7 @@ func TestOTruncClearsFile(t *testing.T) {
 	c := rootCred(f)
 	file, _ := f.Open(c, "/t", OWrite|OCreat, 0o644)
 	th := newNopThread()
-	file.Write(th, []byte("old contents"), noLimit)
+	file.Write(th, []byte("old contents"), noLimit, false)
 	file.Release()
 	tr, _ := f.Open(c, "/t", OWrite|OTrunc, 0)
 	tr.Release()
@@ -285,7 +285,7 @@ func TestSeekRules(t *testing.T) {
 	c := rootCred(f)
 	file, _ := f.Open(c, "/s", ORead|OWrite|OCreat, 0o644)
 	th := newNopThread()
-	file.Write(th, []byte("0123456789"), noLimit)
+	file.Write(th, []byte("0123456789"), noLimit, false)
 	if off, _ := file.Seek(-3, SeekEnd); off != 7 {
 		t.Fatalf("SeekEnd = %d", off)
 	}
@@ -300,10 +300,10 @@ func TestSeekRules(t *testing.T) {
 	}
 	// Sparse write past EOF zero-fills.
 	file.Seek(20, SeekSet)
-	file.Write(th, []byte("x"), noLimit)
+	file.Write(th, []byte("x"), noLimit, false)
 	file.Seek(15, SeekSet)
 	buf := make([]byte, 1)
-	file.Read(th, buf)
+	file.Read(th, buf, false)
 	if buf[0] != 0 {
 		t.Fatal("hole not zero-filled")
 	}
@@ -400,14 +400,14 @@ func TestOpenCreatDoesNotTruncateExisting(t *testing.T) {
 	c := rootCred(f)
 	th := newNopThread()
 	file, _ := f.Open(c, "/keep", OWrite|OCreat, 0o644)
-	file.Write(th, []byte("precious"), noLimit)
+	file.Write(th, []byte("precious"), noLimit, false)
 	file.Release()
 
 	again, err := f.Open(c, "/keep", OWrite|OCreat|OAppend, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	again.Write(th, []byte("+more"), noLimit)
+	again.Write(th, []byte("+more"), noLimit, false)
 	again.Release()
 	st, _ := f.StatPath(c, "/keep")
 	if st.Size != int64(len("precious+more")) {

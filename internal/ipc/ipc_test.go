@@ -20,11 +20,11 @@ func TestPipeBasicTransfer(t *testing.T) {
 	p := NewPipe()
 	r, w := p.Ends()
 	th := newGoThread()
-	if n, err := w.Write(th, []byte("hello")); n != 5 || err != nil {
+	if n, err := w.Write(th, []byte("hello"), false); n != 5 || err != nil {
 		t.Fatalf("Write = (%d,%v)", n, err)
 	}
 	buf := make([]byte, 16)
-	if n, err := r.Read(th, buf); n != 5 || err != nil || string(buf[:5]) != "hello" {
+	if n, err := r.Read(th, buf, false); n != 5 || err != nil || string(buf[:5]) != "hello" {
 		t.Fatalf("Read = (%d,%v,%q)", n, err, buf[:n])
 	}
 }
@@ -36,7 +36,7 @@ func TestPipeBlocksWhenEmptyAndFull(t *testing.T) {
 	got := make(chan string, 1)
 	go func() {
 		buf := make([]byte, 8)
-		n, _ := r.Read(reader, buf)
+		n, _ := r.Read(reader, buf, false)
 		got <- string(buf[:n])
 	}()
 	select {
@@ -45,7 +45,7 @@ func TestPipeBlocksWhenEmptyAndFull(t *testing.T) {
 	case <-time.After(20 * time.Millisecond):
 	}
 	writer := newGoThread()
-	w.Write(writer, []byte("x"))
+	w.Write(writer, []byte("x"), false)
 	select {
 	case s := <-got:
 		if s != "x" {
@@ -56,10 +56,10 @@ func TestPipeBlocksWhenEmptyAndFull(t *testing.T) {
 	}
 
 	// Fill the pipe; the next write must block until drained.
-	w.Write(writer, make([]byte, PipeCap))
+	w.Write(writer, make([]byte, PipeCap), false)
 	wrote := make(chan struct{})
 	go func() {
-		w.Write(writer, []byte("y"))
+		w.Write(writer, []byte("y"), false)
 		close(wrote)
 	}()
 	select {
@@ -68,7 +68,7 @@ func TestPipeBlocksWhenEmptyAndFull(t *testing.T) {
 	case <-time.After(20 * time.Millisecond):
 	}
 	buf := make([]byte, PipeCap)
-	r.Read(reader, buf)
+	r.Read(reader, buf, false)
 	select {
 	case <-wrote:
 	case <-time.After(2 * time.Second):
@@ -80,20 +80,20 @@ func TestPipeEOFAndEPIPE(t *testing.T) {
 	p := NewPipe()
 	r, w := p.Ends()
 	th := newGoThread()
-	w.Write(th, []byte("tail"))
+	w.Write(th, []byte("tail"), false)
 	w.Close()
 	buf := make([]byte, 8)
-	if n, err := r.Read(th, buf); n != 4 || err != nil {
+	if n, err := r.Read(th, buf, false); n != 4 || err != nil {
 		t.Fatalf("drain = (%d,%v)", n, err)
 	}
-	if n, err := r.Read(th, buf); n != 0 || err != nil {
+	if n, err := r.Read(th, buf, false); n != 0 || err != nil {
 		t.Fatalf("EOF = (%d,%v)", n, err)
 	}
 
 	p2 := NewPipe()
 	r2, w2 := p2.Ends()
 	r2.Close()
-	if _, err := w2.Write(th, []byte("z")); err != fs.ErrPipe {
+	if _, err := w2.Write(th, []byte("z"), false); err != fs.ErrPipe {
 		t.Fatalf("EPIPE = %v", err)
 	}
 }
@@ -104,7 +104,7 @@ func TestPipeCloseWakesSleepers(t *testing.T) {
 	th := newGoThread()
 	done := make(chan int, 1)
 	go func() {
-		n, _ := r.Read(th, make([]byte, 4))
+		n, _ := r.Read(th, make([]byte, 4), false)
 		done <- n
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -123,10 +123,10 @@ func TestPipeWrongDirection(t *testing.T) {
 	p := NewPipe()
 	r, w := p.Ends()
 	th := newGoThread()
-	if _, err := r.Write(th, []byte("x")); err != fs.ErrBadFd {
+	if _, err := r.Write(th, []byte("x"), false); err != fs.ErrBadFd {
 		t.Fatalf("write on read end: %v", err)
 	}
-	if _, err := w.Read(th, make([]byte, 1)); err != fs.ErrBadFd {
+	if _, err := w.Read(th, make([]byte, 1), false); err != fs.ErrBadFd {
 		t.Fatalf("read on write end: %v", err)
 	}
 }
@@ -144,7 +144,7 @@ func TestPipeConcurrentStream(t *testing.T) {
 		sent := 0
 		chunk := make([]byte, 1024)
 		for sent < total {
-			n, err := w.Write(th, chunk)
+			n, err := w.Write(th, chunk, false)
 			if err != nil {
 				t.Errorf("write: %v", err)
 				return
@@ -158,7 +158,7 @@ func TestPipeConcurrentStream(t *testing.T) {
 		th := newGoThread()
 		buf := make([]byte, 4096)
 		for {
-			n, err := r.Read(th, buf)
+			n, err := r.Read(th, buf, false)
 			if err != nil {
 				t.Errorf("read: %v", err)
 				return
@@ -178,19 +178,19 @@ func TestPipeConcurrentStream(t *testing.T) {
 func TestSocketPairDuplex(t *testing.T) {
 	a, b := SocketPair()
 	th := newGoThread()
-	a.Write(th, []byte("ping"))
+	a.Write(th, []byte("ping"), false)
 	buf := make([]byte, 8)
-	n, _ := b.Read(th, buf)
+	n, _ := b.Read(th, buf, false)
 	if string(buf[:n]) != "ping" {
 		t.Fatalf("b got %q", buf[:n])
 	}
-	b.Write(th, []byte("pong"))
-	n, _ = a.Read(th, buf)
+	b.Write(th, []byte("pong"), false)
+	n, _ = a.Read(th, buf, false)
 	if string(buf[:n]) != "pong" {
 		t.Fatalf("a got %q", buf[:n])
 	}
 	a.Close()
-	if n, err := b.Read(th, buf); n != 0 || err != nil {
+	if n, err := b.Read(th, buf, false); n != 0 || err != nil {
 		t.Fatalf("EOF after peer close = (%d,%v)", n, err)
 	}
 }
@@ -402,14 +402,14 @@ func TestListenerAcceptConnect(t *testing.T) {
 	srvGot := make(chan string, 1)
 	go func() {
 		th := newGoThread()
-		conn, err := l.Accept(th)
+		conn, err := l.Accept(th, false)
 		if err != nil {
 			t.Errorf("accept: %v", err)
 			return
 		}
 		buf := make([]byte, 16)
-		nn, _ := conn.Read(th, buf)
-		conn.Write(th, []byte("ack"))
+		nn, _ := conn.Read(th, buf, false)
+		conn.Write(th, []byte("ack"), false)
 		srvGot <- string(buf[:nn])
 	}()
 	th := newGoThread()
@@ -417,12 +417,12 @@ func TestListenerAcceptConnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn.Write(th, []byte("query"))
+	conn.Write(th, []byte("query"), false)
 	if got := <-srvGot; got != "query" {
 		t.Fatalf("server got %q", got)
 	}
 	buf := make([]byte, 8)
-	nn, _ := conn.Read(th, buf)
+	nn, _ := conn.Read(th, buf, false)
 	if string(buf[:nn]) != "ack" {
 		t.Fatalf("client got %q", buf[:nn])
 	}
@@ -430,7 +430,7 @@ func TestListenerAcceptConnect(t *testing.T) {
 	if _, err := n.Connect(th, "db"); err != ErrNoListen {
 		t.Fatalf("connect after close: %v", err)
 	}
-	if _, err := l.Accept(th); err != ErrClosed {
+	if _, err := l.Accept(th, false); err != ErrClosed {
 		t.Fatalf("accept after close: %v", err)
 	}
 }

@@ -8,7 +8,10 @@
 //
 // Blocking uses targeted wait lists (klock.WaitList): every wakeup is
 // addressed to a specific thread, so a wakeup can never be stolen by a
-// waiter whose condition is still false.
+// waiter whose condition is still false. Byte streams route all blocking
+// and wakeups through per-direction event queues (pollable.go) and
+// implement fs.Pollable, so the same transitions that release sleepers
+// also drive poll(2).
 package ipc
 
 import (
@@ -30,12 +33,15 @@ type Pipe struct {
 	buf     []byte
 	readers int32
 	writers int32
-	rwait   klock.WaitList
-	wwait   klock.WaitList
+	rq      evQueue // reader-side events: data arrived, writers gone
+	wq      evQueue // writer-side events: space appeared, readers gone
 
 	// FI, when armed, injects spurious wakeups (SiteIPCSleep) and short
 	// reads/writes (SiteIPCData). The kernel sets it at pipe creation.
 	FI *faultinject.Plan
+	// PS, when set, aggregates readiness-notification counters for
+	// Stats(). The kernel sets it at pipe creation.
+	PS *PollStats
 
 	BytesMoved atomic.Int64
 }
@@ -45,22 +51,61 @@ func NewPipe() *Pipe {
 	return &Pipe{readers: 1, writers: 1}
 }
 
+// WakeCounts returns the sleeper wakeups issued on the reader and writer
+// queues — the thundering-herd tests assert these stay proportional to
+// transitions, not to sleepers × chunks.
+func (p *Pipe) WakeCounts() (readers, writers int64) {
+	return p.rq.SleeperWakes(), p.wq.SleeperWakes()
+}
+
+// readyRead returns the reader end's readiness mask. Caller holds p.mu.
+// EOF counts as readable: a read returns immediately (with 0 bytes).
+func (p *Pipe) readyRead() uint16 {
+	var m uint16
+	if len(p.buf) > 0 {
+		m |= fs.PollIn
+	}
+	if p.writers == 0 {
+		m |= fs.PollIn | fs.PollHup
+	}
+	return m
+}
+
+// readyWrite returns the writer end's readiness mask. Caller holds p.mu.
+// A readerless pipe reports PollErr (the write will raise EPIPE), which
+// poll reports regardless of the requested event set.
+func (p *Pipe) readyWrite() uint16 {
+	if p.readers == 0 {
+		return fs.PollErr
+	}
+	if len(p.buf) < PipeCap {
+		return fs.PollOut
+	}
+	return 0
+}
+
 // read implements the reader end: block while empty (unless all writers
 // are gone: EOF), then drain up to len(b) bytes. A pending signal breaks
-// the sleep with ErrIntr; an armed fault plan occasionally returns fewer
+// the sleep with ErrIntr; with nonblock an empty pipe returns ErrAgain
+// instead of sleeping. An armed fault plan occasionally returns fewer
 // bytes than are available (short read — always at least one).
-func (p *Pipe) read(t klock.Thread, b []byte) (int, error) {
+func (p *Pipe) read(t klock.Thread, b []byte, nonblock bool) (int, error) {
 	p.mu.Lock()
 	for len(p.buf) == 0 {
 		if p.writers == 0 {
 			p.mu.Unlock()
 			return 0, nil // EOF
 		}
-		if err := sleepOn(p.FI, &p.mu, &p.rwait, t, "pipe read"); err != nil {
+		if nonblock {
+			p.mu.Unlock()
+			return 0, fs.ErrAgain
+		}
+		if err := p.rq.waitOn(p.FI, &p.mu, t, "pipe read"); err != nil {
 			p.mu.Unlock()
 			return 0, err
 		}
 	}
+	wasFull := len(p.buf) == PipeCap
 	n := copy(b, p.buf)
 	if n > 1 {
 		if hit, draw := p.FI.Decide(faultinject.SiteIPCData, uint32(n)); hit {
@@ -70,17 +115,31 @@ func (p *Pipe) read(t klock.Thread, b []byte) (int, error) {
 	}
 	p.buf = p.buf[n:]
 	p.BytesMoved.Add(int64(n))
-	p.wwait.WakeAll()
+	if wasFull && n > 0 {
+		// Full→unfull transition: space appeared, release one writer.
+		p.wq.wake(p.PS, false)
+	}
+	if len(p.buf) > 0 {
+		// Data is left over; pass the baton to the next sleeping reader
+		// (a targeted wake replaced the historical broadcast, so leftover
+		// condition must be handed on explicitly).
+		p.rq.baton(p.PS)
+	}
 	p.mu.Unlock()
 	return n, nil
 }
 
 // write implements the writer end: block while full; EPIPE when no
-// readers remain. A signal that lands before any byte moved surfaces as
-// ErrIntr; after a partial transfer it surfaces as a short write (UNIX
-// write(2) semantics). An armed fault plan also forces occasional short
-// writes outright.
-func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
+// readers remain; with nonblock a full pipe returns ErrAgain (or a short
+// count if some bytes already moved). A signal that lands before any byte
+// moved surfaces as ErrIntr; after a partial transfer it surfaces as a
+// short write (UNIX write(2) semantics). An armed fault plan also forces
+// occasional short writes outright.
+//
+// Readers are woken once per empty→nonempty transition — at most once per
+// buffer-drain cycle — not once per appended chunk: the thundering-herd
+// fix. A targeted wake suffices because read passes the baton on.
+func (p *Pipe) write(t klock.Thread, b []byte, nonblock bool) (int, error) {
 	total := 0
 	p.mu.Lock()
 	for len(b) > 0 {
@@ -90,7 +149,14 @@ func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
 		}
 		space := PipeCap - len(p.buf)
 		if space == 0 {
-			if err := sleepOn(p.FI, &p.mu, &p.wwait, t, "pipe write"); err != nil {
+			if nonblock {
+				p.mu.Unlock()
+				if total > 0 {
+					return total, nil
+				}
+				return 0, fs.ErrAgain
+			}
+			if err := p.wq.waitOn(p.FI, &p.mu, t, "pipe write"); err != nil {
 				p.mu.Unlock()
 				if total > 0 {
 					return total, nil
@@ -103,10 +169,13 @@ func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
 		if n > len(b) {
 			n = len(b)
 		}
+		wasEmpty := len(p.buf) == 0
 		p.buf = append(p.buf, b[:n]...)
 		b = b[n:]
 		total += n
-		p.rwait.WakeAll()
+		if wasEmpty {
+			p.rq.wake(p.PS, false)
+		}
 		if len(b) > 0 {
 			if hit, _ := p.FI.Decide(faultinject.SiteIPCData, uint32(total)); hit {
 				p.FI.Note(faultinject.SiteIPCData, faultinject.FaultShortIO, uint32(total))
@@ -114,11 +183,17 @@ func (p *Pipe) write(t klock.Thread, b []byte) (int, error) {
 			}
 		}
 	}
+	if PipeCap-len(p.buf) > 0 {
+		// Space is left over; hand it to the next sleeping writer, if any.
+		p.wq.baton(p.PS)
+	}
 	p.mu.Unlock()
 	return total, nil
 }
 
-// closeEnd closes one end, waking sleepers so they observe EOF/EPIPE.
+// closeEnd closes one end — a terminal transition: broadcast both
+// directions so every sleeper observes EOF/EPIPE and every poller sees
+// PollHup/PollErr.
 func (p *Pipe) closeEnd(read bool) {
 	p.mu.Lock()
 	if read {
@@ -126,8 +201,8 @@ func (p *Pipe) closeEnd(read bool) {
 	} else {
 		p.writers--
 	}
-	p.rwait.WakeAll()
-	p.wwait.WakeAll()
+	p.rq.wake(p.PS, true)
+	p.wq.wake(p.PS, true)
 	p.mu.Unlock()
 }
 
@@ -138,27 +213,59 @@ func (p *Pipe) Buffered() int {
 	return len(p.buf)
 }
 
-// pipeEnd adapts one end of a pipe to fs.Stream.
+// pipeEnd adapts one end of a pipe to fs.Stream and fs.Pollable.
 type pipeEnd struct {
 	p    *Pipe
 	read bool
 }
 
-func (e *pipeEnd) Read(t klock.Thread, b []byte) (int, error) {
+func (e *pipeEnd) Read(t klock.Thread, b []byte, nonblock bool) (int, error) {
 	if !e.read {
 		return 0, fs.ErrBadFd
 	}
-	return e.p.read(t, b)
+	return e.p.read(t, b, nonblock)
 }
 
-func (e *pipeEnd) Write(t klock.Thread, b []byte) (int, error) {
+func (e *pipeEnd) Write(t klock.Thread, b []byte, nonblock bool) (int, error) {
 	if e.read {
 		return 0, fs.ErrBadFd
 	}
-	return e.p.write(t, b)
+	return e.p.write(t, b, nonblock)
 }
 
 func (e *pipeEnd) Close() { e.p.closeEnd(e.read) }
+
+// Ready implements fs.Pollable for the end's own direction.
+func (e *pipeEnd) Ready() uint16 {
+	e.p.mu.Lock()
+	defer e.p.mu.Unlock()
+	if e.read {
+		return e.p.readyRead()
+	}
+	return e.p.readyWrite()
+}
+
+// PollRegister implements fs.Pollable: subscribe on the end's queue.
+func (e *pipeEnd) PollRegister(w *fs.PollWaiter) {
+	e.p.mu.Lock()
+	if e.read {
+		e.p.rq.register(w)
+	} else {
+		e.p.wq.register(w)
+	}
+	e.p.mu.Unlock()
+}
+
+// PollUnregister implements fs.Pollable.
+func (e *pipeEnd) PollUnregister(w *fs.PollWaiter) {
+	e.p.mu.Lock()
+	if e.read {
+		e.p.rq.unregister(w)
+	} else {
+		e.p.wq.unregister(w)
+	}
+	e.p.mu.Unlock()
+}
 
 // Ends returns the reader and writer fs.Streams of a pipe.
 func (p *Pipe) Ends() (r, w fs.Stream) {
@@ -172,21 +279,58 @@ type duplexEnd struct {
 	out *Pipe
 }
 
-func (d *duplexEnd) Read(t klock.Thread, b []byte) (int, error)  { return d.in.read(t, b) }
-func (d *duplexEnd) Write(t klock.Thread, b []byte) (int, error) { return d.out.write(t, b) }
+func (d *duplexEnd) Read(t klock.Thread, b []byte, nonblock bool) (int, error) {
+	return d.in.read(t, b, nonblock)
+}
+func (d *duplexEnd) Write(t klock.Thread, b []byte, nonblock bool) (int, error) {
+	return d.out.write(t, b, nonblock)
+}
 func (d *duplexEnd) Close() {
 	d.in.closeEnd(true)
 	d.out.closeEnd(false)
 }
 
+// Ready implements fs.Pollable: a duplex endpoint is readable by its
+// inbound pipe and writable by its outbound one.
+func (d *duplexEnd) Ready() uint16 {
+	d.in.mu.Lock()
+	m := d.in.readyRead()
+	d.in.mu.Unlock()
+	d.out.mu.Lock()
+	m |= d.out.readyWrite()
+	d.out.mu.Unlock()
+	return m
+}
+
+// PollRegister implements fs.Pollable: subscribe to both directions.
+func (d *duplexEnd) PollRegister(w *fs.PollWaiter) {
+	d.in.mu.Lock()
+	d.in.rq.register(w)
+	d.in.mu.Unlock()
+	d.out.mu.Lock()
+	d.out.wq.register(w)
+	d.out.mu.Unlock()
+}
+
+// PollUnregister implements fs.Pollable.
+func (d *duplexEnd) PollUnregister(w *fs.PollWaiter) {
+	d.in.mu.Lock()
+	d.in.rq.unregister(w)
+	d.in.mu.Unlock()
+	d.out.mu.Lock()
+	d.out.wq.unregister(w)
+	d.out.mu.Unlock()
+}
+
 // SocketPair creates a connected pair of duplex byte streams, modelling
 // socketpair(2) on a UNIX-domain stream socket.
-func SocketPair() (a, b fs.Stream) { return socketPair(nil) }
+func SocketPair() (a, b fs.Stream) { return socketPair(nil, nil) }
 
 // socketPair is SocketPair with both underlying pipes wired to a fault
-// plan (Connect passes the namespace's plan through).
-func socketPair(fi *faultinject.Plan) (a, b fs.Stream) {
+// plan and poll-stats aggregator (Connect passes the namespace's through).
+func socketPair(fi *faultinject.Plan, ps *PollStats) (a, b fs.Stream) {
 	p1, p2 := NewPipe(), NewPipe()
 	p1.FI, p2.FI = fi, fi
+	p1.PS, p2.PS = ps, ps
 	return &duplexEnd{in: p1, out: p2}, &duplexEnd{in: p2, out: p1}
 }

@@ -1,0 +1,122 @@
+package ipc
+
+// This file is the waitable-descriptor substrate: every byte stream the
+// kernel exposes (pipe ends, socket-pair endpoints, listeners) routes both
+// its blocking *and* its wakeups through one evQueue per direction, and
+// publishes every readiness transition — write makes readable, read makes
+// writable, close makes EOF/EPIPE, a connection joins the backlog — to the
+// sleepers and the poll(2) registrations on that queue. Streams no longer
+// touch their wait lists directly (a make-lint rule holds the line); the
+// queue is the single place wake policy lives:
+//
+//   - Sleepers are woken one at a time on an ordinary transition (the
+//     FIFO baton: the woken thread re-wakes the next sleeper if any of the
+//     condition is left over when it is done), and all at once only on a
+//     terminal transition (close), where every sleeper's condition — EOF,
+//     EPIPE, ErrClosed — is now true. This replaces the historical
+//     wakeup(&pipe) broadcast after every buffer chunk, which woke every
+//     sleeping reader to fight over one chunk of data.
+//   - Pollers are level-triggered: every transition notifies all of them,
+//     and each re-checks Ready, so a notification whose condition was
+//     consumed first is just a spurious wake.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/fs"
+	"repro/internal/klock"
+)
+
+// PollStats aggregates the readiness-notification counters of every stream
+// wired to it. The kernel arms one per system at boot and surfaces it
+// through Stats(); the conservation storms audit it directly.
+type PollStats struct {
+	Transitions  atomic.Int64 // readiness transitions published
+	SleeperWakes atomic.Int64 // blocked stream operations released
+	PollerWakes  atomic.Int64 // poll registrations notified
+}
+
+// evQueue is one direction's event wait queue: the threads blocked in a
+// read/write/accept on the stream plus the poll(2) registrations watching
+// it. Every field is guarded by the owning stream's mutex.
+type evQueue struct {
+	sleepers klock.WaitList
+	pollers  []*fs.PollWaiter
+	wakes    atomic.Int64 // sleeper wakeups issued (thundering-herd audit)
+}
+
+// register subscribes w. Owner's mutex held.
+func (q *evQueue) register(w *fs.PollWaiter) {
+	q.pollers = append(q.pollers, w)
+}
+
+// unregister withdraws w (no-op if absent). Owner's mutex held.
+func (q *evQueue) unregister(w *fs.PollWaiter) {
+	for i, x := range q.pollers {
+		if x == w {
+			last := len(q.pollers) - 1
+			q.pollers[i] = q.pollers[last]
+			q.pollers[last] = nil
+			q.pollers = q.pollers[:last]
+			return
+		}
+	}
+}
+
+// wake publishes one readiness transition on the queue: release sleepers —
+// all of them when broadcast (terminal transitions: every sleeper's
+// condition holds), otherwise exactly one (the baton) — and notify every
+// registered poller. Owner's mutex held.
+func (q *evQueue) wake(ps *PollStats, broadcast bool) {
+	if ps != nil {
+		ps.Transitions.Add(1)
+	}
+	n := 0
+	if broadcast {
+		n = q.sleepers.Len()
+		q.sleepers.WakeAll()
+	} else if q.sleepers.Len() > 0 {
+		n = 1
+		q.sleepers.WakeOne()
+	}
+	if n > 0 {
+		q.wakes.Add(int64(n))
+		if ps != nil {
+			ps.SleeperWakes.Add(int64(n))
+		}
+	}
+	for _, w := range q.pollers {
+		w.Notify()
+	}
+	if ps != nil && len(q.pollers) > 0 {
+		ps.PollerWakes.Add(int64(len(q.pollers)))
+	}
+}
+
+// baton hands a leftover condition to the next sleeper without
+// republishing a transition: pollers are level-triggered and were already
+// notified when the condition appeared, so only a sleeper that consumed
+// part of it needs to pass the remainder on. Owner's mutex held.
+func (q *evQueue) baton(ps *PollStats) {
+	if q.sleepers.Len() == 0 {
+		return
+	}
+	q.sleepers.WakeOne()
+	q.wakes.Add(1)
+	if ps != nil {
+		ps.SleeperWakes.Add(1)
+	}
+}
+
+// waitOn blocks t on the queue until the next transition (or a signal, or
+// an injected spurious wake). Called with mu held and the condition false;
+// the caller loops.
+func (q *evQueue) waitOn(fi *faultinject.Plan, mu *sync.Mutex, t klock.Thread, reason string) error {
+	return sleepOn(fi, mu, &q.sleepers, t, reason)
+}
+
+// SleeperWakes returns the number of sleeper wakeups the queue has issued
+// (the wake-count assertions of the thundering-herd tests).
+func (q *evQueue) SleeperWakes() int64 { return q.wakes.Load() }

@@ -1,0 +1,312 @@
+package ipc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fs"
+)
+
+// pollThread models the process layer's coalescing wake token: Unblock
+// never blocks, extra wakes collapse into one. PollWaiter.Notify runs
+// under the stream's own mutex and depends on exactly this property.
+type pollThread struct{ ch chan struct{} }
+
+func newPollThread() *pollThread     { return &pollThread{ch: make(chan struct{}, 1)} }
+func (g *pollThread) Block(_ string) { <-g.ch }
+func (g *pollThread) Unblock() {
+	select {
+	case g.ch <- struct{}{}:
+	default:
+	}
+}
+
+// waitSleepers blocks until q has exactly n sleeping threads (the only way
+// a test can know a reader goroutine has actually gone down on the queue).
+func waitSleepers(t *testing.T, mu *sync.Mutex, q *evQueue, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := q.sleepers.Len()
+		mu.Unlock()
+		if got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d sleepers (have %d)", n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPipeSingleWakePerTransition is the thundering-herd regression test:
+// a write that makes an empty pipe readable wakes exactly one of the
+// sleeping readers, not all of them — the historical wakeup(&pipe)
+// broadcast woke every sleeper to fight over one chunk.
+func TestPipeSingleWakePerTransition(t *testing.T) {
+	p := NewPipe()
+	r, w := p.Ends()
+	const nReaders = 3
+	results := make(chan int, nReaders)
+	for i := 0; i < nReaders; i++ {
+		g := newGoThread()
+		go func() {
+			buf := make([]byte, 1)
+			n, _ := r.Read(g, buf, false)
+			results <- n
+		}()
+	}
+	waitSleepers(t, &p.mu, &p.rq, nReaders)
+
+	th := newGoThread()
+	w.Write(th, []byte("x"), false)
+	if n := <-results; n != 1 {
+		t.Fatalf("woken reader got %d bytes", n)
+	}
+	if rw, _ := p.WakeCounts(); rw != 1 {
+		t.Errorf("one write to %d sleepers issued %d reader wakes, want exactly 1", nReaders, rw)
+	}
+	// The other readers must still be asleep — no byte arrived for them.
+	waitSleepers(t, &p.mu, &p.rq, nReaders-1)
+
+	w.Write(th, []byte("y"), false)
+	<-results
+	w.Write(th, []byte("z"), false)
+	<-results
+	if rw, _ := p.WakeCounts(); rw != nReaders {
+		t.Errorf("%d single-byte writes issued %d reader wakes, want %d (one per transition)",
+			nReaders, rw, nReaders)
+	}
+}
+
+// TestPipeReadBatonPassing: one write carrying enough data for every
+// sleeping reader releases them one at a time through the baton — each
+// wake is productive (the woken reader finds data), and the whole chain
+// publishes only the single empty→nonempty transition to pollers.
+func TestPipeReadBatonPassing(t *testing.T) {
+	p := NewPipe()
+	p.PS = &PollStats{}
+	r, w := p.Ends()
+	const nReaders = 3
+	results := make(chan int, nReaders)
+	for i := 0; i < nReaders; i++ {
+		g := newGoThread()
+		go func() {
+			buf := make([]byte, 1)
+			n, _ := r.Read(g, buf, false)
+			results <- n
+		}()
+	}
+	waitSleepers(t, &p.mu, &p.rq, nReaders)
+
+	th := newGoThread()
+	if n, err := w.Write(th, []byte("abc"), false); n != 3 || err != nil {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	for i := 0; i < nReaders; i++ {
+		if n := <-results; n != 1 {
+			t.Fatalf("reader got %d bytes, want 1", n)
+		}
+	}
+	if rw, _ := p.WakeCounts(); rw != nReaders {
+		t.Errorf("baton chain issued %d wakes, want %d (every wake productive)", rw, nReaders)
+	}
+	if tr := p.PS.Transitions.Load(); tr != 1 {
+		t.Errorf("chain published %d transitions, want 1 (batons are not transitions)", tr)
+	}
+}
+
+// TestPipeCloseBroadcast: close is a terminal transition — every sleeping
+// reader is released at once and observes EOF.
+func TestPipeCloseBroadcast(t *testing.T) {
+	p := NewPipe()
+	r, w := p.Ends()
+	const nReaders = 2
+	results := make(chan int, nReaders)
+	for i := 0; i < nReaders; i++ {
+		g := newGoThread()
+		go func() {
+			buf := make([]byte, 4)
+			n, _ := r.Read(g, buf, false)
+			results <- n
+		}()
+	}
+	waitSleepers(t, &p.mu, &p.rq, nReaders)
+	w.Close()
+	for i := 0; i < nReaders; i++ {
+		if n := <-results; n != 0 {
+			t.Errorf("reader woken by close got %d bytes, want 0 (EOF)", n)
+		}
+	}
+}
+
+// TestPipeNonblock: EAGAIN instead of sleeping, in both directions.
+func TestPipeNonblock(t *testing.T) {
+	p := NewPipe()
+	r, w := p.Ends()
+	th := newGoThread()
+	if _, err := r.Read(th, make([]byte, 4), true); err != fs.ErrAgain {
+		t.Errorf("nonblock read of empty pipe: %v, want ErrAgain", err)
+	}
+	if n, err := w.Write(th, make([]byte, PipeCap), true); n != PipeCap || err != nil {
+		t.Fatalf("fill: %d, %v", n, err)
+	}
+	if _, err := w.Write(th, []byte("x"), true); err != fs.ErrAgain {
+		t.Errorf("nonblock write to full pipe: %v, want ErrAgain", err)
+	}
+	// A nonblock write that moves some bytes before filling reports the
+	// short count, not EAGAIN.
+	buf := make([]byte, 4)
+	r.Read(th, buf, false)
+	if n, err := w.Write(th, make([]byte, 100), true); n != 4 || err != nil {
+		t.Errorf("partial nonblock write = %d, %v; want 4, nil", n, err)
+	}
+}
+
+// TestListenerNonblockAndReadiness: accept honours nonblock, and the
+// listener's readiness mask tracks its backlog and closure.
+func TestListenerNonblockAndReadiness(t *testing.T) {
+	net := NewNetNames()
+	l, err := net.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := newGoThread()
+	if _, err := l.Accept(th, true); err != fs.ErrAgain {
+		t.Errorf("nonblock accept with empty backlog: %v, want ErrAgain", err)
+	}
+	if m := l.Ready(); m != 0 {
+		t.Errorf("idle listener ready mask %#x, want 0", m)
+	}
+	if _, err := net.Connect(th, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if m := l.Ready(); m&fs.PollIn == 0 {
+		t.Errorf("listener with backlog ready mask %#x, want PollIn", m)
+	}
+	if _, err := l.Accept(th, true); err != nil {
+		t.Errorf("nonblock accept with backlog: %v", err)
+	}
+	l.Close()
+	if m := l.Ready(); m&fs.PollHup == 0 {
+		t.Errorf("closed listener ready mask %#x, want PollHup", m)
+	}
+}
+
+// TestReadinessConservationStormRace hammers a socket pair with concurrent
+// writers, readers, and registered pollers (run under -race in tier 1) and
+// then audits the conservation laws of the readiness layer: every byte
+// written is read, every sleeper wake the queues issued is in the
+// aggregate counter, and every poller notification the queues published
+// was delivered to a registered waiter.
+func TestReadinessConservationStormRace(t *testing.T) {
+	ps := &PollStats{}
+	a, b := socketPair(nil, ps)
+	const nWriters = 4
+	const perWriter = 16 * 1024
+
+	// Pollers watch the b endpoint throughout the storm.
+	const nPollers = 2
+	waiters := make([]*fs.PollWaiter, nPollers)
+	done := make(chan struct{})
+	var pollerWG sync.WaitGroup
+	pb := b.(fs.Pollable)
+	for i := 0; i < nPollers; i++ {
+		g := newPollThread()
+		w := &fs.PollWaiter{T: g}
+		waiters[i] = w
+		pb.PollRegister(w)
+		pollerWG.Add(1)
+		go func() {
+			defer pollerWG.Done()
+			for {
+				select {
+				case <-g.ch:
+					_ = pb.Ready() // level-triggered re-check
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for i := 0; i < nWriters; i++ {
+		writerWG.Add(1)
+		go func(seed byte) {
+			defer writerWG.Done()
+			g := newGoThread()
+			buf := make([]byte, 37) // deliberately misaligned with PipeCap
+			for k := range buf {
+				buf[k] = seed
+			}
+			sent := 0
+			for sent < perWriter {
+				n := len(buf)
+				if perWriter-sent < n {
+					n = perWriter - sent
+				}
+				m, err := a.Write(g, buf[:n], false)
+				if err != nil {
+					t.Errorf("storm write: %v", err)
+					return
+				}
+				sent += m
+			}
+		}(byte(i))
+	}
+
+	var total atomic.Int64
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		g := newGoThread()
+		buf := make([]byte, 101)
+		for {
+			n, err := b.Read(g, buf, false)
+			if err != nil {
+				t.Errorf("storm read: %v", err)
+				return
+			}
+			if n == 0 {
+				return // EOF: all writers closed
+			}
+			total.Add(int64(n))
+		}
+	}()
+
+	// Close a once every writer is finished, so the reader sees EOF
+	// exactly after the last byte; then let the reader drain.
+	writerWG.Wait()
+	a.Close()
+	readerWG.Wait()
+
+	close(done)
+	pollerWG.Wait()
+	for _, w := range waiters {
+		pb.PollUnregister(w)
+	}
+
+	if got := total.Load(); got != nWriters*perWriter {
+		t.Errorf("conservation: read %d bytes, wrote %d", got, nWriters*perWriter)
+	}
+	var notified int64
+	for _, w := range waiters {
+		notified += w.Notified.Load()
+	}
+	if pw := ps.PollerWakes.Load(); pw != notified {
+		t.Errorf("conservation: queues published %d poller wakes, waiters received %d", pw, notified)
+	}
+	var queueWakes int64
+	for _, p := range []*Pipe{a.(*duplexEnd).in, a.(*duplexEnd).out} {
+		r, w := p.WakeCounts()
+		queueWakes += r + w
+	}
+	if sw := ps.SleeperWakes.Load(); sw != queueWakes {
+		t.Errorf("conservation: queues issued %d sleeper wakes, aggregate says %d", queueWakes, sw)
+	}
+}

@@ -17,24 +17,35 @@ var (
 )
 
 // Listener accepts stream connections on a name — an abstract-namespace
-// UNIX-domain listening socket.
+// UNIX-domain listening socket. It lives behind a descriptor like any
+// other stream (the kernel installs it in the fd table), implements
+// fs.Pollable (PollIn = backlog non-empty), and blocks through its event
+// queue like the pipes do. Its fs.Stream Read/Write reject with EBADF:
+// a listening socket moves no data.
 type Listener struct {
 	name    string
 	net     *NetNames
+	fi      *faultinject.Plan
+	ps      *PollStats
 	mu      sync.Mutex
 	pending []fs.Stream
-	waiters klock.WaitList
+	q       evQueue
 	closed  bool
 }
 
 // Accept blocks until a client connects, returning the server-side stream.
-// A pending signal breaks the wait with ErrIntr.
-func (l *Listener) Accept(t klock.Thread) (fs.Stream, error) {
+// A pending signal breaks the wait with ErrIntr; with nonblock an empty
+// backlog returns fs.ErrAgain instead of sleeping.
+func (l *Listener) Accept(t klock.Thread, nonblock bool) (fs.Stream, error) {
 	l.mu.Lock()
 	for {
 		if len(l.pending) > 0 {
 			s := l.pending[0]
 			l.pending = l.pending[1:]
+			if len(l.pending) > 0 {
+				// Backlog left over: hand it to the next sleeping acceptor.
+				l.q.baton(l.ps)
+			}
 			l.mu.Unlock()
 			return s, nil
 		}
@@ -42,28 +53,73 @@ func (l *Listener) Accept(t klock.Thread) (fs.Stream, error) {
 			l.mu.Unlock()
 			return nil, ErrClosed
 		}
-		if err := sleepOn(l.net.fi, &l.mu, &l.waiters, t, "accept: wait for connection"); err != nil {
+		if nonblock {
+			l.mu.Unlock()
+			return nil, fs.ErrAgain
+		}
+		if err := l.q.waitOn(l.fi, &l.mu, t, "accept: wait for connection"); err != nil {
 			l.mu.Unlock()
 			return nil, err
 		}
 	}
 }
 
-// Close stops the listener and wakes pending accepts.
+// Close stops the listener — a terminal transition: wake pending accepts
+// (they return ErrClosed) and every poller (PollHup).
 func (l *Listener) Close() {
 	l.mu.Lock()
 	l.closed = true
-	l.waiters.WakeAll()
+	l.q.wake(l.ps, true)
 	l.mu.Unlock()
 	l.net.mu.Lock()
 	delete(l.net.listeners, l.name)
 	l.net.mu.Unlock()
 }
 
+// Read implements fs.Stream: a listening socket moves no data.
+func (l *Listener) Read(klock.Thread, []byte, bool) (int, error) {
+	return 0, fs.ErrBadFd
+}
+
+// Write implements fs.Stream: a listening socket moves no data.
+func (l *Listener) Write(klock.Thread, []byte, bool) (int, error) {
+	return 0, fs.ErrBadFd
+}
+
+// Ready implements fs.Pollable: PollIn when a connection is waiting in the
+// backlog (the poll-driven accept loop's signal), PollHup once closed.
+func (l *Listener) Ready() uint16 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var m uint16
+	if len(l.pending) > 0 {
+		m |= fs.PollIn
+	}
+	if l.closed {
+		m |= fs.PollIn | fs.PollHup
+	}
+	return m
+}
+
+// PollRegister implements fs.Pollable.
+func (l *Listener) PollRegister(w *fs.PollWaiter) {
+	l.mu.Lock()
+	l.q.register(w)
+	l.mu.Unlock()
+}
+
+// PollUnregister implements fs.Pollable.
+func (l *Listener) PollUnregister(w *fs.PollWaiter) {
+	l.mu.Lock()
+	l.q.unregister(w)
+	l.mu.Unlock()
+}
+
 // NetNames is the abstract socket namespace.
 type NetNames struct {
 	mu        sync.Mutex
 	fi        *faultinject.Plan
+	ps        *PollStats
 	listeners map[string]*Listener
 }
 
@@ -80,6 +136,15 @@ func (n *NetNames) SetFault(fi *faultinject.Plan) {
 	n.mu.Unlock()
 }
 
+// SetPollStats wires the namespace's readiness counters: listeners and the
+// pipes of subsequently connected stream pairs publish into ps. Call at
+// boot.
+func (n *NetNames) SetPollStats(ps *PollStats) {
+	n.mu.Lock()
+	n.ps = ps
+	n.mu.Unlock()
+}
+
 // Listen binds a listener to name.
 func (n *NetNames) Listen(name string) (*Listener, error) {
 	n.mu.Lock()
@@ -87,29 +152,30 @@ func (n *NetNames) Listen(name string) (*Listener, error) {
 	if _, ok := n.listeners[name]; ok {
 		return nil, ErrAddrInUse
 	}
-	l := &Listener{name: name, net: n}
+	l := &Listener{name: name, net: n, fi: n.fi, ps: n.ps}
 	n.listeners[name] = l
 	return l, nil
 }
 
 // Connect establishes a stream to the listener bound at name, returning
-// the client-side stream.
+// the client-side stream. Joining the backlog is a readiness transition:
+// a sleeping acceptor is released and the listener's pollers are notified.
 func (n *NetNames) Connect(t klock.Thread, name string) (fs.Stream, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[name]
-	fi := n.fi
+	fi, ps := n.fi, n.ps
 	n.mu.Unlock()
 	if !ok {
 		return nil, ErrNoListen
 	}
-	client, server := socketPair(fi)
+	client, server := socketPair(fi, ps)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil, ErrNoListen
 	}
 	l.pending = append(l.pending, server)
-	l.waiters.WakeOne()
+	l.q.wake(ps, false)
 	l.mu.Unlock()
 	return client, nil
 }

@@ -76,6 +76,12 @@ type Stats struct {
 	ProcWakes    int64 // unblockproc/setblockproccnt calls that released a sleeper
 	BankedWakes  int64 // unblocks banked with no sleeper to release (wasted wakes)
 	SpinToBlocks int64 // uspin bounded spins converted to blockproc sleeps
+
+	// Readiness layer (poll(2) and the stream event queues).
+	PollSleeps        int64 // poll(2) waits that actually slept
+	ReadyTransitions  int64 // readiness transitions published by streams
+	ReadySleeperWakes int64 // blocked stream operations released by transitions
+	ReadyPollerWakes  int64 // poll registrations notified by transitions
 }
 
 // FaultSiteStat is one injection site's counters.
@@ -176,6 +182,10 @@ func (s *System) Stats() Stats {
 	st.ProcWakes = s.blockWakes.Load()
 	st.BankedWakes = s.bankedWakes.Load()
 	st.SpinToBlocks = s.spinBlocks.Load()
+	st.PollSleeps = s.pollSleeps.Load()
+	st.ReadyTransitions = s.pollStats.Transitions.Load()
+	st.ReadySleeperWakes = s.pollStats.SleeperWakes.Load()
+	st.ReadyPollerWakes = s.pollStats.PollerWakes.Load()
 	if pl := s.faults; pl != nil {
 		st.FaultChecks = pl.TotalChecks()
 		st.FaultsInjected = pl.TotalInjected()

@@ -131,7 +131,7 @@ func (c *Context) Dup(fd int) (int, error) {
 func (c *Context) Dup2(fd, target int) (int, error) {
 	return invoke(c, sysDup2, func() (int, error) {
 		p := c.P
-		if target < 0 || target >= proc.NOFILE {
+		if target < 0 || target >= p.FdCeiling() {
 			return -1, fs.ErrBadFd
 		}
 		apply := func() error {
@@ -193,6 +193,33 @@ func (c *Context) SetCloseOnExec(fd int, on bool) error {
 	})
 }
 
+// SetNonblock sets or clears per-descriptor non-blocking mode (fcntl
+// F_SETFL O_NDELAY): stream operations on fd that would sleep return
+// EAGAIN instead. Like close-on-exec the bit lives in the fd-flag table
+// and propagates to descriptor-sharing members.
+func (c *Context) SetNonblock(fd int, on bool) error {
+	return invoke0(c, sysFcntl, func() error {
+		p := c.P
+		p.Mu.Lock()
+		if _, err := p.GetFd(fd); err != nil {
+			p.Mu.Unlock()
+			return err
+		}
+		if on {
+			p.FdFlags[fd] |= proc.FdNonblock
+		} else {
+			p.FdFlags[fd] &^= proc.FdNonblock
+		}
+		p.Mu.Unlock()
+		if p.Shares(proc.PRSFDS) {
+			sa := groupOf(p)
+			sa.BeginFdUpdate(p)
+			sa.EndFdUpdate(p, fd)
+		}
+		return nil
+	})
+}
+
 // fdFile fetches the open file behind fd.
 func (c *Context) fdFile(fd int) (*fs.File, error) {
 	c.P.Mu.Lock()
@@ -200,16 +227,28 @@ func (c *Context) fdFile(fd int) (*fs.File, error) {
 	return c.P.GetFd(fd)
 }
 
+// fdFileNb fetches the open file behind fd along with the descriptor's
+// non-blocking mode — the pair every data-moving syscall needs.
+func (c *Context) fdFileNb(fd int) (*fs.File, bool, error) {
+	c.P.Mu.Lock()
+	defer c.P.Mu.Unlock()
+	f, err := c.P.GetFd(fd)
+	if err != nil {
+		return nil, false, err
+	}
+	return f, c.P.FdFlags[fd]&proc.FdNonblock != 0, nil
+}
+
 // Read reads up to n bytes from fd into the process's memory at va,
 // returning the count. The transfer faults pages in as needed.
 func (c *Context) Read(fd int, va hw.VAddr, n int) (int, error) {
 	return invoke(c, sysRead, func() (int, error) {
-		f, err := c.fdFile(fd)
+		f, nb, err := c.fdFileNb(fd)
 		if err != nil {
 			return -1, err
 		}
 		buf := make([]byte, n)
-		got, err := f.Read(c.P, buf)
+		got, err := f.Read(c.P, buf, nb)
 		if err != nil {
 			return -1, err
 		}
@@ -223,7 +262,7 @@ func (c *Context) Read(fd int, va hw.VAddr, n int) (int, error) {
 // Write writes n bytes from the process's memory at va to fd.
 func (c *Context) Write(fd int, va hw.VAddr, n int) (int, error) {
 	return invoke(c, sysWrite, func() (int, error) {
-		f, err := c.fdFile(fd)
+		f, nb, err := c.fdFileNb(fd)
 		if err != nil {
 			return -1, err
 		}
@@ -234,7 +273,7 @@ func (c *Context) Write(fd int, va hw.VAddr, n int) (int, error) {
 		c.P.Mu.Lock()
 		limit := c.P.Ulimit
 		c.P.Mu.Unlock()
-		return f.Write(c.P, buf, limit)
+		return f.Write(c.P, buf, limit, nb)
 	})
 }
 

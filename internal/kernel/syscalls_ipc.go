@@ -14,6 +14,7 @@ func (c *Context) Pipe() (int, int, error) {
 	fds, err := invoke(c, sysPipe, func() ([2]int, error) {
 		p := ipc.NewPipe()
 		p.FI = c.S.faults
+		p.PS = c.S.pollStats
 		rs, ws := p.Ends()
 		ri := c.S.FS.MkInode(fs.ModeFIFO|0o600, 0, 0)
 		wi := c.S.FS.MkInode(fs.ModeFIFO|0o600, 0, 0)
@@ -177,18 +178,42 @@ func (c *Context) ShmRemove(id int) error {
 	})
 }
 
-// NetListen binds a stream listener to name.
-func (c *Context) NetListen(name string) (*ipc.Listener, error) {
-	return invoke(c, sysNetListen, func() (*ipc.Listener, error) {
-		return c.S.Net.Listen(name)
+// NetListen binds a stream listener to name and installs it in the
+// descriptor table — a listening socket is a waitable descriptor like any
+// other stream, so it can be polled alongside connections. Its open flags
+// are zero: read(2)/write(2) on a listening socket reject with EBADF.
+func (c *Context) NetListen(name string) (int, error) {
+	return invoke(c, sysNetListen, func() (int, error) {
+		l, err := c.S.Net.Listen(name)
+		if err != nil {
+			return -1, err
+		}
+		ino := c.S.FS.MkInode(fs.ModeSock|0o600, 0, 0)
+		f := fs.NewFile(ino.Hold(), l, 0)
+		fd, err := c.installFd(f)
+		if err != nil {
+			f.Release()
+			return -1, err
+		}
+		return fd, nil
 	})
 }
 
-// NetAccept accepts a connection on l, returning a descriptor for the
-// server side of the stream.
-func (c *Context) NetAccept(l *ipc.Listener) (int, error) {
+// NetAccept accepts a connection on listening descriptor lfd, returning a
+// descriptor for the server side of the stream. With FdNonblock set on
+// lfd an empty backlog returns EAGAIN instead of sleeping — the poll-
+// driven accept loop's mode.
+func (c *Context) NetAccept(lfd int) (int, error) {
 	return invoke(c, sysNetAccept, func() (int, error) {
-		s, err := l.Accept(c.P)
+		f, nb, err := c.fdFileNb(lfd)
+		if err != nil {
+			return -1, err
+		}
+		l, ok := f.Stream.(*ipc.Listener)
+		if !ok {
+			return -1, fs.ErrBadFd
+		}
+		s, err := l.Accept(c.P, nb)
 		if err != nil {
 			return -1, err
 		}

@@ -1,0 +1,149 @@
+package kernel
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/fs"
+)
+
+// This file implements poll(2) and select(2) over the waitable-descriptor
+// abstraction (fs.Pollable): readiness is level-triggered state published
+// by the streams themselves, so poll is a pure consumer — register on
+// every descriptor's event queues, scan, and sleep until some stream
+// publishes a transition. One process watching ten thousand descriptors
+// replaces ten thousand processes blocked one-per-descriptor, which is
+// what lets a small share group serve the C10k workload (EXPERIMENTS S7).
+
+// Readiness bits re-exported at the syscall surface.
+const (
+	PollIn   = fs.PollIn
+	PollOut  = fs.PollOut
+	PollErr  = fs.PollErr
+	PollHup  = fs.PollHup
+	PollNval = fs.PollNval
+)
+
+// PollFd is one entry of a poll set: a descriptor, the events the caller
+// cares about, and the result mask the kernel fills in.
+type PollFd struct {
+	Fd      int
+	Events  uint16
+	Revents uint16
+}
+
+// pollScan fills in Revents for every entry and returns the number of
+// entries with a non-zero result. Error conditions (PollErr, PollHup,
+// PollNval) report regardless of Events, as in poll(2).
+func (c *Context) pollScan(fds []PollFd) int {
+	n := 0
+	// One table walk per scan: the classic kernel cost poll pays that a
+	// blocked read does not, charged per 8 descriptors like the bitmap
+	// word walks of the historical implementation.
+	c.charge(int64(len(fds)+7) / 8)
+	for i := range fds {
+		fds[i].Revents = 0
+		f, err := c.fdFile(fds[i].Fd)
+		if err != nil {
+			fds[i].Revents = fs.PollNval
+			n++
+			continue
+		}
+		mask := f.PollReady()
+		r := mask & (fds[i].Events | fs.PollErr | fs.PollHup | fs.PollNval)
+		if r != 0 {
+			fds[i].Revents = r
+			n++
+		}
+	}
+	return n
+}
+
+// Poll waits for readiness on a set of descriptors. timeout follows
+// poll(2) shape with no timers in the simulation: 0 scans once without
+// sleeping, a negative value blocks until some entry is ready, and a
+// positive value is rejected with EINVAL. It returns the number of
+// entries with non-zero Revents.
+//
+// Poll is deliberately not restartable: a caught signal surfaces as EINTR
+// (like pause(2)), so serving loops can re-examine shutdown state.
+func (c *Context) Poll(fds []PollFd, timeout int) (int, error) {
+	return invoke(c, sysPoll, func() (int, error) {
+		if timeout > 0 {
+			return -1, fs.ErrInval
+		}
+		p := c.P
+		w := &fs.PollWaiter{T: p}
+		registered := false
+		defer func() {
+			if registered {
+				for i := range fds {
+					if f, err := c.fdFile(fds[i].Fd); err == nil {
+						f.PollUnregister(w)
+					}
+				}
+			}
+		}()
+		for {
+			// Register before scanning so a transition that lands between
+			// the scan and the sleep deposits a wake token instead of being
+			// lost. Stale tokens surface as spurious wakes; the loop
+			// re-scans and goes back down.
+			if timeout < 0 && !registered {
+				for i := range fds {
+					if f, err := c.fdFile(fds[i].Fd); err == nil {
+						f.PollRegister(w)
+					}
+				}
+				registered = true
+			}
+			if n := c.pollScan(fds); n > 0 {
+				return n, nil
+			}
+			if timeout == 0 {
+				return 0, nil
+			}
+			if p.SignalPending() {
+				return -1, ErrInterrupt
+			}
+			if pl := c.S.faults; pl.Armed(faultinject.SitePollSleep) {
+				if hit, _ := pl.Decide(faultinject.SitePollSleep, uint32(p.PID)); hit {
+					// Spurious wakeup: deposit a stale wake token. The loop
+					// re-scans and goes back down when nothing is ready.
+					pl.Note(faultinject.SitePollSleep, faultinject.FaultWakeup, uint32(p.PID))
+					p.NotifyWake()
+				}
+			}
+			c.S.pollSleeps.Add(1)
+			p.Block("poll(2)")
+			// Loop: re-scan before looking at signals again, so a wake that
+			// carries both readiness and a signal (a child writing and then
+			// exiting) reports the events — EINTR only when nothing is ready.
+		}
+	})
+}
+
+// Select is the select(2) veneer: readable and writable descriptor sets
+// expressed as one poll set. It is pure delegation — the call dispatches
+// (and is accounted) as poll — and returns the subsets actually ready.
+func (c *Context) Select(readfds, writefds []int, timeout int) (r, w []int, err error) {
+	fds := make([]PollFd, 0, len(readfds)+len(writefds))
+	for _, fd := range readfds {
+		fds = append(fds, PollFd{Fd: fd, Events: fs.PollIn})
+	}
+	for _, fd := range writefds {
+		fds = append(fds, PollFd{Fd: fd, Events: fs.PollOut})
+	}
+	if _, err := c.Poll(fds, timeout); err != nil {
+		return nil, nil, err
+	}
+	for i, pf := range fds {
+		if pf.Revents == 0 {
+			continue
+		}
+		if i < len(readfds) {
+			r = append(r, pf.Fd)
+		} else {
+			w = append(w, pf.Fd)
+		}
+	}
+	return r, w, nil
+}

@@ -57,6 +57,7 @@ func (c *Context) newChild(name string) *proc.Proc {
 	child.Umask = p.Umask
 	child.Ulimit = p.Ulimit
 	child.StackMax = p.StackMax
+	child.FdMax = p.FdMax
 	child.NextShm = p.NextShm
 	child.Prio.Store(p.Prio.Load())
 	child.SigMask = p.SigMask

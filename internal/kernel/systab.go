@@ -55,6 +55,7 @@ const (
 	SysNetListen
 	SysNetAccept
 	SysNetConnect
+	SysPoll
 
 	// Processes and signals (syscalls_proc.go).
 	SysGetpid
@@ -169,6 +170,11 @@ var (
 	sysNetListen   = &sysDesc{SysNetListen, "netlisten", ClassIPC, 0, 0}
 	sysNetAccept   = &sysDesc{SysNetAccept, "netaccept", ClassIPC, 0, sfRestart | sfInjEINTR}
 	sysNetConnect  = &sysDesc{SysNetConnect, "netconnect", ClassIPC, 0, sfRestart}
+
+	// poll is not sfRestart: like pause(2), returning EINTR after a
+	// caught signal is its contract — the serving loops use the break to
+	// re-examine shutdown flags before re-entering the wait.
+	sysPoll = &sysDesc{SysPoll, "poll", ClassIPC, 0, sfInjEINTR}
 	sysGetpid      = &sysDesc{SysGetpid, "getpid", ClassProc, 0, 0}
 	sysGetppid     = &sysDesc{SysGetppid, "getppid", ClassProc, 0, 0}
 	sysFork        = &sysDesc{SysFork, "fork", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
@@ -202,7 +208,7 @@ var sysTable = func() [NSys]*sysDesc {
 		sysGetuid, sysBrk, sysSbrk, sysMmap, sysMmapPrivate, sysMunmap,
 		sysResident, sysPipe, sysMsgget, sysMsgsnd, sysMsgrcv, sysSemget,
 		sysSemop, sysSemval, sysShmget, sysShmat, sysShmRemove,
-		sysNetListen, sysNetAccept, sysNetConnect, sysGetpid, sysGetppid,
+		sysNetListen, sysNetAccept, sysNetConnect, sysPoll, sysGetpid, sysGetppid,
 		sysFork, sysSproc, sysThread, sysPrctl, sysUnshare, sysExec,
 		sysExit, sysWait, sysKill, sysSignal, sysSigmask, sysPause,
 		sysBlockproc, sysUnblockproc, sysSetblockproccnt,

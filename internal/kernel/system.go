@@ -35,6 +35,7 @@ type Config struct {
 	MemFrames int   // physical page frames (default 16384 = 64 MiB)
 	TimeSlice int64 // charge units per slice (default sched.DefaultSlice)
 	MaxProcs  int   // per-user process limit, PR_MAXPROCS (default 256)
+	MaxFiles  int   // per-process descriptor ceiling (default proc.NOFILE)
 	Gang      bool  // gang-schedule share groups (paper §8 extension)
 
 	// NUMANodes splits the CPUs and physical memory into that many
@@ -98,6 +99,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kernel: Config.TimeSlice must be >= 0 (0 = default), got %d", c.TimeSlice)
 	case c.MaxProcs < 0:
 		return fmt.Errorf("kernel: Config.MaxProcs must be >= 0 (0 = default), got %d", c.MaxProcs)
+	case c.MaxFiles < 0:
+		return fmt.Errorf("kernel: Config.MaxFiles must be >= 0 (0 = default), got %d", c.MaxFiles)
 	case c.NUMANodes < 0:
 		return fmt.Errorf("kernel: Config.NUMANodes must be >= 0 (0 = flat), got %d", c.NUMANodes)
 	case c.TextPages < 0:
@@ -144,6 +147,10 @@ type System struct {
 	bankedWakes atomic.Int64 // unblocks banked with no sleeper to release
 	spinBlocks  atomic.Int64 // uspin bounded spins converted to blockproc
 
+	// Readiness-notification aggregation (syscalls_poll.go, ipc/pollable.go).
+	pollStats  *ipc.PollStats
+	pollSleeps atomic.Int64 // poll(2) calls that actually slept (per wait)
+
 	wg sync.WaitGroup // live processes
 }
 
@@ -181,6 +188,8 @@ func NewSystemChecked(cfg Config) (*System, error) {
 		mains:   map[int]Main{},
 	}
 	s.Sched.SetGang(cfg.Gang)
+	s.pollStats = &ipc.PollStats{}
+	s.Net.SetPollStats(s.pollStats)
 	s.sysacct = make([]*sysAcct, cfg.NCPU+1)
 	for i := range s.sysacct {
 		s.sysacct[i] = &sysAcct{}
@@ -293,6 +302,7 @@ func (s *System) Start(name string, main Main) int {
 	p.ASID = s.Machine.AllocASID()
 	p.Cdir = s.FS.Root().Hold()
 	p.Rdir = s.FS.Root().Hold()
+	p.FdMax = s.cfg.MaxFiles
 	s.newImage(p)
 	s.register(p)
 	s.startProc(p, main)

@@ -7,35 +7,60 @@ import (
 // Descriptor flag bits (per-fd, not shared through dup).
 const (
 	FdCloseOnExec uint8 = 1 << 0
+	// FdNonblock is per-descriptor non-blocking mode (fcntl F_SETFL
+	// O_NDELAY): stream operations that would sleep return EAGAIN
+	// instead. Like close-on-exec it travels in the fd-flag table, so a
+	// share group propagates it with the descriptor update protocol.
+	FdNonblock uint8 = 1 << 1
 )
 
+// FdCeiling returns the descriptor-table limit: NOFILE (the V.3 default)
+// unless the system raised it at boot (Config.MaxFiles — the C10k serving
+// experiments hold tens of thousands of descriptors open at once).
+func (p *Proc) FdCeiling() int {
+	if p.FdMax > 0 {
+		return p.FdMax
+	}
+	return NOFILE
+}
+
 // AllocFd installs f in the lowest free descriptor slot, growing the table
-// up to NOFILE only (V.3 has a fixed table; the sub-NOFILE start just
-// avoids committing 64 slots to every process). It returns the descriptor
-// or an error when the table is full. The caller holds p.Mu.
+// up to the ceiling only (V.3 has a fixed table; the small start just
+// avoids committing every slot to every process). It returns the
+// descriptor or an error when the table is full. The caller holds p.Mu.
 func (p *Proc) AllocFd(f *fs.File) (int, error) {
-	for i, slot := range p.Fd {
-		if slot == nil {
+	// Resume the lowest-free scan where the last one left off when the
+	// table below is known dense — the C10k accept loop would otherwise
+	// rescan thousands of occupied slots per connection. Any ClearFd
+	// resets the hint, preserving the lowest-free-slot contract.
+	start := p.fdHint
+	if start >= len(p.Fd) {
+		start = 0
+	}
+	for i := start; i < len(p.Fd); i++ {
+		if p.Fd[i] == nil {
 			p.Fd[i] = f
 			p.FdFlags[i] = 0
+			p.fdHint = i + 1
 			return i, nil
 		}
 	}
-	if len(p.Fd) < NOFILE {
+	if len(p.Fd) < p.FdCeiling() {
 		fd := len(p.Fd)
 		p.GrowFd(fd * 2)
 		p.Fd[fd] = f
+		p.fdHint = fd + 1
 		return fd, nil
 	}
 	return -1, fs.ErrBadFd
 }
 
 // GrowFd extends the descriptor table to hold at least n slots, capped at
-// NOFILE. Existing entries keep their indices; new slots are empty. The
-// caller holds p.Mu.
+// the ceiling. Existing entries keep their indices; new slots are empty.
+// The caller holds p.Mu.
 func (p *Proc) GrowFd(n int) {
-	if n > NOFILE {
-		n = NOFILE
+	if max := p.FdCeiling(); n > max {
+		n = max
 	}
 	if n <= len(p.Fd) {
 		return
@@ -72,8 +97,17 @@ func (p *Proc) ClearFd(fd int) (*fs.File, error) {
 	}
 	p.Fd[fd] = nil
 	p.FdFlags[fd] = 0
+	if fd < p.fdHint {
+		p.fdHint = fd
+	}
 	return f, nil
 }
+
+// ResetFdHint invalidates the lowest-free-slot scan hint. Code that edits
+// the table without going through AllocFd/ClearFd (the share-block fd
+// sync) must call it so AllocFd keeps returning the lowest free slot. The
+// caller holds p.Mu.
+func (p *Proc) ResetFdHint() { p.fdHint = 0 }
 
 // DupFdTable returns a copy of the descriptor table with every open file's
 // reference count bumped — the fork(2) path. The caller holds p.Mu.
@@ -97,6 +131,7 @@ func (p *Proc) CloseAllFds() {
 			p.Fd[i] = nil
 		}
 	}
+	p.fdHint = 0
 }
 
 // OpenFdCount counts live descriptors. The caller holds p.Mu.

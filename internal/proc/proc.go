@@ -148,7 +148,9 @@ type Proc struct {
 	Cdir     *fs.Inode // held
 	Rdir     *fs.Inode // held
 	Fd       []*fs.File
-	FdFlags  []uint8 // per-descriptor flags (close-on-exec)
+	FdFlags  []uint8 // per-descriptor flags (close-on-exec, non-blocking)
+	FdMax    int     // descriptor-table ceiling (0 = NOFILE), inherited
+	fdHint   int     // lowest-free-slot scan hint (see AllocFd)
 
 	// Virtual memory.
 	ASID     hw.ASID

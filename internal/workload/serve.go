@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/proc"
+)
+
+// ServeMode selects a connection-serving organization for S7, the C10k
+// experiment: how many share-group members does it take to hold N
+// concurrent client connections open and answer them all?
+type ServeMode string
+
+const (
+	// ServePoll is the readiness-based organization: a small share group
+	// whose members each multiplex a shard of the connections through
+	// poll(2) and non-blocking reads. Member count is independent of
+	// connection count.
+	ServePoll ServeMode = "poll"
+	// ServeBlocking is the thread-per-connection organization: every
+	// member sits in a blocking accept/read/respond cycle, so holding N
+	// connections open concurrently requires N members.
+	ServeBlocking ServeMode = "blocking"
+)
+
+// ServeConfig sizes one serving run.
+type ServeConfig struct {
+	Conns   int // concurrent client connections to push through
+	Members int // share-group members serving them (including the leader's pool)
+	Clients int // client processes multiplexing the connections (default 4)
+}
+
+// ServeMetrics reports one serving run: the machine-level Metrics plus the
+// per-connection request→response latency distribution in simulated
+// cycles, and the readiness-layer counters behind it.
+type ServeMetrics struct {
+	Metrics
+	Conns   int
+	Members int
+	P50     int64 // median request→response latency, simcyc
+	P99     int64 // 99th-percentile latency, simcyc
+
+	PollSleeps   int64 // poll(2) waits that slept
+	Transitions  int64 // readiness transitions published
+	SleeperWakes int64 // blocked stream ops released
+	PollerWakes  int64 // poll registrations notified
+}
+
+// String renders the serving metrics compactly.
+func (m ServeMetrics) String() string {
+	return fmt.Sprintf("conns=%d members=%d p50=%d p99=%d %s",
+		m.Conns, m.Members, m.P50, m.P99, m.Metrics.String())
+}
+
+// shutdownJob is the sentinel the leader writes into a job pipe after the
+// last descriptor: the worker drains its remaining connections and exits.
+const shutdownJob = ^uint32(0)
+
+// Serve runs the S7 serving workload: sc.Clients client processes open
+// sc.Conns connections in total against one listener, write a 4-byte
+// request on each, and collect the 4-byte responses; sc.Members share-group
+// members answer them, organized per mode. Latency per connection is the
+// simulated-cycle interval between the client writing its request and
+// reading the response.
+func Serve(cfg kernel.Config, mode ServeMode, sc ServeConfig) ServeMetrics {
+	if sc.Clients <= 0 {
+		sc.Clients = 4
+	}
+	if sc.Clients > sc.Conns {
+		sc.Clients = sc.Conns
+	}
+	// Every accepted descriptor stays in the shared table until a member
+	// serves it, so the ceiling must cover the whole connection load; the
+	// process limit likewise has to admit the member pool (the blocking
+	// organization runs one member per connection).
+	if cfg.MaxFiles < sc.Conns+sc.Members+16 {
+		cfg.MaxFiles = sc.Conns + sc.Members + 16
+	}
+	if cfg.MaxProcs < sc.Members+sc.Clients+8 {
+		cfg.MaxProcs = sc.Members + sc.Clients + 8
+	}
+	s := newSession(cfg)
+	clock := s.Sys.Machine.TotalCycles // the run's simulated-time base
+
+	// Latency collection is host-side driver bookkeeping (like GangBarrier's
+	// dispatch counts): each client proc records into its own shard.
+	lat := make([][]int64, sc.Clients)
+
+	s.start()
+	s.Sys.Start("serve-leader", func(c *kernel.Context) {
+		lfd, err := c.NetListen("serve")
+		if err != nil {
+			panic(err)
+		}
+		switch mode {
+		case ServePoll:
+			servePoll(c, lfd, clock, lat, sc)
+		case ServeBlocking:
+			serveBlocking(c, lfd, clock, lat, sc)
+		default:
+			panic(fmt.Sprintf("workload: unknown serve mode %q", mode))
+		}
+	})
+	s.Sys.WaitIdle()
+	s.stop()
+
+	m := ServeMetrics{Metrics: s.metrics(int64(sc.Conns)), Conns: sc.Conns, Members: sc.Members}
+	var all []int64
+	for _, shard := range lat {
+		all = append(all, shard...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		m.P50 = all[len(all)/2]
+		m.P99 = all[len(all)*99/100]
+	}
+	st := s.Sys.Stats()
+	m.PollSleeps = st.PollSleeps
+	m.Transitions = st.ReadyTransitions
+	m.SleeperWakes = st.ReadySleeperWakes
+	m.PollerWakes = st.ReadyPollerWakes
+	return m
+}
+
+// spawnClients forks the client processes. Each opens its share of the
+// connections, writes a 4-byte request on every one (recording the send
+// time), then collects all the responses via its own poll loop — one
+// process multiplexing thousands of concurrent connections from the client
+// side too.
+func spawnClients(c *kernel.Context, clock func() int64, lat [][]int64, sc ServeConfig) {
+	per := sc.Conns / sc.Clients
+	extra := sc.Conns % sc.Clients
+	for i := 0; i < sc.Clients; i++ {
+		n := per
+		if i < extra {
+			n++
+		}
+		shard := make([]int64, 0, n)
+		lat[i] = shard
+		idx := i
+		nconns := n
+		c.Fork("client", func(cc *kernel.Context) {
+			va := dataBase
+			fds := make([]int, nconns)
+			t0 := make(map[int]int64, nconns)
+			for j := 0; j < nconns; j++ {
+				fd, err := cc.NetConnect("serve")
+				if err != nil {
+					panic(err)
+				}
+				fds[j] = fd
+			}
+			// All connections are open before the first request goes out,
+			// so the server really holds nconns concurrent streams.
+			set := make([]kernel.PollFd, 0, nconns)
+			for _, fd := range fds {
+				cc.Store32(va, uint32(fd))
+				t0[fd] = clock()
+				if _, err := cc.Write(fd, va, 4); err != nil {
+					panic(err)
+				}
+				cc.SetNonblock(fd, true)
+				set = append(set, kernel.PollFd{Fd: fd, Events: kernel.PollIn})
+			}
+			for len(set) > 0 {
+				if _, err := cc.Poll(set, -1); err != nil {
+					panic(err)
+				}
+				live := set[:0]
+				for _, pf := range set {
+					if pf.Revents == 0 {
+						live = append(live, kernel.PollFd{Fd: pf.Fd, Events: kernel.PollIn})
+						continue
+					}
+					n, err := cc.Read(pf.Fd, va+8, 4)
+					if err != nil {
+						// A spurious or consumed readiness edge: keep waiting.
+						live = append(live, kernel.PollFd{Fd: pf.Fd, Events: kernel.PollIn})
+						continue
+					}
+					if n != 4 {
+						panic(fmt.Sprintf("client: short response (%d bytes)", n))
+					}
+					lat[idx] = append(lat[idx], clock()-t0[pf.Fd])
+					cc.Close(pf.Fd)
+				}
+				set = live
+			}
+		})
+	}
+}
+
+// servePoll is the readiness-based server: sc.Members workers sharing the
+// descriptor table (PR_SFDS) each poll a job pipe plus their shard of
+// accepted connections; the leader accepts and deals descriptor numbers
+// round-robin into the job pipes. Descriptors travel as 4-byte numbers —
+// the descriptor itself is already in every member's table.
+func servePoll(c *kernel.Context, lfd int, clock func() int64, lat [][]int64, sc ServeConfig) {
+	jobR := make([]int, sc.Members)
+	jobW := make([]int, sc.Members)
+	for w := 0; w < sc.Members; w++ {
+		r, wr, err := c.Pipe()
+		if err != nil {
+			panic(err)
+		}
+		// The worker batch-drains its job pipe, so the read end is
+		// non-blocking from the start; workers inherit the flag with the
+		// shared table.
+		c.SetNonblock(r, true)
+		jobR[w], jobW[w] = r, wr
+	}
+	for w := 0; w < sc.Members; w++ {
+		c.Sproc("server", func(wc *kernel.Context, id int64) {
+			pollWorker(wc, jobR[id])
+		}, proc.PRSADDR|proc.PRSFDS, int64(w))
+	}
+
+	spawnClients(c, clock, lat, sc)
+
+	// Accept loop: the "security check" dispatcher of the paper's §1
+	// example, upgraded from one mailbox to per-worker job pipes.
+	va := dataBase
+	for i := 0; i < sc.Conns; i++ {
+		fd, err := c.NetAccept(lfd)
+		if err != nil {
+			panic(err)
+		}
+		c.Store32(va, uint32(fd))
+		if _, err := c.Write(jobW[i%sc.Members], va, 4); err != nil {
+			panic(err)
+		}
+	}
+	for w := 0; w < sc.Members; w++ {
+		c.Store32(va, shutdownJob)
+		if _, err := c.Write(jobW[w], va, 4); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < sc.Members+sc.Clients; i++ {
+		c.Wait()
+	}
+}
+
+// pollWorker is one poll-driven serving member: wait for readiness on the
+// job pipe plus every owned connection, batch-drain new descriptor numbers,
+// and answer every readable connection with a non-blocking read and a
+// 4-byte response.
+func pollWorker(wc *kernel.Context, jobR int) {
+	va := wc.StackBase()
+	set := []kernel.PollFd{{Fd: jobR, Events: kernel.PollIn}}
+	draining := false
+	for {
+		if draining && len(set) == 1 {
+			wc.Close(jobR)
+			return
+		}
+		if _, err := wc.Poll(set, -1); err != nil {
+			panic(err)
+		}
+		live := set[:1] // slot 0 is always the job pipe
+		for _, pf := range set[1:] {
+			if pf.Revents == 0 {
+				live = append(live, kernel.PollFd{Fd: pf.Fd, Events: kernel.PollIn})
+				continue
+			}
+			// This member is the connection's only reader, so a PollIn edge
+			// cannot be consumed by anyone else and a blocking read returns
+			// immediately. (Flipping FdNonblock here would also work, but
+			// every flag write on a PR_SFDS table re-dirties the whole
+			// group's shadow sync — needless churn at 10k descriptors.)
+			n, err := wc.Read(pf.Fd, va, 4)
+			if err != nil || n != 4 {
+				live = append(live, kernel.PollFd{Fd: pf.Fd, Events: kernel.PollIn})
+				continue
+			}
+			// Echo the request id back: the 4-byte response.
+			wc.Write(pf.Fd, va, 4)
+			wc.Close(pf.Fd)
+		}
+		set = live
+		if set[0].Revents != 0 && !draining {
+			for {
+				n, err := wc.Read(jobR, va+8, 4)
+				if err != nil || n != 4 {
+					break // EAGAIN: batch drained
+				}
+				v, _ := wc.Load32(va + 8)
+				if v == shutdownJob {
+					draining = true
+					break
+				}
+				set = append(set, kernel.PollFd{Fd: int(v), Events: kernel.PollIn})
+			}
+		}
+		set[0] = kernel.PollFd{Fd: jobR, Events: kernel.PollIn}
+	}
+}
+
+// serveBlocking is the thread-per-connection server: every member loops
+// accept → blocking read → respond. Nothing overlaps inside a member, so
+// holding N connections open concurrently needs N members; with fewer,
+// connections queue in the backlog and the tail latency shows it.
+func serveBlocking(c *kernel.Context, lfd int, clock func() int64, lat [][]int64, sc ServeConfig) {
+	quota := make([]int, sc.Members)
+	for i := 0; i < sc.Conns; i++ {
+		quota[i%sc.Members]++
+	}
+	for w := 0; w < sc.Members; w++ {
+		c.Sproc("server", func(wc *kernel.Context, id int64) {
+			va := wc.StackBase()
+			for k := 0; k < quota[id]; k++ {
+				fd, err := wc.NetAccept(lfd)
+				if err != nil {
+					panic(err)
+				}
+				n, err := wc.Read(fd, va, 4)
+				if err != nil || n != 4 {
+					panic(fmt.Sprintf("server: bad request (%d, %v)", n, err))
+				}
+				wc.Write(fd, va, 4)
+				wc.Close(fd)
+			}
+		}, proc.PRSADDR|proc.PRSFDS, int64(w))
+	}
+	spawnClients(c, clock, lat, sc)
+	for i := 0; i < sc.Members+sc.Clients; i++ {
+		c.Wait()
+	}
+}

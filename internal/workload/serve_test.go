@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func serveCfg() kernel.Config {
+	return kernel.Config{NCPU: 4, MemFrames: 16384, TimeSlice: 2000}
+}
+
+// TestServePollSmall pushes a modest connection load through a share group
+// an order of magnitude smaller — the S7 shape at test scale.
+func TestServePollSmall(t *testing.T) {
+	m := Serve(serveCfg(), ServePoll, ServeConfig{Conns: 96, Members: 4, Clients: 3})
+	if m.Ops != 96 {
+		t.Fatalf("ops = %d, want 96", m.Ops)
+	}
+	if m.P50 <= 0 || m.P99 < m.P50 {
+		t.Errorf("latency distribution p50=%d p99=%d", m.P50, m.P99)
+	}
+	if m.PollSleeps == 0 {
+		t.Errorf("poll-driven run recorded no poll sleeps")
+	}
+	if m.Transitions == 0 || m.PollerWakes == 0 {
+		t.Errorf("readiness counters empty: transitions=%d pollerWakes=%d",
+			m.Transitions, m.PollerWakes)
+	}
+}
+
+// TestServeBlockingSmall runs the thread-per-connection organization with
+// one member per connection — the configuration the mode requires to hold
+// all connections concurrently.
+func TestServeBlockingSmall(t *testing.T) {
+	m := Serve(serveCfg(), ServeBlocking, ServeConfig{Conns: 24, Members: 24, Clients: 3})
+	if m.Ops != 24 {
+		t.Fatalf("ops = %d, want 24", m.Ops)
+	}
+	if m.P50 <= 0 || m.P99 < m.P50 {
+		t.Errorf("latency distribution p50=%d p99=%d", m.P50, m.P99)
+	}
+}
+
+// TestServePollC10k is the S7 headline row: ten thousand concurrent
+// connections through an 8-member share group. Kept out of -short runs.
+func TestServePollC10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("C10k serve run in -short mode")
+	}
+	m := Serve(serveCfg(), ServePoll, ServeConfig{Conns: 10000, Members: 8, Clients: 4})
+	if m.Ops != 10000 {
+		t.Fatalf("ops = %d, want 10000", m.Ops)
+	}
+	if m.P99 == 0 {
+		t.Errorf("no latency tail recorded")
+	}
+}

@@ -54,8 +54,13 @@ type (
 	Stat = fs.Stat
 	// Handler is a signal handler.
 	Handler = proc.Handler
-	// Listener accepts stream connections (NetListen/NetAccept).
+	// Listener accepts stream connections. NetListen installs one behind
+	// a descriptor; NetAccept takes that descriptor. The type is exported
+	// for tests that reach under the descriptor table.
 	Listener = ipc.Listener
+	// PollFd is one entry of a Poll set: descriptor, requested events,
+	// and the kernel-filled result mask.
+	PollFd = kernel.PollFd
 	// Task is a Mach-style task (the lightweight-process baseline).
 	Task = threads.Task
 	// FaultError reports an unresolvable memory access (caught SIGSEGV).
@@ -155,6 +160,15 @@ const (
 	SeekSet = fs.SeekSet
 	SeekCur = fs.SeekCur
 	SeekEnd = fs.SeekEnd
+)
+
+// Readiness bits (Poll events/revents; level-triggered poll(2) semantics).
+const (
+	PollIn   = kernel.PollIn   // readable: data, EOF, or a pending connection
+	PollOut  = kernel.PollOut  // writable: buffer space and a reader present
+	PollErr  = kernel.PollErr  // write side of a readerless pipe (EPIPE)
+	PollHup  = kernel.PollHup  // peer gone: writers closed, listener shut down
+	PollNval = kernel.PollNval // descriptor not open
 )
 
 // Signals.
