@@ -21,7 +21,7 @@ chaos:
 # (panic is reserved for the exit/exec control-flow unwinds), and the
 # resident-fault fast path must stay lock-free.
 .PHONY: lint
-lint: lint-pregion
+lint: lint-pregion lint-prctl
 	$(GO) vet ./...
 	@if grep -nE '\.Lock\(\)|\.RLock\(\)|\.Unlock\(\)|\bsync\.' internal/vm/fillfast.go; then \
 		echo "lint: fillfast.go is the lock-free fault fast path — no mutex or sync primitive may appear there (slow cases belong in region.go)" >&2; \
@@ -66,6 +66,18 @@ lint: lint-pregion
 lint-pregion:
 	@if grep -rnE 'range [a-zA-Z_.]*(Private\b|\.regions\b|RegionList\()' --include='*.go' internal/ | grep -v '^internal/vm/' | grep -v '_test.go'; then \
 		echo "lint: linear scan over a pregion slice outside internal/vm — use the vm index API (Find/Overlaps/Insert/Remove/DupList/MergeLists/Partition/TotalPages)" >&2; \
+		exit 1; \
+	fi
+
+# lint-prctl: the raw prctl(2) option/int64 surface is a compatibility
+# shim. Everything outside internal/kernel (where the typed wrappers —
+# MaxProcs, SetStackSize, SetGang, Setshares(GroupLimits), Getusage —
+# and the shim itself live) must use the typed calls, so the untyped
+# options cannot creep back into new code.
+.PHONY: lint-prctl
+lint-prctl:
+	@if grep -rnE '\.Prctl\(' --include='*.go' internal/ cmd/ examples/ *.go 2>/dev/null | grep -v '^internal/kernel/'; then \
+		echo "lint: raw Prctl call outside internal/kernel — use the typed wrappers (MaxProcs, SetStackSize, SetGang, SetGroupPrio, Setshares, Getusage)" >&2; \
 		exit 1; \
 	fi
 

@@ -31,6 +31,10 @@ func main() {
 			w.Umask(0o027)
 			done.Add(w, 1)
 		}, irix.PRSALL, 0)
+		// Typed resource control: the setshares/getusage spans below render
+		// symbolically in the trace like every other descriptor-table call.
+		c.Setshares(irix.Entitlement{CPUShares: 4, FrameQuota: -1, MemberCap: -1})
+		c.Getusage()
 		done.AwaitEq(c, 2)
 		c.Getpid() // reconcile the umask update (EvSync)
 		c.Wait()

@@ -37,6 +37,9 @@ func main() {
 				phase.AwaitNe(cc, 0)
 			}, irix.PRSALL, int64(i))
 		}
+		// Give the group a resource entitlement so the dump's resource-
+		// control section shows live numbers.
+		c.Setshares(irix.Entitlement{CPUShares: 4, FrameQuota: 256, MemberCap: 8})
 		c.Chdir("/srv")
 		// Collect the member announcements through poll(2) — the readiness
 		// counters this exercises appear in the machine dump below.
@@ -99,6 +102,22 @@ func dump(c *irix.Ctx) {
 	}
 	c.P.Mu.Unlock()
 	fmt.Printf("    s_ofile: %d shared descriptors\n", nfds)
+	if u, err := c.Getusage(); err == nil {
+		fmt.Println("  resource control (setshares(2) entitlements / getusage(2) delivery):")
+		fmt.Printf("    cpu: shares=%d band=%d delivered=%d simcyc decayed-usage=%.0f\n",
+			u.CPUShares, u.Band, u.Delivered, u.DecayedUsage)
+		quota := "unlimited"
+		if u.FrameQuota > 0 {
+			quota = fmt.Sprintf("%d", u.FrameQuota)
+		}
+		cap := "unlimited"
+		if u.MemberCap > 0 {
+			cap = fmt.Sprintf("%d", u.MemberCap)
+		}
+		fmt.Printf("    mem: frames=%d/%s quota-hits=%d reclaims=%d rezeroed=%d\n",
+			u.FramesUsed, quota, u.QuotaHits, u.QuotaReclaims, u.ReclaimedZeros)
+		fmt.Printf("    members=%d/%s\n", u.Members, cap)
+	}
 	fmt.Println("  lock and synchronization statistics:")
 	fmt.Printf("    shared read lock: %d scans (%d slept), %d updates (%d slept), %d waiting\n",
 		sa.Acc.RLocks.Load(), sa.Acc.RSleeps.Load(), sa.Acc.WLocks.Load(), sa.Acc.WSleeps.Load(), sa.Acc.WaitCount())
@@ -130,6 +149,12 @@ func dump(c *irix.Ctx) {
 	fmt.Printf("    dispatches=%d local=%d steals=%d steal-scans=%d preemptions=%d sticky-holds=%d runq=%d idle=%d\n",
 		st.Dispatches, st.LocalPicks, st.Steals, st.StealScans,
 		st.Preemptions, st.StickyHolds, st.RunqLen, st.IdleCPUs)
+	fmt.Printf("    fair-share: on=%v passes=%d flushed=%d ungrouped=%d\n",
+		st.FairShareOn, st.FairPasses, st.FlushedCyc, st.UngroupedCyc)
+	for i, g := range st.Groups {
+		fmt.Printf("    group%d: shares=%d band=%d delivered=%d frames=%d members=%d\n",
+			i, g.CPUShares, g.Band, g.Delivered, g.FramesUsed, g.Members)
+	}
 	fmt.Println("  frame allocator (per-CPU caches over the global pool):")
 	fmt.Printf("    allocs=%d frees=%d cow-copies=%d cache-hits=%d refills=%d drains=%d scavenges=%d pool-allocs=%d cached=%d\n",
 		st.FrameAllocs, st.FrameFrees, st.FrameCopies, st.CacheHits,

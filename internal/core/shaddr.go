@@ -85,6 +85,18 @@ type ShAddr struct {
 	// gang is the per-group gang-scheduling request (§8, PR_SETGANG).
 	gang atomic.Bool
 
+	// Resource-principal state (setshares(2)/getusage(2)): the fair-share
+	// CPU account the scheduler charges at quantum boundaries, the frame
+	// account every member's page fills charge, and the member ceiling
+	// sproc enforces (0 = unlimited).
+	cpuAcct   *proc.CPUAcct
+	frameAcct hw.FrameAcct
+	memberCap atomic.Int32
+
+	// Quota-reclaim statistics (the over-quota degradation path).
+	QuotaReclaims  atomic.Int64 // reclaim passes run for this group
+	ReclaimedZeros atomic.Int64 // all-zero frames the passes released
+
 	// Statistics.
 	Propagations atomic.Int64 // shared-resource updates pushed to the block
 	Syncs        atomic.Int64 // member entry synchronizations performed
@@ -131,6 +143,24 @@ func (sa *ShAddr) Gang() bool { return sa.gang.Load() }
 // SetGang records the group's gang-scheduling request (PR_SETGANG).
 func (sa *ShAddr) SetGang(on bool) { sa.gang.Store(on) }
 
+// CPUAcct implements proc.ShareGroup: the group's fair-share CPU account.
+func (sa *ShAddr) CPUAcct() *proc.CPUAcct { return sa.cpuAcct }
+
+// FrameAcct returns the group's frame account; member page fills charge it.
+func (sa *ShAddr) FrameAcct() *hw.FrameAcct { return &sa.frameAcct }
+
+// MemberCap returns the group's member ceiling (0 = unlimited).
+func (sa *ShAddr) MemberCap() int32 { return sa.memberCap.Load() }
+
+// SetMemberCap replaces the member ceiling. An existing overshoot is not
+// evicted; further sprocs are refused until attrition brings it back down.
+func (sa *ShAddr) SetMemberCap(n int32) {
+	if n < 0 {
+		n = 0
+	}
+	sa.memberCap.Store(n)
+}
+
 var _ proc.ShareGroup = (*ShAddr)(nil)
 
 // New creates a share group around its first member with default options.
@@ -147,6 +177,7 @@ func New(creator *proc.Proc) *ShAddr { return NewWithOptions(creator, Options{})
 func NewWithOptions(creator *proc.Proc, opts Options) *ShAddr {
 	sa := &ShAddr{
 		FupdSema:    klock.NewSema(1),
+		cpuAcct:     proc.NewCPUAcct(),
 		ASID:        creator.ASID,
 		nextStack:   vm.SprocStackBase,
 		nextShm:     creator.NextShm,

@@ -31,7 +31,7 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 		if pr == nil {
 			return hw.NoPFN, false, vm.FillCached, false, nil
 		}
-		pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, cpu)
+		pfn, writable, res, err = pr.Reg.FillFor(pr.PageIndex(va), write, cpu, &sa.frameAcct)
 		return pfn, writable, res, true, err
 	}
 	slot := sa.Acc.RLockOn(p, cpu)
@@ -48,9 +48,32 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 		sa.CacheMisses.Add(1)
 		p.VMC.Put(gen, pr)
 	}
-	pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, cpu)
+	pfn, writable, res, err = pr.Reg.FillFor(pr.PageIndex(va), write, cpu, &sa.frameAcct)
 	sa.Acc.RUnlockOn(slot)
 	return pfn, writable, res, true, err
+}
+
+// ReclaimQuota is the over-quota degradation pass: under the update lock,
+// walk the shared pregion list freeing resident, sole-referenced, all-zero
+// frames charged to the group, then shoot down every TLB so no member can
+// reach a freed frame. Dropping all-zero pages is semantically lossless
+// (the next touch refaults an identical zero fill), so this runs before a
+// member's over-quota fault is allowed to surface ENOMEM — the same
+// reclaim-before-failure contract the frame allocator's cache drain
+// provides for machine-wide exhaustion. Returns the frames released.
+func (sa *ShAddr) ReclaimQuota(p *proc.Proc, shoot func()) int {
+	cpu := int(p.CPU.Load())
+	sa.Acc.Lock(p)
+	freed := vm.ReclaimZeroList(sa.regions, &sa.frameAcct, cpu)
+	sa.QuotaReclaims.Add(1)
+	if freed > 0 {
+		sa.touchRegions()
+		sa.ReclaimedZeros.Add(int64(freed))
+		shoot()
+		sa.Shootdowns.Add(1)
+	}
+	sa.Acc.Unlock()
+	return freed
 }
 
 // UnshareVM detaches p from the shared address space (§8 "stop sharing"):

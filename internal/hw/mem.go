@@ -93,6 +93,7 @@ type Memory struct {
 	capacity int
 	frames   []atomic.Pointer[frameArray] // frame storage, published once per frame
 	refs     []atomic.Int32               // per-frame reference counts
+	owners   []atomic.Pointer[FrameAcct]  // charging principal per frame (nil = unowned)
 	inUse    atomic.Int64                 // referenced frames (reservation counter)
 
 	topo      Topology
@@ -151,6 +152,7 @@ func NewMemory(capacity int) *Memory {
 		capacity: capacity,
 		frames:   make([]atomic.Pointer[frameArray], capacity),
 		refs:     make([]atomic.Int32, capacity),
+		owners:   make([]atomic.Pointer[FrameAcct], capacity),
 	}
 	m.setTopology(Topology{NCPU: 0, Nodes: 1})
 	return m
@@ -285,10 +287,24 @@ func (m *Memory) Alloc() (PFN, error) { return m.AllocOn(-1) }
 
 // AllocOn allocates a zeroed frame with reference count one, preferring
 // cpu's free-frame cache and refilling it from cpu's home-node pool, then
-// from remote nodes nearest-first. Frames are zeroed when freed, so no
-// zeroing happens here and no lock is held while a frame's contents are
-// cleared.
-func (m *Memory) AllocOn(cpu int) (PFN, error) {
+// from remote nodes nearest-first, without charging any frame account.
+func (m *Memory) AllocOn(cpu int) (PFN, error) { return m.AllocFor(cpu, nil) }
+
+// AllocFor is AllocOn charging the grant to acct (nil = unaccounted): the
+// quota is reserved before the frame reservation so a refusal leaks
+// nothing, the granted frame is tagged with acct, and the final DecRef
+// uncharges it. A full account fails with ErrNoQuota without touching the
+// pools. Frames are zeroed when freed, so no zeroing happens here and no
+// lock is held while a frame's contents are cleared.
+func (m *Memory) AllocFor(cpu int, acct *FrameAcct) (PFN, error) {
+	if acct != nil && !acct.tryCharge() {
+		return NoPFN, ErrNoQuota
+	}
+	uncharge := func() {
+		if acct != nil {
+			acct.uncharge()
+		}
+	}
 	// Deterministic exhaustion, before the reservation so an injected
 	// failure neither leaks an inUse reservation nor counts as an Alloc.
 	if pl := m.FI; pl != nil {
@@ -298,6 +314,7 @@ func (m *Memory) AllocOn(cpu int) (PFN, error) {
 				// A quarter of hits are hard failures that survive the
 				// reclaim — the caller's ENOMEM path must cope.
 				pl.Note(faultinject.SiteFrameAlloc, faultinject.FaultENOMEM, uint32(cpu+1))
+				uncharge()
 				return NoPFN, ErrNoMemory
 			}
 			pl.Note(faultinject.SiteFrameAlloc, faultinject.FaultReclaim, uint32(cpu+1))
@@ -310,6 +327,7 @@ func (m *Memory) AllocOn(cpu int) (PFN, error) {
 	for {
 		n := m.inUse.Load()
 		if int(n) >= m.capacity {
+			uncharge()
 			return NoPFN, ErrNoMemory
 		}
 		if m.inUse.CompareAndSwap(n, n+1) {
@@ -326,8 +344,7 @@ func (m *Memory) AllocOn(cpu int) (PFN, error) {
 			c.free = c.free[:n-1]
 			c.mu.Unlock()
 			m.CacheHits.Add(1)
-			m.refs[pfn].Store(1)
-			return pfn, nil
+			return m.grant(pfn, acct), nil
 		}
 		c.mu.Unlock()
 		// Cache empty: refill a batch from the pools (keeping one frame for
@@ -345,8 +362,7 @@ func (m *Memory) AllocOn(cpu int) (PFN, error) {
 					c.mu.Unlock()
 				}
 				m.Refills.Add(1)
-				m.refs[pfn].Store(1)
-				return pfn, nil
+				return m.grant(pfn, acct), nil
 			}
 			// Every free frame is transiently in another allocator's hands;
 			// our reservation guarantees one will surface.
@@ -362,13 +378,21 @@ func (m *Memory) AllocOn(cpu int) (PFN, error) {
 		}
 		if len(batch) > 0 {
 			m.PoolAllocs.Add(1)
-			pfn := batch[0]
-			m.refs[pfn].Store(1)
-			return pfn, nil
+			return m.grant(batch[0], acct), nil
 		}
 		runtime.Gosched()
 	}
 }
+
+// grant finalizes an allocation: reference count one, ownership tag.
+func (m *Memory) grant(pfn PFN, acct *FrameAcct) PFN {
+	m.refs[pfn].Store(1)
+	m.owners[pfn].Store(acct)
+	return pfn
+}
+
+// OwnerOf returns the frame account charged for pfn, or nil.
+func (m *Memory) OwnerOf(pfn PFN) *FrameAcct { return m.owners[pfn].Load() }
 
 // takeFromPools removes up to want free frames, walking the node pools
 // nearest-first from the caller's home node (or round-robin over every
@@ -527,8 +551,12 @@ func (m *Memory) DecRefOn(pfn PFN, cpu int) int32 {
 	if n > 0 {
 		return n
 	}
-	// Frame is dead: zero it now, outside every lock, so the next Alloc
-	// pays nothing and no other CPU stalls behind the clear.
+	// Frame is dead: uncharge its owning account (whoever releases it),
+	// then zero it now, outside every lock, so the next Alloc pays nothing
+	// and no other CPU stalls behind the clear.
+	if acct := m.owners[pfn].Swap(nil); acct != nil {
+		acct.uncharge()
+	}
 	clear(m.frames[pfn].Load()[:])
 	m.Frees.Add(1)
 	m.inUse.Add(-1)
@@ -569,7 +597,12 @@ func (m *Memory) CopyFrame(src PFN) (PFN, error) { return m.CopyFrameOn(src, -1)
 
 // CopyFrameOn is CopyFrame allocating from cpu's frame cache.
 func (m *Memory) CopyFrameOn(src PFN, cpu int) (PFN, error) {
-	dst, err := m.AllocOn(cpu)
+	return m.CopyFrameFor(src, cpu, nil)
+}
+
+// CopyFrameFor is CopyFrameOn charging the new frame to acct.
+func (m *Memory) CopyFrameFor(src PFN, cpu int, acct *FrameAcct) (PFN, error) {
+	dst, err := m.AllocFor(cpu, acct)
 	if err != nil {
 		return NoPFN, err
 	}
@@ -579,6 +612,18 @@ func (m *Memory) CopyFrameOn(src PFN, cpu int) (PFN, error) {
 	}
 	m.Copies.Add(1)
 	return dst, nil
+}
+
+// FrameZero reports whether every word of pfn is currently zero (the
+// quota-reclaim scan uses it to find pages that can be dropped losslessly).
+func (m *Memory) FrameZero(pfn PFN) bool {
+	f := m.frame(pfn)
+	for i := range f {
+		if atomic.LoadUint32(&f[i]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // LoadWord atomically loads the 32-bit word at the given word offset of pfn.

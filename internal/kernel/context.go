@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
@@ -37,6 +38,11 @@ func (e *FaultError) Error() string {
 	}
 	return fmt.Sprintf("fault: %s at %#x: no region", kind, uint32(e.VA))
 }
+
+// Unwrap exposes the underlying fill failure, so a caller (and the errno
+// table) can distinguish an exhausted machine or group quota from a plain
+// bad address with errors.Is.
+func (e *FaultError) Unwrap() error { return e.Cause }
 
 // cpu returns the CPU the process is currently executing on.
 func (c *Context) cpu() *hw.CPU { return c.S.Sched.CurrentCPU(c.P) }
@@ -112,7 +118,7 @@ func (c *Context) translatePRDA(va hw.VAddr, write bool) (hw.PFN, error) {
 	if pr == nil {
 		return hw.NoPFN, c.segv(va, write, fmt.Errorf("no PRDA"))
 	}
-	pfn, _, res, err := pr.Reg.FillOn(pr.PageIndex(va), write, c.cpu().ID)
+	pfn, _, res, err := pr.Reg.FillFor(pr.PageIndex(va), write, c.cpu().ID, c.frameAcct())
 	if err != nil {
 		return hw.NoPFN, c.segv(va, write, err)
 	}
@@ -122,28 +128,55 @@ func (c *Context) translatePRDA(va hw.VAddr, write bool) (hw.PFN, error) {
 	return pfn, nil
 }
 
-// fault is the TLB-miss / protection-fault handler.
+// frameAcct returns the group frame account every frame this process
+// acquires is charged to, or nil when it is not in a share group.
+func (c *Context) frameAcct() *hw.FrameAcct {
+	if sa := groupOf(c.P); sa != nil {
+		return sa.FrameAcct()
+	}
+	return nil
+}
+
+// fault is the TLB-miss / protection-fault handler. A fill refused by the
+// group's frame quota does not surface immediately: the group's own
+// all-zero pages are reclaimed first and the fill retried, so a group
+// running against its cap degrades (refault + rezero) before it fails —
+// the same reclaim-before-ENOMEM contract the allocator's cache drain
+// gives machine-wide exhaustion, scoped to one group.
 func (c *Context) fault(va hw.VAddr, write bool) (hw.PFN, error) {
 	cpu := c.cpu()
 	cpu.Faults.Add(1)
 	c.S.Machine.Trace.Record(trace.EvFault, int32(c.P.PID), int32(cpu.ID), uint64(va), 0)
 
+	sa := groupOf(c.P)
+	var acct *hw.FrameAcct
+	if sa != nil {
+		acct = sa.FrameAcct()
+	}
+
 	var pfn hw.PFN
 	var writable bool
 	var res vm.FillResult
 	var err error
-	found := false
 
-	if pr := vm.Find(c.P.Private, va); pr != nil {
-		pfn, writable, res, err = pr.Reg.FillOn(pr.PageIndex(va), write, cpu.ID)
-		found = true
-	} else if sa := groupOf(c.P); sa != nil {
-		pfn, writable, res, found, err = sa.ResolveShared(c.P, va, write)
-	}
-	if !found {
-		return hw.NoPFN, c.segv(va, write, nil)
-	}
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		found := false
+		if pr := vm.Find(c.P.Private, va); pr != nil {
+			pfn, writable, res, err = pr.Reg.FillFor(pr.PageIndex(va), write, cpu.ID, acct)
+			found = true
+		} else if sa != nil {
+			pfn, writable, res, found, err = sa.ResolveShared(c.P, va, write)
+		}
+		if !found {
+			return hw.NoPFN, c.segv(va, write, nil)
+		}
+		if err == nil {
+			break
+		}
+		if sa != nil && attempt < 2 && errors.Is(err, hw.ErrNoQuota) &&
+			sa.ReclaimQuota(c.P, func() { c.S.Machine.ShootdownSpace(cpu, sa.ASID) }) > 0 {
+			continue
+		}
 		return hw.NoPFN, c.segv(va, write, err)
 	}
 

@@ -105,6 +105,7 @@ var errnoTable = []struct {
 	{ErrNoChildren, ECHILD}, {ErrInterrupt, EINTR}, {ErrNoProc, ESRCH},
 	{ErrTooMany, EAGAIN}, {ErrPerm, EPERM}, {ErrBadBlockPid, EINVAL},
 	{ErrNoRegion, EINVAL}, {ErrNoMem, ENOMEM}, {hw.ErrNoMemory, ENOMEM},
+	{hw.ErrNoQuota, ENOMEM},
 	{vm.ErrTextWrite, EFAULT},
 	{ipc.ErrNoEntry, EINVAL}, {ipc.ErrTooBig, EINVAL}, {ipc.ErrAgainIPC, EINTR},
 	{ipc.ErrIntr, EINTR},

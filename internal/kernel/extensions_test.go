@@ -109,7 +109,7 @@ func TestUnshareOutsideGroupFails(t *testing.T) {
 func TestPrctlGangAndGroupPrio(t *testing.T) {
 	s := NewSystem(testConfig())
 	s.Start("creator", func(c *Context) {
-		if _, err := c.Prctl(PRSetGang, 1); err == nil {
+		if err := c.SetGang(true); err == nil {
 			t.Error("PR_SETGANG outside group accepted")
 		}
 		c.Sproc("m", func(cc *Context, _ int64) {
@@ -117,14 +117,14 @@ func TestPrctlGangAndGroupPrio(t *testing.T) {
 				cc.Getpid()
 			}
 		}, proc.PRSALL, 0)
-		if _, err := c.Prctl(PRSetGang, 1); err != nil {
+		if err := c.SetGang(true); err != nil {
 			t.Errorf("PR_SETGANG: %v", err)
 		}
 		sa := GroupOf(c.P)
 		if !sa.Gang() {
 			t.Error("gang flag not set")
 		}
-		if _, err := c.Prctl(PRGroupPrio, 7); err != nil {
+		if err := c.SetGroupPrio(7); err != nil {
 			t.Errorf("PR_GROUPPRIO: %v", err)
 		}
 		if c.P.Prio.Load() != 7 {

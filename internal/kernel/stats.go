@@ -82,6 +82,17 @@ type Stats struct {
 	ReadyTransitions  int64 // readiness transitions published by streams
 	ReadySleeperWakes int64 // blocked stream operations released by transitions
 	ReadyPollerWakes  int64 // poll registrations notified by transitions
+
+	// Fair-share scheduling and group resource control. FairShareOn
+	// latches once any group is given a CPU entitlement; until then
+	// dispatch is share-blind and the usage counters merely accumulate.
+	// Groups has one delivery record per live share group (a torn-down
+	// group's row leaves the snapshot, like the VM cache counts above).
+	FairShareOn  bool         // fair-share dispatch armed (setshares called)
+	FairPasses   int64        // dispatch decisions taken with banding active
+	FlushedCyc   int64        // quantum-boundary cycles flushed into usage accounts
+	UngroupedCyc int64        // flushed cycles with no group to charge
+	Groups       []GroupUsage // per-group entitlement/delivery records
 }
 
 // FaultSiteStat is one injection site's counters.
@@ -149,12 +160,17 @@ func (s *System) Stats() Stats {
 		st.RemoteIPIs = s.Machine.RemoteIPIs.Load()
 		st.NodePools = mem.NodeOccupancy()
 	}
+	st.FairShareOn = s.Sched.FairActive()
+	st.FairPasses = s.Sched.FairPasses.Load()
+	st.FlushedCyc = s.Sched.FlushedCyc.Load()
+	st.UngroupedCyc = s.Sched.UngroupedCyc.Load()
 	groups := map[*core.ShAddr]bool{}
 	for _, p := range s.Procs() {
 		if sa := groupOf(p); sa != nil && !groups[sa] {
 			groups[sa] = true
 			st.VMCacheHits += sa.CacheHits.Load()
 			st.VMCacheMisses += sa.CacheMisses.Load()
+			st.Groups = append(st.Groups, s.groupUsage(sa))
 		}
 	}
 	if r := s.Machine.Trace; r != nil {

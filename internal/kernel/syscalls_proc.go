@@ -179,6 +179,13 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 			Topo:            mach.Topo,
 		})
 	}
+	// The group's own member ceiling (setshares MemberCap) is enforced
+	// here, like the per-user limit above: EAGAIN, before any side effect,
+	// so the gateway's sfRetry backoff applies and attrition can admit the
+	// call on a later attempt.
+	if cap := sa.MemberCap(); cap > 0 && sa.Size() >= int(cap) {
+		return -1, ErrTooMany
+	}
 	shmask &= p.ShMask() // strict inheritance
 
 	child := c.newChild(name)
@@ -275,8 +282,12 @@ const (
 	PRMaxPProcs    PrctlOpt = 2 // number of processes the system can run in parallel
 	PRSetStackSize PrctlOpt = 3 // set the maximum stack size (bytes)
 	PRGetStackSize PrctlOpt = 4 // get the maximum stack size (bytes)
-	PRSetGang      PrctlOpt = 5 // value!=0: gang-schedule this share group (§8)
-	PRGroupPrio    PrctlOpt = 6 // set the scheduling priority of the whole group (§8)
+	// Deprecated: the raw int64-valued group options survive only as a
+	// compatibility surface. New code controls a group through the typed
+	// calls — SetGang/SetGroupPrio wrappers and Setshares(GroupLimits) —
+	// which the gateway dispatches under their own descriptors.
+	PRSetGang   PrctlOpt = 5 // value!=0: gang-schedule this share group (§8)
+	PRGroupPrio PrctlOpt = 6 // set the scheduling priority of the whole group (§8)
 )
 
 var prctlNames = map[PrctlOpt]string{
@@ -285,12 +296,14 @@ var prctlNames = map[PrctlOpt]string{
 	PRSetGang: "PR_SETGANG", PRGroupPrio: "PR_GROUPPRIO",
 }
 
-// String returns the symbolic option name (PR_MAXPROCS).
+// String returns the symbolic option name (PR_MAXPROCS). Unknown options
+// render in the stable PR_UNKNOWN(<n>) form, so log scrapers can match the
+// prefix without tracking the option set.
 func (o PrctlOpt) String() string {
 	if n, ok := prctlNames[o]; ok {
 		return n
 	}
-	return fmt.Sprintf("prctl(%d)", int(o))
+	return fmt.Sprintf("PR_UNKNOWN(%d)", int(o))
 }
 
 // Prctl queries and controls share-group features (paper §5.2).

@@ -73,6 +73,11 @@ const (
 	SysSigmask
 	SysPause
 
+	// Typed resource control (syscalls_shares.go): the share group as a
+	// resource principal.
+	SysSetshares
+	SysGetusage
+
 	// Sleep-wake (syscalls_block.go): the paper's §3 process-blocking
 	// calls backing hybrid spin-then-block synchronization.
 	SysBlockproc
@@ -174,21 +179,27 @@ var (
 	// poll is not sfRestart: like pause(2), returning EINTR after a
 	// caught signal is its contract — the serving loops use the break to
 	// re-examine shutdown flags before re-entering the wait.
-	sysPoll = &sysDesc{SysPoll, "poll", ClassIPC, 0, sfInjEINTR}
-	sysGetpid      = &sysDesc{SysGetpid, "getpid", ClassProc, 0, 0}
-	sysGetppid     = &sysDesc{SysGetppid, "getppid", ClassProc, 0, 0}
-	sysFork        = &sysDesc{SysFork, "fork", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
-	sysSproc       = &sysDesc{SysSproc, "sproc", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
-	sysThread      = &sysDesc{SysThreadCreate, "thread_create", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
-	sysPrctl       = &sysDesc{SysPrctl, "prctl", ClassProc, 0, 0}
-	sysUnshare     = &sysDesc{SysUnshare, "unshare", ClassProc, 0, 0}
-	sysExec        = &sysDesc{SysExec, "exec", ClassProc, 0, sfInjENOMEM}
-	sysExit        = &sysDesc{SysExit, "exit", ClassProc, 0, 0}
-	sysWait        = &sysDesc{SysWait, "wait", ClassProc, 0, sfInjEINTR}
-	sysKill        = &sysDesc{SysKill, "kill", ClassProc, 0, 0}
-	sysSignal      = &sysDesc{SysSignal, "signal", ClassProc, 0, 0}
-	sysSigmask     = &sysDesc{SysSigmask, "sigmask", ClassProc, 0, 0}
-	sysPause       = &sysDesc{SysPause, "pause", ClassProc, 0, 0}
+	sysPoll    = &sysDesc{SysPoll, "poll", ClassIPC, 0, sfInjEINTR}
+	sysGetpid  = &sysDesc{SysGetpid, "getpid", ClassProc, 0, 0}
+	sysGetppid = &sysDesc{SysGetppid, "getppid", ClassProc, 0, 0}
+	sysFork    = &sysDesc{SysFork, "fork", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
+	sysSproc   = &sysDesc{SysSproc, "sproc", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
+	sysThread  = &sysDesc{SysThreadCreate, "thread_create", ClassProc, 0, sfRetry | sfInjEAGAIN | sfInjENOMEM}
+	sysPrctl   = &sysDesc{SysPrctl, "prctl", ClassProc, 0, 0}
+	sysUnshare = &sysDesc{SysUnshare, "unshare", ClassProc, 0, 0}
+	sysExec    = &sysDesc{SysExec, "exec", ClassProc, 0, sfInjENOMEM}
+	sysExit    = &sysDesc{SysExit, "exit", ClassProc, 0, 0}
+	sysWait    = &sysDesc{SysWait, "wait", ClassProc, 0, sfInjEINTR}
+	sysKill    = &sysDesc{SysKill, "kill", ClassProc, 0, 0}
+	sysSignal  = &sysDesc{SysSignal, "signal", ClassProc, 0, 0}
+	sysSigmask = &sysDesc{SysSigmask, "sigmask", ClassProc, 0, 0}
+	sysPause   = &sysDesc{SysPause, "pause", ClassProc, 0, 0}
+
+	// setshares/getusage are not sfRestart: they never block, so an
+	// injected EINTR surfaces to the caller — the fault-injection tests
+	// depend on seeing it.
+	sysSetshares = &sysDesc{SysSetshares, "setshares", ClassProc, 0, sfInjEINTR}
+	sysGetusage  = &sysDesc{SysGetusage, "getusage", ClassProc, 0, sfInjEINTR}
 
 	// blockproc is not sfRestart: like pause(2) and wait(2), returning
 	// EINTR after a caught signal is its contract — the hybrid uspin
@@ -211,6 +222,7 @@ var sysTable = func() [NSys]*sysDesc {
 		sysNetListen, sysNetAccept, sysNetConnect, sysPoll, sysGetpid, sysGetppid,
 		sysFork, sysSproc, sysThread, sysPrctl, sysUnshare, sysExec,
 		sysExit, sysWait, sysKill, sysSignal, sysSigmask, sysPause,
+		sysSetshares, sysGetusage,
 		sysBlockproc, sysUnblockproc, sysSetblockproccnt,
 	} {
 		if t[d.num] != nil {

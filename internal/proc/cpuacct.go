@@ -1,0 +1,130 @@
+package proc
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Fair-share CPU accounting (the resource-control extension of the share
+// group, after Gunther's UNIX resource managers): each group carries a
+// CPU-share entitlement and a decayed usage accumulator charged from the
+// per-CPU cycle accounting at every quantum boundary. The scheduler reads
+// the group's *band* — usage normalized by entitlement and quantized —
+// and runs low-band groups ahead of high-band ones, so delivered CPU
+// tracks entitlement under overload while idle groups forgive their past
+// usage exponentially.
+const (
+	// AcctTau is the decay time constant of the usage accumulator, in
+	// machine total-cycle units: a group's past usage loses a factor of e
+	// every AcctTau cycles of machine time. Around 32 default time slices
+	// — long enough to smooth quantum granularity, short enough that an
+	// idle group recovers its entitlement in a few milliseconds of
+	// simulated time.
+	AcctTau = 1 << 16
+	// AcctBandUnit is the usage-per-share width of one priority band.
+	// Smaller units discriminate finer but make the band jitter with
+	// every quantum; one quarter of a default slice is a good balance.
+	AcctBandUnit = 1 << 9
+	// AcctMaxBand caps the band so a badly over-delivered group is
+	// deprioritized but still comparable (and still ages normally).
+	AcctMaxBand = 63
+)
+
+// CPUAcct is one share group's fair-share CPU account. The scheduler
+// charges it at quantum boundaries and reads the cached band lock-free on
+// every dispatch decision; Shares and Delivered are the control-plane
+// surface (setshares(2)/getusage(2)).
+type CPUAcct struct {
+	shares atomic.Int32 // entitlement, >= 1
+
+	// Delivered is the undecayed total of cycles charged to the group —
+	// the measurement surface for entitlement tracking (benchtab S8) and
+	// the conservation invariant (sum over groups + ungrouped == flushed).
+	Delivered atomic.Int64
+
+	// band caches usage/(shares*AcctBandUnit) so the dispatcher never
+	// takes mu; stamp mirrors the decay clock for cheap staleness checks.
+	band  atomic.Int32
+	stamp atomic.Int64
+
+	mu    sync.Mutex
+	usage float64 // decayed usage, guarded by mu
+}
+
+// NewCPUAcct returns an account with the default entitlement of one share.
+func NewCPUAcct() *CPUAcct {
+	a := &CPUAcct{}
+	a.shares.Store(1)
+	return a
+}
+
+// Shares returns the group's CPU-share entitlement.
+func (a *CPUAcct) Shares() int32 { return a.shares.Load() }
+
+// SetShares replaces the entitlement; values below 1 clamp to 1.
+func (a *CPUAcct) SetShares(n int32) {
+	if n < 1 {
+		n = 1
+	}
+	a.shares.Store(n)
+}
+
+// decayLocked ages the usage accumulator to now. Callers hold mu.
+func (a *CPUAcct) decayLocked(now int64) {
+	e := now - a.stamp.Load()
+	if e <= 0 {
+		return
+	}
+	a.usage *= math.Exp(-float64(e) / AcctTau)
+	a.stamp.Store(now)
+}
+
+// rebandLocked recomputes the cached band from usage. Callers hold mu.
+func (a *CPUAcct) rebandLocked() {
+	b := int32(a.usage / (float64(a.Shares()) * AcctBandUnit))
+	if b > AcctMaxBand {
+		b = AcctMaxBand
+	}
+	a.band.Store(b)
+}
+
+// Charge adds delta cycles of delivered CPU at machine time now: decay,
+// accumulate, recompute the band. Called at quantum boundaries only.
+func (a *CPUAcct) Charge(delta, now int64) {
+	if delta > 0 {
+		a.Delivered.Add(delta)
+	}
+	a.mu.Lock()
+	a.decayLocked(now)
+	a.usage += float64(delta)
+	a.rebandLocked()
+	a.mu.Unlock()
+}
+
+// Refresh ages the band if the account has gone a while without a charge,
+// so a queued member of an idle group regains priority without running.
+// Lock-free when fresh; TryLock keeps it off every dispatcher hot path.
+func (a *CPUAcct) Refresh(now int64) {
+	if now-a.stamp.Load() < AcctTau/8 {
+		return
+	}
+	if a.mu.TryLock() {
+		a.decayLocked(now)
+		a.rebandLocked()
+		a.mu.Unlock()
+	}
+}
+
+// Band returns the cached fair-share band: 0 for an under-delivered group,
+// growing as delivered CPU outruns entitlement. Lower runs first.
+func (a *CPUAcct) Band() int32 { return a.band.Load() }
+
+// Usage returns the decayed usage accumulator aged to now.
+func (a *CPUAcct) Usage(now int64) float64 {
+	a.mu.Lock()
+	a.decayLocked(now)
+	u := a.usage
+	a.mu.Unlock()
+	return u
+}

@@ -108,6 +108,10 @@ type ShareGroup interface {
 	// Gang reports whether the group asked to be gang-scheduled
 	// (prctl PR_SETGANG, the paper's §8 scheduling extension).
 	Gang() bool
+	// CPUAcct returns the group's fair-share CPU account (never nil):
+	// the scheduler charges it at quantum boundaries and orders run
+	// queues by its band; setshares(2)/getusage(2) are its control plane.
+	CPUAcct() *CPUAcct
 }
 
 // Scheduler is the dispatch interface the process layer blocks through.
@@ -184,6 +188,7 @@ type Proc struct {
 	wake       chan struct{} // wakeup token (cap 1): Unblock before Block is safe
 	RunGate    chan int      // dispatch channel: scheduler sends the CPU id
 	SliceLeft  atomic.Int64  // remaining charge units in this time slice
+	RunStamp   atomic.Int64  // p.Cycles at dispatch: quantum usage = Cycles - RunStamp
 
 	// Blockproc sleep-wake state (blockproc(2)/unblockproc(2), paper §3):
 	// blockCnt is the saturating count of banked unblocks, driven negative

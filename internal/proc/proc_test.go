@@ -60,6 +60,10 @@ func (fakeGroup) Leave(*Proc)     {}
 func (fakeGroup) Size() int       { return 1 }
 func (fakeGroup) Gang() bool      { return false }
 
+var fakeGroupAcct = NewCPUAcct()
+
+func (fakeGroup) CPUAcct() *CPUAcct { return fakeGroupAcct }
+
 func TestFdTable(t *testing.T) {
 	f := fs.New()
 	c := fs.Cred{Uid: 0, Cwd: f.Root(), Root: f.Root()}

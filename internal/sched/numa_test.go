@@ -8,12 +8,22 @@ import (
 )
 
 // fakeGroup satisfies proc.ShareGroup for placement tests.
-type fakeGroup struct{ gang bool }
+type fakeGroup struct {
+	gang bool
+	acct *proc.CPUAcct
+}
 
 func (g *fakeGroup) Gang() bool           { return g.gang }
 func (g *fakeGroup) SyncEntry(*proc.Proc) {}
 func (g *fakeGroup) Leave(*proc.Proc)     {}
 func (g *fakeGroup) Size() int            { return 1 }
+
+func (g *fakeGroup) CPUAcct() *proc.CPUAcct {
+	if g.acct == nil {
+		g.acct = proc.NewCPUAcct()
+	}
+	return g.acct
+}
 
 func TestScanOrderLocality(t *testing.T) {
 	m := hw.NewMachineNUMA(16, 1024, 4) // 4 CPUs per node

@@ -45,6 +45,9 @@ const noPrio = math.MinInt32
 // noSeq marks an empty queue's age hint.
 const noSeq = math.MaxUint64
 
+// noBand marks an empty queue's fair-share band hint.
+const noBand = math.MaxInt32
+
 // entry is one queued process stamped with its global ready sequence
 // number. The stamp makes FIFO-within-priority hold across the whole
 // machine, not just within one queue: without it, a CPU whose queue always
@@ -64,6 +67,7 @@ type runQueue struct {
 	q       []entry
 	maxPrio atomic.Int32  // highest queued priority, noPrio when empty
 	oldest  atomic.Uint64 // ready stamp of the oldest entry, noSeq when empty
+	minBand atomic.Int32  // lowest fair-share band queued, noBand when empty
 	_       [64]byte      // keep neighbouring queues off the same cache line
 }
 
@@ -74,6 +78,7 @@ type Sched struct {
 	topo    hw.Topology // the machine's NUMA shape (flat when Nodes <= 1)
 	gang    atomic.Bool // global gang-mode switch
 	sawGang atomic.Bool // a per-group gang flag has been seen (sticky)
+	fair    atomic.Bool // fair-share banding armed (sticky; setshares(2))
 
 	// scanOrder[cpu] lists every other CPU in locality order: node-mates
 	// first, then remote nodes nearest-first. Steal scans and hint checks
@@ -91,6 +96,9 @@ type Sched struct {
 	Dispatches   atomic.Int64
 	Preemptions  atomic.Int64
 	StickyHolds  atomic.Int64 // preemptions suppressed by gang stickiness
+	FlushedCyc   atomic.Int64 // cycles flushed to usage accounts at quantum ends
+	UngroupedCyc atomic.Int64 // flushed cycles with no group to charge
+	FairPasses   atomic.Int64 // dispatch decisions made with banding active
 	Steals       atomic.Int64 // picks taken from another CPU's queue
 	LocalSteals  atomic.Int64 // steals from a queue on the thief's own node
 	RemoteSteals atomic.Int64 // steals that crossed a node boundary
@@ -129,6 +137,7 @@ func New(machine *hw.Machine, slice int64) *Sched {
 		s.queues[i] = &runQueue{}
 		s.queues[i].maxPrio.Store(noPrio)
 		s.queues[i].oldest.Store(noSeq)
+		s.queues[i].minBand.Store(noBand)
 	}
 	s.scanOrder = make([][]int, ncpu)
 	cpn := topo.CPUsPerNode()
@@ -155,6 +164,15 @@ func New(machine *hw.Machine, slice int64) *Sched {
 
 // SetGang enables or disables gang-mode dispatch.
 func (s *Sched) SetGang(on bool) { s.gang.Store(on) }
+
+// SetFairShare arms fair-share banding. The switch is sticky and one-way:
+// it flips the first time any group sets a CPU-share entitlement
+// (setshares(2)), so a system that never uses entitlements dispatches
+// exactly as the share-blind scheduler did, paying nothing.
+func (s *Sched) SetFairShare() { s.fair.Store(true) }
+
+// FairActive reports whether fair-share banding influences dispatch.
+func (s *Sched) FairActive() bool { return s.fair.Load() }
 
 // Slice returns the configured time-slice length.
 func (s *Sched) Slice() int64 { return s.slice }
@@ -308,6 +326,11 @@ func (s *Sched) enqueue(p *proc.Proc) {
 	if o := q.oldest.Load(); seq < o {
 		q.oldest.Store(seq)
 	}
+	if s.fair.Load() {
+		if b := s.bandOf(p); b < q.minBand.Load() {
+			q.minBand.Store(b)
+		}
+	}
 	q.mu.Unlock()
 	s.queued.Add(1)
 }
@@ -346,6 +369,7 @@ func (s *Sched) dispatch(p *proc.Proc, cpu int) {
 		s.FI.Note(faultinject.SiteDispatch, faultinject.FaultPreempt, uint32(p.PID))
 	}
 	p.SliceLeft.Store(slice)
+	p.RunStamp.Store(p.Cycles.Load())
 	c.Switches.Add(1)
 	c.Charge(s.machine.Cost.ContextSwitch)
 	s.Dispatches.Add(1)
@@ -397,10 +421,14 @@ func (s *Sched) ageSlack() uint64 { return uint64(4 * len(s.queues)) }
 // when a hint says otherwise does the slow steal scan run.
 func (s *Sched) pickNext(cpu int) *proc.Proc {
 	gangScan := s.gangActive()
+	fair := s.fair.Load()
+	if fair {
+		s.FairPasses.Add(1)
+	}
 	own := s.queues[cpu]
 
 	own.mu.Lock()
-	li, lscore, lseq := s.bestOf(own)
+	li, lscore, lband, lseq := s.bestOf(own)
 	steal := false
 	for _, i := range s.scanOrder[cpu] {
 		h := s.queues[i].maxPrio.Load()
@@ -420,6 +448,16 @@ func (s *Sched) pickNext(cpu int) *proc.Proc {
 			break
 		}
 		if bound == lscore {
+			// A remote queue whose best candidate sits in a lower fair-share
+			// band (a more under-delivered group) displaces the local pick,
+			// so banding biases the work-stealing scan too, not just queue
+			// order — one hot group cannot hide behind per-CPU affinity.
+			if fair {
+				if rb := s.queues[i].minBand.Load(); rb != noBand && rb < lband {
+					steal = true
+					break
+				}
+			}
 			if o := s.queues[i].oldest.Load(); o != noSeq && o+s.ageSlack() < lseq {
 				steal = true
 				break
@@ -455,6 +493,7 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 	myNode := s.topo.NodeOf(cpu)
 	for attempt := 0; attempt < 4; attempt++ {
 		bestQ, bestScore := -1, math.MinInt
+		bestBand := int32(noBand)
 		bestEff := uint64(noSeq)
 		scan := func(i int) {
 			q := s.queues[i]
@@ -462,7 +501,7 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 				return
 			}
 			q.mu.Lock()
-			idx, sc, seq := s.bestOf(q)
+			idx, sc, band, seq := s.bestOf(q)
 			q.mu.Unlock()
 			if idx < 0 {
 				return
@@ -471,8 +510,9 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 			if s.topo.NodeOf(i) != myNode {
 				eff += slack
 			}
-			if sc > bestScore || (sc == bestScore && eff < bestEff) {
-				bestQ, bestScore, bestEff = i, sc, eff
+			if sc > bestScore || (sc == bestScore &&
+				(band < bestBand || (band == bestBand && eff < bestEff))) {
+				bestQ, bestScore, bestBand, bestEff = i, sc, band, eff
 			}
 		}
 		scan(cpu)
@@ -484,7 +524,7 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 		}
 		q := s.queues[bestQ]
 		q.mu.Lock()
-		idx, _, _ := s.bestOf(q)
+		idx, _, _, _ := s.bestOf(q)
 		if idx < 0 {
 			q.mu.Unlock()
 			continue // raced: the queue drained underneath us
@@ -508,7 +548,7 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 	own := s.queues[cpu]
 	own.mu.Lock()
 	defer own.mu.Unlock()
-	if idx, _, _ := s.bestOf(own); idx >= 0 {
+	if idx, _, _, _ := s.bestOf(own); idx >= 0 {
 		p := s.removeAt(own, idx)
 		s.queued.Add(-1)
 		s.LocalPicks.Add(1)
@@ -517,19 +557,38 @@ func (s *Sched) pickStealing(cpu int) *proc.Proc {
 	return nil
 }
 
-// bestOf returns the index, score, and ready stamp of the best process in
-// q, or (-1, MinInt, noSeq) when empty. Oldest among equals preserves FIFO
-// within a priority. Caller holds q.mu.
-func (s *Sched) bestOf(q *runQueue) (int, int, uint64) {
+// bestOf returns the index, score, fair-share band, and ready stamp of the
+// best process in q, or (-1, MinInt, noBand, noSeq) when empty. Ordering:
+// highest score first (priority still dominates fairness), then the lowest
+// band — the most under-delivered group — then oldest, preserving FIFO
+// within a (score, band) class. An entry older than bandAgeBound competes
+// as band 0, so the PR 1 age-bound starvation guarantee survives banding:
+// no process waits forever behind a perpetually under-delivered group.
+// Caller holds q.mu.
+func (s *Sched) bestOf(q *runQueue) (int, int, int32, uint64) {
 	best, bestScore := -1, math.MinInt
+	bestBand := int32(noBand)
 	bestSeq := uint64(noSeq)
+	fair := s.fair.Load()
+	var nowSeq, bound uint64
+	if fair {
+		nowSeq = s.readySeq.Load()
+		bound = s.bandAgeBound()
+	}
 	for i, e := range q.q {
 		sc := s.score(e.p)
-		if sc > bestScore || (sc == bestScore && e.seq < bestSeq) {
-			best, bestScore, bestSeq = i, sc, e.seq
+		b := int32(0)
+		if fair {
+			if b = s.bandOf(e.p); b != 0 && nowSeq-e.seq > bound {
+				b = 0 // aged out: the starvation bound overrides fairness
+			}
+		}
+		if sc > bestScore || (sc == bestScore &&
+			(b < bestBand || (b == bestBand && e.seq < bestSeq))) {
+			best, bestScore, bestBand, bestSeq = i, sc, b, e.seq
 		}
 	}
-	return best, bestScore, bestSeq
+	return best, bestScore, bestBand, bestSeq
 }
 
 // removeAt removes q.q[i] preserving order and refreshes the lock-free
@@ -539,6 +598,8 @@ func (s *Sched) removeAt(q *runQueue, i int) *proc.Proc {
 	q.q = append(q.q[:i], q.q[i+1:]...)
 	hint := int32(noPrio)
 	old := uint64(noSeq)
+	band := int32(noBand)
+	fair := s.fair.Load()
 	for _, e := range q.q {
 		if pr := e.p.Prio.Load(); hint == noPrio || pr > hint {
 			hint = pr
@@ -546,10 +607,55 @@ func (s *Sched) removeAt(q *runQueue, i int) *proc.Proc {
 		if e.seq < old {
 			old = e.seq
 		}
+		if fair {
+			if b := s.bandOf(e.p); b < band {
+				band = b
+			}
+		}
 	}
 	q.maxPrio.Store(hint)
 	q.oldest.Store(old)
+	q.minBand.Store(band)
 	return p
+}
+
+// bandAgeBound is the banding override horizon, in enqueue stamps: an
+// entry that has waited longer competes at band 0 regardless of its
+// group's usage. A multiple of ageSlack so the fair-share bound composes
+// with (and stays proportional to) the share-blind one.
+func (s *Sched) bandAgeBound() uint64 { return 8 * s.ageSlack() }
+
+// bandOf returns p's group's current fair-share band (0 for ungrouped
+// processes, which are not resource principals and schedule as before).
+// The read refreshes a stale account first, so a group that has been idle
+// regains priority without needing to run to decay its own usage.
+func (s *Sched) bandOf(p *proc.Proc) int32 {
+	g := p.ShareGrp()
+	if g == nil {
+		return 0
+	}
+	a := g.CPUAcct()
+	a.Refresh(s.machine.TotalCycles())
+	return a.Band()
+}
+
+// flushUsage charges the cycles p consumed since its last dispatch (or
+// flush) to its group's fair-share account — the quantum-boundary hook
+// from the per-CPU cycle accounting into the decayed usage accumulator.
+// Ungrouped cycles go to a machine counter so the conservation storm can
+// assert flushed == Σ group Delivered + ungrouped exactly.
+func (s *Sched) flushUsage(p *proc.Proc) {
+	now := p.Cycles.Load()
+	delta := now - p.RunStamp.Swap(now)
+	if delta <= 0 {
+		return
+	}
+	s.FlushedCyc.Add(delta)
+	if g := p.ShareGrp(); g != nil {
+		g.CPUAcct().Charge(delta, s.machine.TotalCycles())
+	} else {
+		s.UngroupedCyc.Add(delta)
+	}
 }
 
 // score ranks a ready process: doubled priority plus one when gang
@@ -575,6 +681,7 @@ func (s *Sched) score(p *proc.Proc) int {
 // process is off every run queue — it costs the dispatcher nothing until
 // its wake token arrives.
 func (s *Sched) Block(p *proc.Proc, reason string) {
+	s.flushUsage(p)
 	p.LastSleep.Store(reason)
 	cpu := p.CPU.Load()
 	if c := s.cpuOf(p); c != nil {
@@ -642,6 +749,10 @@ func (s *Sched) gangSticky(p *proc.Proc) bool {
 // fires and the group serializes. One Gosched per simulated quantum
 // bounds that wake-to-runnable latency without measurable cost.
 func (s *Sched) Yield(p *proc.Proc) {
+	// Every exit from Yield — preempted or keeping the CPU — re-arms the
+	// slice, so this is a quantum boundary either way: flush the quantum's
+	// cycles into the group's usage account before deciding.
+	s.flushUsage(p)
 	if s.queued.Load() == 0 {
 		p.SliceLeft.Store(s.slice)
 		runtime.Gosched()
@@ -673,8 +784,11 @@ func (s *Sched) Yield(p *proc.Proc) {
 	<-p.RunGate
 }
 
-// Exit releases p's CPU for good and marks it a zombie.
+// Exit releases p's CPU for good and marks it a zombie. The final flush
+// settles the last partial quantum, so an exited process's cycles are
+// fully accounted to its group (the conservation invariant depends on it).
 func (s *Sched) Exit(p *proc.Proc) {
+	s.flushUsage(p)
 	s.releaseCPU(p)
 	p.SetState(proc.SZomb)
 }

@@ -238,6 +238,10 @@ func (*fakeShare) Leave(*proc.Proc)     {}
 func (*fakeShare) Size() int            { return 2 }
 func (*fakeShare) Gang() bool           { return false }
 
+var fakeShareAcct = proc.NewCPUAcct()
+
+func (*fakeShare) CPUAcct() *proc.CPUAcct { return fakeShareAcct }
+
 func TestContextSwitchAccounting(t *testing.T) {
 	s, m := newSched(1, 1000)
 	var wg sync.WaitGroup

@@ -28,6 +28,13 @@ import "repro/internal/hw"
 // yet been shot down — and is excluded the same way, by the share group's
 // update-lock + shootdown protocol, before any frame is freed.
 func (r *Region) FillOn(idx int, write bool, cpu int) (pfn hw.PFN, writable bool, res FillResult, err error) {
+	return r.FillFor(idx, write, cpu, nil)
+}
+
+// FillFor is FillOn charging any frame the fill allocates (zero fill, COW
+// copy) to acct, the faulting process's resource principal. The fast path
+// is unchanged — a resident fault allocates nothing and costs no quota.
+func (r *Region) FillFor(idx int, write bool, cpu int, acct *hw.FrameAcct) (pfn hw.PFN, writable bool, res FillResult, err error) {
 	t := r.table.Load()
 	if idx < 0 || idx >= len(t.slots) {
 		return hw.NoPFN, false, FillCached, outOfRange(r, idx, len(t.slots))
@@ -51,5 +58,5 @@ func (r *Region) FillOn(idx int, write bool, cpu int) (pfn hw.PFN, writable bool
 		// than pinning the page read-only forever.
 	}
 	r.mem.SlowFills.Add(1)
-	return r.fillSlow(idx, write, cpu)
+	return r.fillSlow(idx, write, cpu, acct)
 }

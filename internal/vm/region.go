@@ -211,7 +211,7 @@ func (r *Region) Fill(idx int, write bool) (pfn hw.PFN, writable bool, res FillR
 // caller (the lock-free fast path in fillfast.go) has already failed the
 // unlocked check; everything is re-checked here because another CPU may
 // have filled the slot between the check and the lock.
-func (r *Region) fillSlow(idx int, write bool, cpu int) (pfn hw.PFN, writable bool, res FillResult, err error) {
+func (r *Region) fillSlow(idx int, write bool, cpu int, acct *hw.FrameAcct) (pfn hw.PFN, writable bool, res FillResult, err error) {
 	stripe := &r.stripes[idx&(regionStripes-1)]
 	stripe.Lock()
 	defer stripe.Unlock()
@@ -225,8 +225,8 @@ func (r *Region) fillSlow(idx int, write bool, cpu int) (pfn hw.PFN, writable bo
 	slot := &t.slots[idx]
 	w := slot.Load()
 	if w&ptePresent == 0 {
-		// Demand zero fill.
-		pfn, err = r.mem.AllocOn(cpu)
+		// Demand zero fill, charged to the faulting principal.
+		pfn, err = r.mem.AllocFor(cpu, acct)
 		if err != nil {
 			return hw.NoPFN, false, FillCached, err
 		}
@@ -253,14 +253,64 @@ func (r *Region) fillSlow(idx int, write bool, cpu int) (pfn hw.PFN, writable bo
 	if !write {
 		return pfn, false, FillCached, nil
 	}
-	// Copy-on-write: break the alias.
-	cp, err := r.mem.CopyFrameOn(pfn, cpu)
+	// Copy-on-write: break the alias; the copy is the faulter's charge.
+	cp, err := r.mem.CopyFrameFor(pfn, cpu, acct)
 	if err != nil {
 		return hw.NoPFN, false, FillCached, err
 	}
 	r.mem.DecRefOn(pfn, cpu)
 	slot.Store(pteEncode(cp, true))
 	return cp, true, FillCopied, nil
+}
+
+// ReclaimZero frees the region's resident, sole-referenced, all-zero
+// frames charged to acct (every frame when acct is nil), returning how
+// many it released. Dropping an all-zero page is semantically lossless —
+// the next touch demand-zero-fills an identical frame — which makes this
+// the cheapest way for an over-quota principal to get back under its
+// ceiling before the allocator has to report ENOMEM. Like Shrink, the
+// caller must hold the share group's update lock and complete a TLB
+// shootdown before relying on the frames being unreachable (paper §6.2).
+func (r *Region) ReclaimZero(acct *hw.FrameAcct, cpu int) int {
+	if r.Type == RText {
+		return 0 // text never holds zero garbage worth refaulting
+	}
+	r.lockAll()
+	defer r.unlockAll()
+	t := r.table.Load()
+	freed := 0
+	for i := range t.slots {
+		w := t.slots[i].Load()
+		if w&ptePresent == 0 {
+			continue
+		}
+		pfn := hw.PFN(w & ptePFNMask)
+		if r.mem.Ref(pfn) != 1 {
+			continue // a COW alias: freeing it would not uncharge anyway
+		}
+		if acct != nil && r.mem.OwnerOf(pfn) != acct {
+			continue
+		}
+		if !r.mem.FrameZero(pfn) {
+			continue
+		}
+		r.mem.DecRefOn(pfn, cpu)
+		t.slots[i].Store(0)
+		freed++
+	}
+	r.resident.Add(int64(-freed))
+	return freed
+}
+
+// ReclaimZeroList runs ReclaimZero over every region of a pregion list,
+// returning the total frames released. The caller holds the list's update
+// lock and owes a TLB shootdown before the frames are unreachable.
+func ReclaimZeroList(list []*PRegion, acct *hw.FrameAcct, cpu int) int {
+	freed := 0
+	for _, pr := range list {
+		freed += pr.Reg.ReclaimZero(acct, cpu)
+	}
+	return freed
 }
 
 // Dup creates a copy-on-write duplicate of the region: a new Region whose

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/proc"
+	"repro/internal/uspin"
+)
+
+// FairShareConfig sizes one S8 fair-share run: len(Shares) share groups of
+// Members CPU-bound processes each, all competing for the machine until
+// Horizon simulated cycles elapse. With Members*len(Shares) > NCPU the
+// machine is overcommitted — the regime where entitlements matter, because
+// every group could consume every cycle it is offered.
+type FairShareConfig struct {
+	Shares  []int32 // one group per entry: its CPU entitlement weight
+	Members int     // CPU-bound members per group (default NCPU)
+	Horizon int64   // simulated cycles the contention runs for
+	Fair    bool    // set entitlements via setshares(2); false = share-blind baseline
+
+	// Frame-quota variant: group QuotaGroup is capped at QuotaFrames
+	// resident frames while each of its members streams reads over its
+	// own QuotaPages-page mapping — demand deliberately above the cap, so
+	// the group lives against its quota and degrades through zero-page
+	// reclaim. QuotaFrames <= 0 disables the variant.
+	QuotaGroup  int
+	QuotaFrames int64
+	QuotaPages  int
+}
+
+// FairMetrics reports one S8 run: the machine-level Metrics plus each
+// group's operation count and final entitlement/delivery record
+// (snapshotted by the group leader after its members exited).
+type FairMetrics struct {
+	Metrics
+	FairOn   bool
+	Shares   []int32
+	GroupOps []int64
+	Usage    []kernel.GroupUsage
+}
+
+// EntitledFrac returns each group's entitled fraction of the machine:
+// shares over total shares.
+func (m FairMetrics) EntitledFrac() []float64 {
+	var tot float64
+	for _, s := range m.Shares {
+		tot += float64(s)
+	}
+	out := make([]float64, len(m.Shares))
+	for i, s := range m.Shares {
+		out[i] = float64(s) / tot
+	}
+	return out
+}
+
+// DeliveredFrac returns each group's delivered fraction: its members'
+// charged cycles over all groups' charged cycles.
+func (m FairMetrics) DeliveredFrac() []float64 {
+	var tot float64
+	for _, u := range m.Usage {
+		tot += float64(u.Delivered)
+	}
+	out := make([]float64, len(m.Usage))
+	if tot == 0 {
+		return out
+	}
+	for i, u := range m.Usage {
+		out[i] = float64(u.Delivered) / tot
+	}
+	return out
+}
+
+// MaxShareError returns the largest |delivered − entitled| fraction over
+// the groups — the S8 acceptance number (within 0.05 of entitlement).
+func (m FairMetrics) MaxShareError() float64 {
+	ent, del := m.EntitledFrac(), m.DeliveredFrac()
+	var worst float64
+	for i := range ent {
+		if d := del[i] - ent[i]; d > worst {
+			worst = d
+		} else if -d > worst {
+			worst = -d
+		}
+	}
+	return worst
+}
+
+// String renders the fair-share metrics compactly.
+func (m FairMetrics) String() string {
+	return fmt.Sprintf("fair=%v shares=%v err=%.3f %s",
+		m.FairOn, m.Shares, m.MaxShareError(), m.Metrics.String())
+}
+
+// FairShare runs the S8 workload: one leader per group forks off the
+// driver (so each leader founds its own share group), sprocs Members
+// CPU-bound workers, attaches the group's entitlement with setshares(2),
+// and releases the workers into a shared-memory increment loop until the
+// deadline. Delivered CPU per group is read back with getusage(2) once
+// the workers exit. With Fair false, setshares is never called and the
+// scheduler runs share-blind — the baseline the aggregate-throughput
+// acceptance compares against.
+func FairShare(cfg kernel.Config, fc FairShareConfig) FairMetrics {
+	ngroups := len(fc.Shares)
+	if ngroups == 0 {
+		panic("workload: FairShare needs at least one group")
+	}
+	if fc.Members <= 0 {
+		fc.Members = cfg.NCPU
+	}
+	if fc.Horizon <= 0 {
+		fc.Horizon = 2_000_000
+	}
+	if need := ngroups*(fc.Members+1) + 8; cfg.MaxProcs < need {
+		cfg.MaxProcs = need
+	}
+
+	s := newSession(cfg)
+	clock := s.Sys.Machine.TotalCycles
+
+	// Host-side driver bookkeeping (the serve.go latency-shard pattern):
+	// per-group op counters the workers bump, and the usage record each
+	// leader snapshots on its way out.
+	ops := make([]atomic.Int64, ngroups)
+	usage := make([]kernel.GroupUsage, ngroups)
+
+	s.start()
+	s.Sys.Start("fair-driver", func(c *kernel.Context) {
+		deadline := clock() + fc.Horizon
+		for g := 0; g < ngroups; g++ {
+			g := g
+			c.Fork("fair-leader", func(lc *kernel.Context) {
+				runFairGroup(lc, g, fc, clock, deadline, &ops[g], &usage[g])
+			})
+		}
+		for g := 0; g < ngroups; g++ {
+			if _, _, err := c.Wait(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	s.Sys.WaitIdle()
+	s.stop()
+
+	var total int64
+	gops := make([]int64, ngroups)
+	for g := range gops {
+		gops[g] = ops[g].Load()
+		total += gops[g]
+	}
+	return FairMetrics{
+		Metrics:  s.metrics(total),
+		FairOn:   fc.Fair,
+		Shares:   append([]int32(nil), fc.Shares...),
+		GroupOps: gops,
+		Usage:    usage,
+	}
+}
+
+// runFairGroup is one group leader: sproc the workers behind a start gate,
+// attach the entitlement, release the gate, wait, and read back usage.
+func runFairGroup(lc *kernel.Context, g int, fc FairShareConfig, clock func() int64, deadline int64, ops *atomic.Int64, usage *kernel.GroupUsage) {
+	gate := uspin.Barrier{VA: dataBase, N: uint32(fc.Members) + 1}
+	gate.Init(lc)
+	quota := fc.QuotaFrames > 0 && g == fc.QuotaGroup
+	for w := 0; w < fc.Members; w++ {
+		lc.Sproc("fair-worker", func(wc *kernel.Context, _ int64) {
+			if err := gate.Enter(wc); err != nil {
+				return
+			}
+			if quota {
+				streamPages(wc, fc.QuotaPages, clock, deadline, ops)
+			} else {
+				burnCPU(wc, clock, deadline, ops)
+			}
+		}, proc.PRSADDR|proc.PRSFDS, int64(w))
+	}
+
+	// The first sproc founded the group; its entitlement must be on the
+	// books before any worker burns a cycle, so the gate stays closed
+	// until setshares returns.
+	lim := kernel.GroupLimits{CPUShares: -1, FrameQuota: -1, MemberCap: -1}
+	if fc.Fair {
+		lim.CPUShares = fc.Shares[g]
+	}
+	if quota {
+		lim.FrameQuota = fc.QuotaFrames
+	}
+	if lim.CPUShares > 0 || lim.FrameQuota >= 0 {
+		if err := lc.Setshares(lim); err != nil {
+			panic(fmt.Sprintf("workload: setshares: %v", err))
+		}
+	}
+
+	if err := gate.Enter(lc); err != nil {
+		panic(err)
+	}
+	for w := 0; w < fc.Members; w++ {
+		if _, _, err := lc.Wait(); err != nil {
+			panic(err)
+		}
+	}
+	u, err := lc.Getusage()
+	if err != nil {
+		panic(fmt.Sprintf("workload: getusage: %v", err))
+	}
+	*usage = u
+}
+
+// burnCPU is the CPU-bound worker body: atomic increments of a group-local
+// shared word until the deadline. Every increment crosses the MMU, so
+// consumed cycles track delivered CPU and the op counter doubles as a
+// throughput measure.
+func burnCPU(wc *kernel.Context, clock func() int64, deadline int64, ops *atomic.Int64) {
+	va := dataBase + hw.VAddr(uspin.BarrierBytes)
+	for clock() < deadline {
+		for i := 0; i < 32; i++ {
+			if _, err := wc.Add32(va, 1); err != nil {
+				panic(fmt.Sprintf("workload: burn: %v", err))
+			}
+		}
+		ops.Add(32)
+	}
+}
+
+// streamPages is the quota-group worker body: map QuotaPages of fresh
+// shared space and stream reads over it. The pages are never written, so
+// every resident frame stays an all-zero, sole-referenced candidate for
+// the over-quota reclaim pass — the group runs indefinitely against a cap
+// far below its footprint, degrading (refault + rezero) instead of dying.
+// A SIGSEGV handler is installed so the rare exhausted-retry fault surfaces
+// as an error return (tolerated: the next pass refaults) rather than
+// terminating the worker.
+func streamPages(wc *kernel.Context, pages int, clock func() int64, deadline int64, ops *atomic.Int64) {
+	if pages <= 0 {
+		pages = 64
+	}
+	wc.Signal(proc.SIGSEGV, func(int) {})
+	base, err := wc.Mmap(pages)
+	if err != nil {
+		panic(fmt.Sprintf("workload: quota mmap: %v", err))
+	}
+	for clock() < deadline {
+		for p := 0; p < pages; p++ {
+			if _, err := wc.Load32(base + hw.VAddr(p*hw.PageSize)); err == nil {
+				ops.Add(1)
+			}
+			if clock() >= deadline {
+				return
+			}
+		}
+	}
+}

@@ -84,6 +84,15 @@ type (
 	FaultSiteStat = kernel.FaultSiteStat
 	// PrctlOpt selects a prctl(2) operation.
 	PrctlOpt = kernel.PrctlOpt
+	// Entitlement is a share group's settable resource entitlements —
+	// CPU shares, frame quota, member cap — the argument of
+	// Setshares (setshares(2)). The typed replacement for the raw
+	// int64-valued prctl group options.
+	Entitlement = kernel.GroupLimits
+	// GroupUsage is a share group's delivery record — entitlements next
+	// to consumption — returned by Getusage (getusage(2)) and listed
+	// per live group in Stats.Groups.
+	GroupUsage = kernel.GroupUsage
 )
 
 // ErrnoOf extracts the errno from any error a syscall returned (EOK for
