@@ -21,7 +21,7 @@ chaos:
 # (panic is reserved for the exit/exec control-flow unwinds), and the
 # resident-fault fast path must stay lock-free.
 .PHONY: lint
-lint: lint-pregion lint-prctl
+lint: lint-pregion lint-prctl lint-lazydup
 	$(GO) vet ./...
 	@if grep -nE '\.Lock\(\)|\.RLock\(\)|\.Unlock\(\)|\bsync\.' internal/vm/fillfast.go; then \
 		echo "lint: fillfast.go is the lock-free fault fast path — no mutex or sync primitive may appear there (slow cases belong in region.go)" >&2; \
@@ -68,6 +68,35 @@ lint-pregion:
 		echo "lint: linear scan over a pregion slice outside internal/vm — use the vm index API (Find/Overlaps/Insert/Remove/DupList/MergeLists/Partition/TotalPages)" >&2; \
 		exit 1; \
 	fi
+	@if awk '/^func dupList/,/^}/' internal/vm/pregion.go | grep -nE '\bappend\('; then \
+		echo "lint: bare append in the dupList body — the child image index is rebuilt through Insert so it stays ordered" >&2; \
+		exit 1; \
+	fi
+
+# lint-lazydup: the O(1) creation protocol (DESIGN.md §16) keeps its
+# moving parts in fixed places. The deferred duplication walk lives in
+# internal/vm — kernel code clones whole images through DupListFlush /
+# DupListEager, never region-by-region with DupLazy. Batched frame
+# reservations are taken only by the spawn path in internal/kernel (and
+# implemented in internal/hw), so no other layer can mint prepaid quota.
+# And every lazy-creation counter must stay wired into the kernel Stats
+# snapshot, so the observability surface cannot silently rot.
+.PHONY: lint-lazydup
+lint-lazydup:
+	@if grep -rnE '\.DupLazy\(' --include='*.go' internal/ cmd/ examples/ *.go 2>/dev/null | grep -v '^internal/vm/'; then \
+		echo "lint: DupLazy outside internal/vm — kernel code duplicates images through vm.DupListFlush/DupListEager" >&2; \
+		exit 1; \
+	fi
+	@if grep -rnE '\.Reserve\(' --include='*.go' internal/ cmd/ examples/ *.go 2>/dev/null | grep -vE '^internal/(hw|kernel)/'; then \
+		echo "lint: FrameAcct.Reserve outside internal/hw and internal/kernel — batched reservations belong to the spawn path" >&2; \
+		exit 1; \
+	fi
+	@for ctr in LazyDups LazyBreaks LazyDrops LazyBreakPages SpawnReserved; do \
+		if ! grep -q "$$ctr" internal/kernel/stats.go; then \
+			echo "lint: $$ctr missing from the kernel Stats snapshot — the lazy-creation counters must stay observable" >&2; \
+			exit 1; \
+		fi; \
+	done
 
 # lint-prctl: the raw prctl(2) option/int64 surface is a compatibility
 # shim. Everything outside internal/kernel (where the typed wrappers —

@@ -48,6 +48,12 @@ func main() {
 		pid, _ := c.Fork("victim", func(w *irix.Ctx) { w.Pause() })
 		c.Kill(pid, irix.SIGTERM)
 		c.Wait()
+
+		// A lazy COW break: fork duplicates the dirty data page O(1), and
+		// the child's first write materializes it (EvLazyBreak).
+		c.Store32(irix.DataBase, 7)
+		c.Fork("toucher", func(w *irix.Ctx) { w.Store32(irix.DataBase, 8) })
+		c.Wait()
 	})
 	sys.WaitIdle()
 
@@ -74,6 +80,7 @@ func main() {
 		trace.EvCreate, trace.EvExit, trace.EvDispatch, trace.EvPreempt,
 		trace.EvFault, trace.EvShootdown, trace.EvSignal, trace.EvSync,
 		trace.EvSyscallEnter, trace.EvSyscallExit, trace.EvFaultInject,
+		trace.EvLazyBreak,
 	} {
 		fmt.Printf("  %-10s %d\n", k, sys.Machine.Trace.CountKind(k))
 	}

@@ -176,6 +176,9 @@ func dump(c *irix.Ctx) {
 	fmt.Printf("    fast-fills=%d slow-fills=%d vmcache-hits=%d vmcache-misses=%d page-shootdowns=%d space-shootdowns=%d\n",
 		st.FastFills, st.SlowFills, st.VMCacheHits, st.VMCacheMisses,
 		st.PageShootdowns, st.SpaceShootdowns)
+	fmt.Println("  lazy creation (O(1) COW clones, batched spawn reservation):")
+	fmt.Printf("    lazy-dups=%d lazy-breaks=%d lazy-drops=%d break-pages=%d spawn-reserved=%d\n",
+		st.LazyDups, st.LazyBreaks, st.LazyDrops, st.LazyBreakPages, st.SpawnReserved)
 	fmt.Println("  sleep-wake (blockproc/unblockproc, hybrid uspin):")
 	fmt.Printf("    blocks=%d wakes=%d banked-wakes=%d spin-to-blocks=%d\n",
 		st.ProcBlocks, st.ProcWakes, st.BankedWakes, st.SpinToBlocks)

@@ -134,6 +134,11 @@ type Options struct {
 	// machine's NUMA topology, so member CPUs that share a slot are always
 	// node-mates. The zero value leaves the flat slot hash.
 	Topo hw.Topology
+	// EagerDup makes COWImage/UnshareVM duplicate regions with the
+	// spawn-time table walk (vm.DupListEager) instead of the lazy O(1)
+	// clone — the pre-lazy fork path, kept so benchtab E1c can measure
+	// the O(pages) cost the lazy protocol removes.
+	EagerDup bool
 }
 
 // Gang implements proc.ShareGroup: whether the group asked for gang

@@ -22,6 +22,16 @@ var ErrTextWrite = vm.ErrTextWrite
 // bumped by every mutation under the update lock, still matches), and a
 // resident fill is two atomic loads in the region's page table.
 func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.PFN, writable bool, res vm.FillResult, found bool, err error) {
+	pfn, writable, res, _, found, err = sa.ResolveSharedAccounted(p, va, write)
+	return pfn, writable, res, found, err
+}
+
+// ResolveSharedAccounted is ResolveShared additionally drawing the fill's
+// quota charge from the member's spawn-time frame reservation (when it has
+// one) and reporting the page-table slots a lazy-dup materialization
+// walked on this fault, so the kernel charges the deferred duplication
+// cost to the CPU that took the first touch.
+func (sa *ShAddr) ResolveSharedAccounted(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.PFN, writable bool, res vm.FillResult, lazyPages int, found bool, err error) {
 	cpu := int(p.CPU.Load())
 	if sa.opts.ExclusiveVMLock {
 		// Ablation: the rejected design — faults serialize on one lock.
@@ -29,10 +39,10 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 		defer sa.Acc.Unlock()
 		pr := vm.Find(sa.regions, va)
 		if pr == nil {
-			return hw.NoPFN, false, vm.FillCached, false, nil
+			return hw.NoPFN, false, vm.FillCached, 0, false, nil
 		}
-		pfn, writable, res, err = pr.Reg.FillFor(pr.PageIndex(va), write, cpu, &sa.frameAcct)
-		return pfn, writable, res, true, err
+		pfn, writable, res, lazyPages, err = pr.Reg.FillAccounted(pr.PageIndex(va), write, cpu, &sa.frameAcct, p.Resv)
+		return pfn, writable, res, lazyPages, true, err
 	}
 	slot := sa.Acc.RLockOn(p, cpu)
 	gen := sa.gen.Load()
@@ -43,14 +53,14 @@ func (sa *ShAddr) ResolveShared(p *proc.Proc, va hw.VAddr, write bool) (pfn hw.P
 		pr = vm.Find(sa.regions, va)
 		if pr == nil {
 			sa.Acc.RUnlockOn(slot)
-			return hw.NoPFN, false, vm.FillCached, false, nil
+			return hw.NoPFN, false, vm.FillCached, 0, false, nil
 		}
 		sa.CacheMisses.Add(1)
 		p.VMC.Put(gen, pr)
 	}
-	pfn, writable, res, err = pr.Reg.FillFor(pr.PageIndex(va), write, cpu, &sa.frameAcct)
+	pfn, writable, res, lazyPages, err = pr.Reg.FillAccounted(pr.PageIndex(va), write, cpu, &sa.frameAcct, p.Resv)
 	sa.Acc.RUnlockOn(slot)
-	return pfn, writable, res, true, err
+	return pfn, writable, res, lazyPages, true, err
 }
 
 // ReclaimQuota is the over-quota degradation pass: under the update lock,
@@ -82,8 +92,16 @@ func (sa *ShAddr) ReclaimQuota(p *proc.Proc, shoot func()) int {
 // shared list. The whole transition happens under the update lock with a
 // shootdown, exactly like a shrink.
 func (sa *ShAddr) UnshareVM(p *proc.Proc, shoot func()) []*vm.PRegion {
+	dup := vm.DupListFlush
+	if sa.opts.EagerDup {
+		dup = vm.DupListEager
+	}
 	sa.Acc.Lock(p)
-	img := vm.MergeLists(vm.DupList(p.Private), vm.DupList(sa.regions))
+	priv, _ := dup(p.Private)
+	shared, _ := dup(sa.regions)
+	// The stack withdrawal below frees address space unconditionally, so
+	// the shootdown cannot be elided here whatever the dup reported.
+	img := vm.MergeLists(priv, shared)
 	// Withdraw p's own stack from the shared space; p keeps the COW dup.
 	sa.listLock.Lock()
 	ms := sa.memberStack[p]
@@ -262,15 +280,24 @@ func (sa *ShAddr) AttachPrivateRange(p *proc.Proc, npages int) hw.VAddr {
 // COWImage builds a copy-on-write private image of the group's address
 // space for a child that does not share VM (fork by a member, or sproc
 // without PR_SADDR): the parent's private pregions plus the whole shared
-// list are duplicated. Duplication raises frame reference counts, so any
-// writable translations cached for the shared space are now stale; the
-// image is built under the update lock and shoot flushes every processor
-// before the lock is released.
+// list are duplicated — lazily by default (DESIGN.md §16), eagerly under
+// the EagerDup ablation. When any duplicated region has ever held a
+// writable PTE, writable translations cached for the space may now be
+// stale, so shoot flushes every processor before the update lock is
+// released; a never-written image skips the flush entirely.
 func (sa *ShAddr) COWImage(parent *proc.Proc, shoot func()) []*vm.PRegion {
+	dup := vm.DupListFlush
+	if sa.opts.EagerDup {
+		dup = vm.DupListEager
+	}
 	sa.Acc.Lock(parent)
 	defer sa.Acc.Unlock()
-	img := vm.MergeLists(vm.DupList(parent.Private), vm.DupList(sa.regions))
-	shoot()
-	sa.Shootdowns.Add(1)
+	priv, f1 := dup(parent.Private)
+	shared, f2 := dup(sa.regions)
+	img := vm.MergeLists(priv, shared)
+	if f1 || f2 {
+		shoot()
+		sa.Shootdowns.Add(1)
+	}
 	return img
 }

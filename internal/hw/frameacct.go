@@ -69,3 +69,95 @@ func (a *FrameAcct) uncharge() {
 	}
 	a.Uncharges.Add(1)
 }
+
+// FrameResv is a batched charge against a frame account: n frames paid for
+// with a single compare-and-swap at spawn time, then handed out one by one
+// to the owner's page fills without touching the account again. It exists
+// so a creation storm of members does not serialize on the shared
+// account's quota CAS — the per-spawn reservation is the only contended
+// operation, and it happens once per member instead of once per page.
+//
+// Frames granted through a reservation are still tagged with the owning
+// account, so the release at the frame's final DecRef uncharges the
+// account exactly as a directly charged frame would; the reservation only
+// prepays the charge side. Whatever is left unconsumed when the member
+// exits must be returned with Release, and the storm tests assert that no
+// reservation outlives its process (zero leaked reservations).
+type FrameResv struct {
+	acct *FrameAcct
+	left atomic.Int64 // prepaid frames not yet consumed by a fill
+}
+
+// Reserve charges n frames to the account in one CAS and returns the
+// reservation, or nil when the quota cannot absorb the whole batch — the
+// caller then falls back to per-fill charging, which degrades page by page
+// instead of refusing the spawn. n <= 0 returns nil.
+func (a *FrameAcct) Reserve(n int64) *FrameResv {
+	if n <= 0 {
+		return nil
+	}
+	for {
+		u := a.used.Load()
+		if q := a.quota.Load(); q > 0 && u+n > q {
+			return nil
+		}
+		if a.used.CompareAndSwap(u, u+n) {
+			a.Charges.Add(n)
+			rv := &FrameResv{acct: a}
+			rv.left.Store(n)
+			return rv
+		}
+	}
+}
+
+// Acct returns the account the reservation was charged to.
+func (rv *FrameResv) Acct() *FrameAcct {
+	if rv == nil {
+		return nil
+	}
+	return rv.acct
+}
+
+// Left returns the prepaid frames not yet consumed.
+func (rv *FrameResv) Left() int64 {
+	if rv == nil {
+		return 0
+	}
+	return rv.left.Load()
+}
+
+// consume takes one prepaid frame from the reservation, reporting false
+// when it has run dry (the caller then charges the account directly).
+func (rv *FrameResv) consume() bool {
+	for {
+		n := rv.left.Load()
+		if n <= 0 {
+			return false
+		}
+		if rv.left.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// refund returns one consumed frame to the reservation (an allocation that
+// failed after the prepaid frame was taken).
+func (rv *FrameResv) refund() { rv.left.Add(1) }
+
+// Release returns the unconsumed remainder to the account and empties the
+// reservation; it is idempotent and reports how many frames it returned.
+// Every spawn-time reservation must be released when its process is
+// reaped, or the account leaks quota.
+func (rv *FrameResv) Release() int64 {
+	if rv == nil {
+		return 0
+	}
+	n := rv.left.Swap(0)
+	if n > 0 {
+		if rv.acct.used.Add(-n) < 0 {
+			panic("hw: FrameResv release below zero")
+		}
+		rv.acct.Uncharges.Add(n)
+	}
+	return n
+}

@@ -27,6 +27,7 @@ type Costs struct {
 	ProcCreate    int64 // proc-table entry, u-area, kernel stack
 	ThreadCreate  int64 // Mach baseline: kernel stack + thread context only
 	RegionDup     int64 // per-page cost of duplicating a page table (fork)
+	LazyDup       int64 // per-region cost of a lazy COW clone at spawn
 	FDTableCopy   int64 // per-descriptor cost of copying the fd table
 	AttrSync      int64 // reconciling one dirty shared attribute on entry
 	RemoteAccess  int64 // extra cycles when a memory op crosses a node boundary
@@ -49,6 +50,7 @@ func DefaultCosts() Costs {
 		ProcCreate:    4000,
 		ThreadCreate:  800,
 		RegionDup:     16,
+		LazyDup:       64,
 		FDTableCopy:   8,
 		AttrSync:      150,
 		RemoteAccess:  100,

@@ -129,6 +129,15 @@ type Memory struct {
 	FastFills atomic.Int64 // resident faults resolved lock-free
 	SlowFills atomic.Int64 // faults that took a fill stripe (zero fill, COW, upgrade)
 
+	// Lazy-duplication statistics (maintained by vm.DupLazy and the
+	// first-touch materialization; here for the same reason as the fill
+	// counters). Conservation: LazyDups == LazyBreaks + LazyDrops once a
+	// creation storm has drained.
+	LazyDups       atomic.Int64 // O(1) region clones created at spawn
+	LazyBreaks     atomic.Int64 // clones materialized by a first touch
+	LazyDrops      atomic.Int64 // clones that exited untouched (no walk ever)
+	LazyBreakPages atomic.Int64 // page-table slots walked by materializations
+
 	// Reclaim statistics (exhaustion degradation).
 	Reclaims        atomic.Int64 // cache-drain-and-reclaim passes
 	ReclaimedFrames atomic.Int64 // frames returned to the pools by reclaims
@@ -297,11 +306,24 @@ func (m *Memory) AllocOn(cpu int) (PFN, error) { return m.AllocFor(cpu, nil) }
 // pools. Frames are zeroed when freed, so no zeroing happens here and no
 // lock is held while a frame's contents are cleared.
 func (m *Memory) AllocFor(cpu int, acct *FrameAcct) (PFN, error) {
-	if acct != nil && !acct.tryCharge() {
+	return m.AllocResv(cpu, acct, nil)
+}
+
+// AllocResv is AllocFor drawing the quota charge from a spawn-time
+// reservation when one is supplied for the same account and still has
+// prepaid frames left; only when the reservation is absent, mismatched, or
+// dry does the allocation fall back to the account's per-frame CAS. The
+// granted frame is tagged with acct either way, so release accounting is
+// identical.
+func (m *Memory) AllocResv(cpu int, acct *FrameAcct, resv *FrameResv) (PFN, error) {
+	prepaid := resv != nil && acct != nil && resv.acct == acct && resv.consume()
+	if !prepaid && acct != nil && !acct.tryCharge() {
 		return NoPFN, ErrNoQuota
 	}
 	uncharge := func() {
-		if acct != nil {
+		if prepaid {
+			resv.refund()
+		} else if acct != nil {
 			acct.uncharge()
 		}
 	}
@@ -602,7 +624,13 @@ func (m *Memory) CopyFrameOn(src PFN, cpu int) (PFN, error) {
 
 // CopyFrameFor is CopyFrameOn charging the new frame to acct.
 func (m *Memory) CopyFrameFor(src PFN, cpu int, acct *FrameAcct) (PFN, error) {
-	dst, err := m.AllocFor(cpu, acct)
+	return m.CopyFrameResv(src, cpu, acct, nil)
+}
+
+// CopyFrameResv is CopyFrameFor drawing the charge from a spawn-time
+// reservation when possible (see AllocResv).
+func (m *Memory) CopyFrameResv(src PFN, cpu int, acct *FrameAcct, resv *FrameResv) (PFN, error) {
+	dst, err := m.AllocResv(cpu, acct, resv)
 	if err != nil {
 		return NoPFN, err
 	}

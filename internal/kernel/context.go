@@ -118,7 +118,7 @@ func (c *Context) translatePRDA(va hw.VAddr, write bool) (hw.PFN, error) {
 	if pr == nil {
 		return hw.NoPFN, c.segv(va, write, fmt.Errorf("no PRDA"))
 	}
-	pfn, _, res, err := pr.Reg.FillFor(pr.PageIndex(va), write, c.cpu().ID, c.frameAcct())
+	pfn, _, res, _, err := pr.Reg.FillAccounted(pr.PageIndex(va), write, c.cpu().ID, c.frameAcct(), c.P.Resv)
 	if err != nil {
 		return hw.NoPFN, c.segv(va, write, err)
 	}
@@ -157,16 +157,19 @@ func (c *Context) fault(va hw.VAddr, write bool) (hw.PFN, error) {
 	var pfn hw.PFN
 	var writable bool
 	var res vm.FillResult
+	var lazyPages int
 	var err error
 
 	for attempt := 0; ; attempt++ {
 		found := false
+		var lazy int
 		if pr := vm.Find(c.P.Private, va); pr != nil {
-			pfn, writable, res, err = pr.Reg.FillFor(pr.PageIndex(va), write, cpu.ID, acct)
+			pfn, writable, res, lazy, err = pr.Reg.FillAccounted(pr.PageIndex(va), write, cpu.ID, acct, c.P.Resv)
 			found = true
 		} else if sa != nil {
-			pfn, writable, res, found, err = sa.ResolveShared(c.P, va, write)
+			pfn, writable, res, lazy, found, err = sa.ResolveSharedAccounted(c.P, va, write)
 		}
+		lazyPages += lazy
 		if !found {
 			return hw.NoPFN, c.segv(va, write, nil)
 		}
@@ -187,6 +190,13 @@ func (c *Context) fault(va hw.VAddr, write bool) (hw.PFN, error) {
 		cpu.Charge(c.S.Machine.Cost.PageFault + c.S.Machine.Cost.PageZero)
 	case vm.FillCopied:
 		cpu.Charge(c.S.Machine.Cost.PageFault + c.S.Machine.Cost.PageCopy)
+	}
+	if lazyPages > 0 {
+		// First touch materialized a lazy duplication: the table walk the
+		// spawn deferred is charged here, to the CPU that needed it, and
+		// recorded so ktrace can show where creation cost actually landed.
+		cpu.Charge(int64(lazyPages) * c.S.Machine.Cost.RegionDup)
+		c.S.Machine.Trace.Record(trace.EvLazyBreak, int32(c.P.PID), int32(cpu.ID), uint64(va), uint32(lazyPages))
 	}
 	// On a NUMA machine a fill backed by a remote node's frame pays the
 	// interconnect round trip (per hop). Locality-aware allocation makes

@@ -51,6 +51,14 @@ type Stats struct {
 	PageShootdowns  int64 // TLB shootdowns served page-by-page (small ranges)
 	SpaceShootdowns int64 // TLB shootdowns that flushed a whole address space
 
+	// Lazy creation (DESIGN.md §16). Conservation once a creation storm
+	// drains: LazyDups == LazyBreaks + LazyDrops.
+	LazyDups       int64 // O(1) region clones created at spawn
+	LazyBreaks     int64 // clones materialized by a first touch
+	LazyDrops      int64 // clones that exited untouched (walk never happened)
+	LazyBreakPages int64 // page-table slots walked by materializations
+	SpawnReserved  int64 // frames prepaid to sproc children (SpawnReserve)
+
 	// Trace ring.
 	TraceEvents  int      // events currently buffered across all shards
 	TraceDropped uint64   // events lost to ring wrap-around, total
@@ -149,6 +157,12 @@ func (s *System) Stats() Stats {
 		SlowFills:       mem.SlowFills.Load(),
 		PageShootdowns:  s.Machine.PageShootdowns.Load(),
 		SpaceShootdowns: s.Machine.SpaceShootdowns.Load(),
+
+		LazyDups:       mem.LazyDups.Load(),
+		LazyBreaks:     mem.LazyBreaks.Load(),
+		LazyDrops:      mem.LazyDrops.Load(),
+		LazyBreakPages: mem.LazyBreakPages.Load(),
+		SpawnReserved:  s.spawnReserved.Load(),
 	}
 	if !s.Machine.Topo.Flat() {
 		st.NUMANodes = s.Machine.Topo.Nodes

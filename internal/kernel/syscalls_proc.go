@@ -96,26 +96,58 @@ func (c *Context) Fork(name string, childMain Main) (int, error) {
 
 		// Copy-on-write image. Duplication makes previously writable frames
 		// aliased, so the parent space's cached translations are flushed on
-		// every CPU before the child can run.
+		// every CPU before the child can run — unless no duplicated region
+		// ever held a writable PTE, in which case no stale writable entry
+		// can exist and the flush is skipped. The duplication itself is
+		// lazy by default (O(1) per region, DESIGN.md §16); the table walk
+		// is charged at first touch by the fault handler.
 		cpu := c.cpu()
 		if sa := groupOf(p); sa != nil {
 			child.Private = sa.COWImage(p, func() { mach.ShootdownSpace(cpu, sa.ASID) })
 		} else {
-			child.Private = vm.DupList(p.Private)
-			mach.ShootdownSpace(cpu, p.ASID)
+			child.Private = c.dupPrivate(p)
 		}
 		child.Stack = vm.Find(child.Private, stackBaseOf(p))
 
-		// Charge what fork costs: proc setup plus page-table duplication plus
+		// Charge what fork costs: proc setup plus image duplication plus
 		// descriptor duplication.
-		pages := vm.TotalPages(child.Private)
-		c.charge(mach.Cost.ProcCreate + int64(pages)*mach.Cost.RegionDup + int64(nfds)*mach.Cost.FDTableCopy)
+		c.charge(mach.Cost.ProcCreate + int64(nfds)*mach.Cost.FDTableCopy)
+		c.chargeImageDup(child.Private)
 
 		c.S.Machine.Trace.Record(trace.EvCreate, int32(p.PID), c.P.CPU.Load(), uint64(child.PID), trace.CreateFork)
 		c.S.register(child)
 		c.S.startProc(child, childMain)
 		return child.PID, nil
 	})
+}
+
+// dupPrivate duplicates p's private pregion list for a child image,
+// honoring the EagerDup ablation, and flushes the parent's space only when
+// the duplication created stale writable translations (some duplicated
+// region has held a writable PTE).
+func (c *Context) dupPrivate(p *proc.Proc) []*vm.PRegion {
+	dup := vm.DupListFlush
+	if c.S.cfg.EagerDup {
+		dup = vm.DupListEager
+	}
+	img, flush := dup(p.Private)
+	if flush {
+		c.S.Machine.ShootdownSpace(c.cpu(), p.ASID)
+	}
+	return img
+}
+
+// chargeImageDup charges the creation-time duplication cost of a child
+// image: per page under the EagerDup ablation (the spawn walks every
+// slot), per region on the lazy path — where the per-page walk is charged
+// to whichever CPU takes the first touch, by the fault handler.
+func (c *Context) chargeImageDup(img []*vm.PRegion) {
+	mach := c.S.Machine
+	if c.S.cfg.EagerDup {
+		c.charge(int64(vm.TotalPages(img)) * mach.Cost.RegionDup)
+		return
+	}
+	c.charge(int64(len(img)) * mach.Cost.LazyDup)
 }
 
 // groupOf returns p's share block, if any.
@@ -177,6 +209,7 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 			ExclusiveVMLock: c.S.cfg.ExclusiveVMLock,
 			EagerAttrSync:   c.S.cfg.EagerAttrSync,
 			Topo:            mach.Topo,
+			EagerDup:        c.S.cfg.EagerDup,
 		})
 	}
 	// The group's own member ceiling (setshares MemberCap) is enforced
@@ -220,7 +253,8 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 		child.Stack = sa.CarveStack(child, mach.Mem, child.StackMax, false)
 		img = vm.Insert(img, child.Stack)
 		child.Private = img
-		c.charge(mach.Cost.ProcCreate + int64(vm.TotalPages(img))*mach.Cost.RegionDup)
+		c.charge(mach.Cost.ProcCreate)
+		c.chargeImageDup(img)
 	}
 
 	// Descriptors and directories: from the block when shared, from the
@@ -260,6 +294,18 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 
 	child.SetShMask(shmask)
 	sa.AddMember(child)
+
+	// Batched frame reservation: prepay the child's expected working set
+	// against the group's account with one CAS, so a creation storm of
+	// members does not serialize on per-page quota charges. A refusal
+	// (quota cannot absorb the batch) just falls back to per-fill
+	// charging; the reservation's remainder is returned at reap.
+	if n := int64(c.S.cfg.SpawnReserve); n > 0 {
+		if rv := sa.FrameAcct().Reserve(n); rv != nil {
+			child.Resv = rv
+			c.S.spawnReserved.Add(n)
+		}
+	}
 
 	kind := trace.CreateSproc
 	if asThread {
@@ -459,6 +505,12 @@ func (c *Context) Exec(name string, main Main) error {
 
 		// Leave the share group before overlaying (paper §5.1). Leave detaches
 		// the member's sproc stack from the shared space with a shootdown.
+		// The spawn-time frame reservation goes back with the membership:
+		// the new image no longer charges the group.
+		if rv := p.Resv; rv != nil {
+			p.Resv = nil
+			rv.Release()
+		}
 		if sa := groupOf(p); sa != nil {
 			sa.Leave(p)
 		}

@@ -54,6 +54,13 @@ type Config struct {
 	// Ablation switches (DESIGN.md §6): the designs the paper rejected.
 	ExclusiveVMLock bool // exclusive lock on the shared pregion list
 	EagerAttrSync   bool // push attribute updates instead of deferring
+	EagerDup        bool // spawn-time region table walks (pre-lazy fork)
+
+	// SpawnReserve prepays that many frames of group quota to each sproc
+	// child with a single CAS at creation (DESIGN.md §16); the child's
+	// fills consume the batch before touching the shared account, and the
+	// remainder is returned at reap. 0 (the default) charges per fill.
+	SpawnReserve int
 
 	// TraceEvents enables the kernel event ring with the given capacity
 	// (0 disables tracing entirely).
@@ -107,6 +114,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kernel: Config.TextPages must be >= 0 (0 = default), got %d", c.TextPages)
 	case c.DataPages < 0:
 		return fmt.Errorf("kernel: Config.DataPages must be >= 0 (0 = default), got %d", c.DataPages)
+	case c.SpawnReserve < 0:
+		return fmt.Errorf("kernel: Config.SpawnReserve must be >= 0 (0 = off), got %d", c.SpawnReserve)
 	case c.TraceEvents < 0:
 		return fmt.Errorf("kernel: Config.TraceEvents must be >= 0 (0 = off), got %d", c.TraceEvents)
 	case c.FaultRate < 0 || c.FaultRate > 1000:
@@ -140,6 +149,8 @@ type System struct {
 	faults   *faultinject.Plan
 	restarts atomic.Int64 // EINTR auto-restarts performed by the gateway
 	retries  atomic.Int64 // EAGAIN retries performed by the gateway
+
+	spawnReserved atomic.Int64 // frames prepaid to sproc children (SpawnReserve)
 
 	// Blockproc sleep-wake counters (syscalls_block.go).
 	blocks      atomic.Int64 // blockproc calls that actually slept
@@ -360,6 +371,14 @@ func (s *System) runImage(p *proc.Proc, img Main) (next Main, status int) {
 // parent. The proc-table entry survives as a zombie until the parent waits
 // (or is removed immediately if no one can wait).
 func (s *System) reap(p *proc.Proc, status int) {
+	// Return the unconsumed remainder of the spawn-time frame reservation
+	// before anything else: the group account must not carry a dead
+	// member's prepaid quota (the storm tests assert zero leaked
+	// reservations once a creation storm drains).
+	if rv := p.Resv; rv != nil {
+		p.Resv = nil
+		rv.Release()
+	}
 	// Leave the share group first: the group must survive member exit,
 	// and the member's sproc stack is detached under the update lock
 	// with a full shootdown (paper §6.2).

@@ -10,8 +10,12 @@ import (
 )
 
 func runSystem(t *testing.T, main kernel.Main) *kernel.System {
+	return runSystemCfg(t, kernel.Config{NCPU: 4, MemFrames: 8192, TimeSlice: 300}, main)
+}
+
+func runSystemCfg(t *testing.T, cfg kernel.Config, main kernel.Main) *kernel.System {
 	t.Helper()
-	s := kernel.NewSystem(kernel.Config{NCPU: 4, MemFrames: 8192, TimeSlice: 300})
+	s := kernel.NewSystem(cfg)
 	s.Start("main", main)
 	done := make(chan struct{})
 	go func() { s.WaitIdle(); close(done) }()
@@ -68,8 +72,11 @@ func TestThreadSeesTaskFds(t *testing.T) {
 
 func TestThreadCreationCheaperThanFork(t *testing.T) {
 	// The §3 claim: thread creation is roughly an order of magnitude
-	// cheaper than fork. Compare charged cycles.
-	s := runSystem(t, func(c *kernel.Context) {
+	// cheaper than fork — the *traditional* fork that walks the page
+	// tables at spawn, so this boots the EagerDup ablation. (The lazy
+	// default collapses exactly this gap for untouched children; benchtab
+	// E1c measures that directly.)
+	s := runSystemCfg(t, kernel.Config{NCPU: 4, MemFrames: 8192, TimeSlice: 300, EagerDup: true}, func(c *kernel.Context) {
 		task := NewTask(c)
 		startThreads := s0(c)
 		const n = 16

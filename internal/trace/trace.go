@@ -52,12 +52,19 @@ const (
 	// runnable again.
 	EvBlock   // process blocked in the kernel (Arg: 0)
 	EvUnblock // blocked process made runnable (Arg: 0)
+
+	// EvLazyBreak records a first touch materializing a lazy COW
+	// duplication (Arg: faulting virtual address, Aux: page-table slots
+	// walked) — where the creation cost a DupLazy spawn deferred actually
+	// landed.
+	EvLazyBreak
 )
 
 var kindNames = [...]string{
 	"none", "create", "exit", "dispatch", "preempt", "fault",
 	"shootdown", "signal", "syscall", "propagate", "sync",
 	"sysenter", "sysexit", "faultinj", "block", "unblock",
+	"lazybreak",
 }
 
 func (k Kind) String() string {

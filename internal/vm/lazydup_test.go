@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// TestLazyDupCOWBreakStorm is the -race companion for the lazy duplication
+// protocol (DESIGN.md §16): a resident source region is cloned in O(1) many
+// times per round, and the clones' fates race — some exit untouched (the
+// O(1) dropKid path), some write-fault (materializing every pending sibling
+// and COW-breaking against the source), some read-fault — while writers
+// keep storming the source itself, forcing the fill paths to detect the
+// pending duplication and resolve it mid-flight. The invariants are the
+// conservation laws the whole design rests on: every lazy clone is
+// eventually either materialized or dropped (LazyDups == LazyBreaks +
+// LazyDrops), a write fill never returns read-only, and teardown frees
+// every frame exactly once.
+func TestLazyDupCOWBreakStorm(t *testing.T) {
+	const (
+		pages  = 32
+		clones = 6
+	)
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	m := hw.NewMemory(64 * pages)
+	m.AttachCaches(4)
+	src := NewRegion(m, RData, pages)
+	for i := 0; i < pages; i++ {
+		if _, _, _, err := src.Fill(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		kids := make([]*Region, clones)
+		for i := range kids {
+			kids[i] = src.DupLazy()
+		}
+		var wg sync.WaitGroup
+		for i, k := range kids {
+			wg.Add(1)
+			go func(i int, k *Region) {
+				defer wg.Done()
+				cpu := i % 4
+				switch i % 3 {
+				case 0:
+					// Exit untouched: the O(1) unlink, unless a sibling's
+					// fault materialized this clone first.
+				case 1:
+					// Write faults: materialize, then COW-break a stride of
+					// pages against the source's frames.
+					for j := i % 3; j < pages; j += 3 {
+						pfn, w, _, err := k.FillOn(j, true, cpu)
+						if err != nil {
+							t.Errorf("clone %d: write FillOn(%d) = %v", i, j, err)
+							return
+						}
+						if !w {
+							t.Errorf("clone %d: write fill of page %d came back read-only", i, j)
+							return
+						}
+						m.StoreWord(pfn, uint32(cpu), uint32(round))
+					}
+				case 2:
+					// Read faults: materialize and share, never break.
+					for j := i % 5; j < pages; j += 5 {
+						if _, _, _, err := k.FillOn(j, false, cpu); err != nil {
+							t.Errorf("clone %d: read FillOn(%d) = %v", i, j, err)
+							return
+						}
+					}
+				}
+				k.Detach()
+			}(i, k)
+		}
+		// The source keeps writing while its clones resolve: each store must
+		// re-break any alias the resolution installed, and the fast path must
+		// refuse writable returns while the duplication is pending.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < pages; j += 2 {
+				pfn, w, _, err := src.FillOn(j, true, 3)
+				if err != nil || !w {
+					t.Errorf("source: write FillOn(%d) = (%v, %v)", j, w, err)
+					return
+				}
+				m.StoreWord(pfn, 3, ^uint32(round))
+			}
+		}()
+		wg.Wait()
+		if src.Lazy() {
+			t.Fatalf("round %d: pending lazy state survived the storm", round)
+		}
+	}
+
+	// Deterministic drop pass: with no fault in between, a clone that
+	// detaches unlinks in O(1) and the walk never happens. (The racing
+	// rounds above rarely see this — a sibling's materialization usually
+	// resolves the whole pending set first, which is also correct.)
+	drops0 := m.LazyDrops.Load()
+	for i := 0; i < clones; i++ {
+		src.DupLazy().Detach()
+	}
+	if got := m.LazyDrops.Load() - drops0; got != clones {
+		t.Errorf("untouched clones dropped = %d, want %d", got, clones)
+	}
+
+	dups, breaks, drops := m.LazyDups.Load(), m.LazyBreaks.Load(), m.LazyDrops.Load()
+	if dups == 0 {
+		t.Fatal("storm never created a lazy clone")
+	}
+	if dups != breaks+drops {
+		t.Fatalf("lazy conservation violated: dups=%d breaks=%d drops=%d", dups, breaks, drops)
+	}
+	if breaks == 0 {
+		t.Error("storm never materialized a clone")
+	}
+	// After the last round the source must own its frames alone: every
+	// clone detached, so each page's frame ref is exactly one.
+	for i := 0; i < pages; i++ {
+		pfn := src.Frame(i)
+		if pfn == hw.NoPFN {
+			t.Fatalf("source page %d lost residency", i)
+		}
+		if got := m.Ref(pfn); got != 1 {
+			t.Fatalf("source page %d: frame ref = %d, want 1 after all clones detached", i, got)
+		}
+	}
+	src.Detach()
+	if m.InUse() != 0 {
+		t.Fatalf("frames leaked or double-freed: InUse = %d", m.InUse())
+	}
+}

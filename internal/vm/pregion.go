@@ -143,19 +143,56 @@ func Remove(list []*PRegion, pr *PRegion) []*PRegion {
 // DupList copy-on-write-duplicates a pregion list (the fork path). Text
 // regions are shared rather than duplicated — System V shares text on fork
 // — and shm regions stay attached to the same segment, matching System V
-// shared-memory semantics (a segment remains shared across fork). Order is
-// preserved, so a sorted input yields a sorted copy.
+// shared-memory semantics (a segment remains shared across fork). The
+// duplication is lazy (Region.DupLazy): O(1) per region, with the table
+// walk deferred to first touch.
 func DupList(list []*PRegion) []*PRegion {
-	out := make([]*PRegion, 0, len(list))
-	for _, pr := range list {
-		if pr.Reg.Type == RText || pr.Reg.Type == RShm {
-			pr.Reg.Attach()
-			out = append(out, &PRegion{Reg: pr.Reg, Base: pr.Base})
-			continue
-		}
-		out = append(out, &PRegion{Reg: pr.Reg.Dup(), Base: pr.Base})
-	}
+	out, _ := DupListFlush(list)
 	return out
+}
+
+// DupListFlush is DupList additionally reporting whether the source
+// address space needs a TLB flush before either side runs: true exactly
+// when some duplicated region has ever held a writable PTE, so the space
+// may cache a writable TLB entry that would let an unfaulted store leak
+// into the clone's snapshot. A never-written image (and the shared text
+// and shm attachments, which are not duplicated at all) forks with no
+// flush. The child's interval index is rebuilt through the ordered-insert
+// API rather than trusted to append order (lint-pregion checks the dup
+// path stays that way).
+func DupListFlush(list []*PRegion) ([]*PRegion, bool) {
+	return dupList(list, false)
+}
+
+// DupListEager is DupListFlush with the spawn-time table walk of the
+// pre-lazy fork path (Region.Dup). It is kept as the measured ablation —
+// Config.EagerDup, benchtab E1c — so the O(pages) cost the lazy path
+// removes stays visible on the same workload.
+func DupListEager(list []*PRegion) ([]*PRegion, bool) {
+	return dupList(list, true)
+}
+
+func dupList(list []*PRegion, eager bool) ([]*PRegion, bool) {
+	out := make([]*PRegion, 0, len(list))
+	flush := false
+	for _, pr := range list {
+		nr := pr.Reg
+		switch {
+		case nr.Type == RText || nr.Type == RShm:
+			nr.Attach()
+		default:
+			if nr.EverWritable() {
+				flush = true
+			}
+			if eager {
+				nr = nr.Dup()
+			} else {
+				nr = nr.DupLazy()
+			}
+		}
+		out = Insert(out, &PRegion{Reg: nr, Base: pr.Base})
+	}
+	return out, flush
 }
 
 // MergeLists combines two sorted pregion lists into one sorted list (the

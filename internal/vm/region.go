@@ -113,6 +113,27 @@ type Region struct {
 	resident atomic.Int64 // filled slots, maintained so Resident is O(1)
 	mem      *hw.Memory
 	stripes  [regionStripes]sync.Mutex
+
+	// Lazy-duplication state (DESIGN.md §16). A region created by DupLazy
+	// starts with an empty table and a pointer back to its source; the
+	// source keeps the clone on lazyKids until the first slow-path fault on
+	// either side (or a structural operation) materializes every pending
+	// clone in one walk. lazyPend counts the pending relationships the
+	// region participates in — one per pending clone for a source, one for
+	// an unmaterialized clone — so both fill paths detect "lazy work
+	// pending" with a single atomic load. Invariant: a region with pending
+	// clones is never itself unmaterialized (DupLazy resolves an
+	// unmaterialized source first), so resolution never chains.
+	lazySrc  atomic.Pointer[Region]
+	lazyKids []*Region // pending clones; guarded by lockAll
+	lazyPend atomic.Int32
+
+	// everWritable latches when the region first installs a writable PTE.
+	// A region that never held one (text, never-stored data) has no
+	// writable bits to clear at duplication time and its address space
+	// cannot cache a writable TLB entry, so its dup skips the source-side
+	// flush entirely.
+	everWritable atomic.Bool
 }
 
 // NewRegion creates a region of npages demand-zero pages.
@@ -137,6 +158,22 @@ func (r *Region) unlockAll() {
 	}
 }
 
+// lockAllResolved materializes any pending lazy duplication, then takes
+// every stripe, retrying if a new clone slipped in between. The structural
+// operations (grow, shrink, reclaim, eager dup) go through this: they
+// mutate the table, and a pending clone's deferred snapshot depends on the
+// table staying exactly as it was at DupLazy time.
+func (r *Region) lockAllResolved() {
+	for {
+		r.materialize()
+		r.lockAll()
+		if r.lazyPend.Load() == 0 {
+			return
+		}
+		r.unlockAll()
+	}
+}
+
 // Pages returns the current length of the region in pages.
 func (r *Region) Pages() int { return len(r.table.Load().slots) }
 
@@ -154,6 +191,15 @@ func (r *Region) Detach() int32 {
 		panic("vm: Detach below zero")
 	}
 	if n == 0 {
+		// A clone dying untouched just unlinks from its source: no frame
+		// was ever aliased, so there is nothing to free and the source
+		// keeps its writable bits — the O(1) exit half of the O(1) spawn.
+		if src := r.lazySrc.Load(); src != nil && src.dropKid(r) {
+			return 0
+		}
+		// Pending clones of this region alias into its frames; they must
+		// materialize before the frames are released.
+		r.materialize()
 		r.lockAll()
 		t := r.table.Load()
 		for i := range t.slots {
@@ -182,8 +228,19 @@ func (r *Region) Frame(idx int) hw.PFN {
 
 // Resident counts demand-filled pages. O(1): the count is maintained on
 // fill, shrink and detach (sgtop and the conservation audits call this
-// per group member).
+// per group member). An unmaterialized lazy clone reports zero — it
+// genuinely occupies no frames until its first touch.
 func (r *Region) Resident() int { return int(r.resident.Load()) }
+
+// EverWritable reports whether the region has ever installed a writable
+// PTE — and so whether its address space may cache a writable TLB entry
+// that a COW duplication must flush.
+func (r *Region) EverWritable() bool { return r.everWritable.Load() }
+
+// Lazy reports whether the region is an unmaterialized clone or has
+// unmaterialized clones pending (the storm tests use it to assert the
+// steady state drains).
+func (r *Region) Lazy() bool { return r.lazyPend.Load() != 0 }
 
 // FillResult says how a fault was resolved, so the fault handler can
 // charge the right cost.
@@ -206,61 +263,83 @@ func (r *Region) Fill(idx int, write bool) (pfn hw.PFN, writable bool, res FillR
 	return r.FillOn(idx, write, -1)
 }
 
-// fillSlow is the locked half of FillOn: zero fill, copy-on-write break,
-// and writable upgrade, serialized per page on the slot's stripe. The
-// caller (the lock-free fast path in fillfast.go) has already failed the
-// unlocked check; everything is re-checked here because another CPU may
-// have filled the slot between the check and the lock.
-func (r *Region) fillSlow(idx int, write bool, cpu int, acct *hw.FrameAcct) (pfn hw.PFN, writable bool, res FillResult, err error) {
+// fillSlow is the locked half of FillOn: lazy-dup materialization, zero
+// fill, copy-on-write break, and writable upgrade, serialized per page on
+// the slot's stripe. The caller (the lock-free fast path in fillfast.go)
+// has already failed the unlocked check; everything is re-checked here
+// because another CPU may have filled the slot between the check and the
+// lock. lazyPages reports the page-table slots a materialization walked on
+// this call, so the kernel can charge the deferred duplication cost to the
+// faulting CPU.
+func (r *Region) fillSlow(idx int, write bool, cpu int, acct *hw.FrameAcct, resv *hw.FrameResv) (pfn hw.PFN, writable bool, res FillResult, lazyPages int, err error) {
 	stripe := &r.stripes[idx&(regionStripes-1)]
-	stripe.Lock()
+	for {
+		stripe.Lock()
+		if r.lazyPend.Load() == 0 {
+			break
+		}
+		// A lazy duplication is pending on this region (it is an untouched
+		// clone, or clones of it are). The stripe cannot be held across the
+		// resolution — materialize takes every stripe — so drop it, walk,
+		// and retry. The pending count is stable under the stripe (DupLazy
+		// and resolveKids both require all stripes), so the re-check after
+		// relock is decisive.
+		stripe.Unlock()
+		lazyPages += r.materialize()
+	}
 	defer stripe.Unlock()
 	// Re-load the table under the stripe: holding any stripe excludes the
 	// structural operations, so this snapshot cannot be swapped out from
 	// under us.
 	t := r.table.Load()
 	if idx >= len(t.slots) {
-		return hw.NoPFN, false, FillCached, fmt.Errorf("vm: page %d outside %s region of %d pages", idx, r.Type, len(t.slots))
+		return hw.NoPFN, false, FillCached, lazyPages, fmt.Errorf("vm: page %d outside %s region of %d pages", idx, r.Type, len(t.slots))
 	}
 	slot := &t.slots[idx]
 	w := slot.Load()
 	if w&ptePresent == 0 {
-		// Demand zero fill, charged to the faulting principal.
-		pfn, err = r.mem.AllocFor(cpu, acct)
+		// Demand zero fill, charged to the faulting principal (drawing on
+		// its spawn-time reservation first, when it has one).
+		pfn, err = r.mem.AllocResv(cpu, acct, resv)
 		if err != nil {
-			return hw.NoPFN, false, FillCached, err
+			return hw.NoPFN, false, FillCached, lazyPages, err
 		}
 		writable = r.Type != RText
+		if writable {
+			r.everWritable.Store(true)
+		}
 		slot.Store(pteEncode(pfn, writable))
 		r.resident.Add(1)
-		return pfn, writable, FillZeroed, nil
+		return pfn, writable, FillZeroed, lazyPages, nil
 	}
 	pfn = hw.PFN(w & ptePFNMask)
 	if r.Type == RText {
-		return pfn, false, FillCached, nil
+		return pfn, false, FillCached, lazyPages, nil
 	}
 	if w&pteWritable != 0 {
 		// Another CPU resolved this page (zero fill or COW break) between
 		// our fast-path check and taking the stripe.
-		return pfn, true, FillCached, nil
+		return pfn, true, FillCached, lazyPages, nil
 	}
 	if r.mem.Ref(pfn) == 1 {
 		// Sole owner again (the alias detached since Dup cleared the bit):
 		// upgrade in place.
+		r.everWritable.Store(true)
 		slot.Store(pteEncode(pfn, true))
-		return pfn, true, FillCached, nil
+		return pfn, true, FillCached, lazyPages, nil
 	}
 	if !write {
-		return pfn, false, FillCached, nil
+		return pfn, false, FillCached, lazyPages, nil
 	}
 	// Copy-on-write: break the alias; the copy is the faulter's charge.
-	cp, err := r.mem.CopyFrameFor(pfn, cpu, acct)
+	cp, err := r.mem.CopyFrameResv(pfn, cpu, acct, resv)
 	if err != nil {
-		return hw.NoPFN, false, FillCached, err
+		return hw.NoPFN, false, FillCached, lazyPages, err
 	}
 	r.mem.DecRefOn(pfn, cpu)
+	r.everWritable.Store(true)
 	slot.Store(pteEncode(cp, true))
-	return cp, true, FillCopied, nil
+	return cp, true, FillCopied, lazyPages, nil
 }
 
 // ReclaimZero frees the region's resident, sole-referenced, all-zero
@@ -275,7 +354,7 @@ func (r *Region) ReclaimZero(acct *hw.FrameAcct, cpu int) int {
 	if r.Type == RText {
 		return 0 // text never holds zero garbage worth refaulting
 	}
-	r.lockAll()
+	r.lockAllResolved()
 	defer r.unlockAll()
 	t := r.table.Load()
 	freed := 0
@@ -313,21 +392,29 @@ func ReclaimZeroList(list []*PRegion, acct *hw.FrameAcct, cpu int) int {
 	return freed
 }
 
-// Dup creates a copy-on-write duplicate of the region: a new Region whose
-// page table aliases the same frames with incremented frame reference
-// counts. Subsequent writes through either region break the alias page by
-// page (the fork path of paper §6.2). Because the frames become aliased,
-// the source region's writable bits are cleared too — a later store through
-// the source re-faults and the slow path re-derives the permission — and
-// the caller is responsible for flushing stale writable TLB entries for
-// the source space.
+// Dup creates an eager copy-on-write duplicate of the region: a new
+// Region whose page table aliases the same frames with incremented frame
+// reference counts, built with a full table walk at spawn time. Subsequent
+// writes through either region break the alias page by page (the fork path
+// of paper §6.2). When the source has ever held a writable PTE its
+// writable bits are cleared too — a later store through the source
+// re-faults and the slow path re-derives the permission — and the caller
+// is then responsible for flushing stale writable TLB entries for the
+// source space. A source that never installed a writable PTE has nothing
+// to clear and needs no flush, so the walk is pure aliasing.
+//
+// Fork no longer uses this path by default: DupLazy defers the whole walk
+// to first touch, making creation O(1) in image size. Dup remains the
+// measured ablation (Config.EagerDup, benchtab E1c) and the simple API for
+// callers that want a materialized copy immediately.
 func (r *Region) Dup() *Region {
-	r.lockAll()
+	r.lockAllResolved()
 	defer r.unlockAll()
 	t := r.table.Load()
 	d := &Region{Type: r.Type, mem: r.mem}
 	d.refs.Store(1)
 	dt := &pteTable{slots: make([]atomic.Uint64, len(t.slots))}
+	clearSrc := r.everWritable.Load()
 	n := int64(0)
 	for i := range t.slots {
 		w := t.slots[i].Load()
@@ -336,7 +423,9 @@ func (r *Region) Dup() *Region {
 		}
 		pfn := hw.PFN(w & ptePFNMask)
 		r.mem.IncRef(pfn)
-		t.slots[i].Store(pteEncode(pfn, false))
+		if clearSrc && w&pteWritable != 0 {
+			t.slots[i].Store(pteEncode(pfn, false))
+		}
 		dt.slots[i].Store(pteEncode(pfn, false))
 		n++
 	}
@@ -345,12 +434,145 @@ func (r *Region) Dup() *Region {
 	return d
 }
 
+// DupLazy creates a copy-on-write duplicate in O(1) of the region size:
+// only the region header is cloned — the clone's table is empty and the
+// source merely records the clone on its pending list. The PTE aliasing,
+// frame refcount bumps, and source writable-bit clearing that Dup does at
+// spawn time are deferred to the first slow-path fault on either region
+// (materialize), riding the striped fill locks; a clone that exits
+// untouched unlinks in O(1) and the walk never happens at all.
+//
+// The caller owes the same source-space TLB flush as Dup when the source
+// has ever held a writable PTE (EverWritable): that flush cannot be
+// deferred, because a store through a stale writable TLB entry would never
+// fault, and an unfaulted store cannot be retroactively excluded from the
+// clone's snapshot. After the flush the fast path keeps the source honest —
+// it refuses to reinstall a writable mapping while a duplication is
+// pending — so materialization itself needs no shootdown.
+func (r *Region) DupLazy() *Region {
+	// An unmaterialized clone cannot serve as a source (its table is still
+	// empty); resolve it first so pending chains stay one level deep and
+	// the resolution walk never recurses.
+	if r.lazySrc.Load() != nil {
+		r.materialize()
+	}
+	r.lockAll()
+	defer r.unlockAll()
+	d := &Region{Type: r.Type, mem: r.mem}
+	d.refs.Store(1)
+	d.table.Store(&pteTable{slots: make([]atomic.Uint64, len(r.table.Load().slots))})
+	if r.resident.Load() == 0 {
+		// Nothing resident: the clone is an ordinary demand-zero region
+		// and needs no link back to the source.
+		return d
+	}
+	d.lazySrc.Store(r)
+	d.lazyPend.Store(1)
+	r.lazyKids = append(r.lazyKids, d)
+	r.lazyPend.Add(1)
+	r.mem.LazyDups.Add(1)
+	return d
+}
+
+// materialize resolves every lazy relationship the region is pending in:
+// as an unmaterialized clone, by resolving its source (which populates
+// this clone along with its siblings); as a source, by resolving its own
+// pending clones. It returns the number of page-table slots walked — the
+// deferred duplication work the kernel charges to the faulting CPU. Safe
+// to call from any number of CPUs at once; the walk happens once and
+// racers contribute zero.
+func (r *Region) materialize() int {
+	walked := 0
+	for r.lazyPend.Load() != 0 {
+		if src := r.lazySrc.Load(); src != nil {
+			walked += src.resolveKids()
+			continue
+		}
+		walked += r.resolveKids()
+	}
+	return walked
+}
+
+// resolveKids is the deferred half of DupLazy: one walk over the source
+// table aliases every present frame into every pending clone at once,
+// bumps the frame refcounts, and — only when the source has ever held a
+// writable PTE — clears the source's writable bits so its next store
+// re-faults and breaks the alias. The spawn-time flush already removed
+// any writable TLB entries for the source space, and the fill fast path
+// refuses to reinstall one while the duplication is pending, so no
+// shootdown happens here. Lock order is source-then-clone, and a clone
+// never resolves while it has a pending source, so the order is acyclic.
+func (r *Region) resolveKids() int {
+	r.lockAll()
+	kids := r.lazyKids
+	r.lazyKids = nil
+	if len(kids) == 0 {
+		r.unlockAll()
+		return 0
+	}
+	for _, k := range kids {
+		k.lockAll()
+	}
+	t := r.table.Load()
+	clearSrc := r.everWritable.Load()
+	aliased := int64(0)
+	for i := range t.slots {
+		w := t.slots[i].Load()
+		if w&ptePresent == 0 {
+			continue
+		}
+		pfn := hw.PFN(w & ptePFNMask)
+		for _, k := range kids {
+			r.mem.IncRef(pfn)
+			k.table.Load().slots[i].Store(pteEncode(pfn, false))
+		}
+		if clearSrc && w&pteWritable != 0 {
+			t.slots[i].Store(pteEncode(pfn, false))
+		}
+		aliased++
+	}
+	walked := len(t.slots) * len(kids)
+	r.mem.LazyBreaks.Add(int64(len(kids)))
+	r.mem.LazyBreakPages.Add(int64(walked))
+	for _, k := range kids {
+		k.resident.Store(aliased)
+		k.lazySrc.Store(nil)
+		k.lazyPend.Add(-1)
+		k.unlockAll()
+	}
+	r.lazyPend.Add(-int32(len(kids)))
+	r.unlockAll()
+	return walked
+}
+
+// dropKid unlinks a dying, never-touched clone from its source: no frame
+// was aliased yet, so the clone's teardown has nothing to free and the
+// source keeps its writable bits. It reports false when a concurrent
+// materialization resolved the clone first — the caller then tears it
+// down normally.
+func (r *Region) dropKid(k *Region) bool {
+	r.lockAll()
+	defer r.unlockAll()
+	for i, kid := range r.lazyKids {
+		if kid != k {
+			continue
+		}
+		r.lazyKids = append(r.lazyKids[:i], r.lazyKids[i+1:]...)
+		k.lazySrc.Store(nil)
+		k.lazyPend.Add(-1)
+		r.lazyPend.Add(-1)
+		r.mem.LazyDrops.Add(1)
+		return true
+	}
+	return false
+}
+
 // Grow extends the region by n demand-zero pages (sbrk, stack autogrow).
 func (r *Region) Grow(n int) {
 	if n < 0 {
 		panic("vm: Grow with negative count")
 	}
-	r.lockAll()
+	r.lockAllResolved()
 	defer r.unlockAll()
 	t := r.table.Load()
 	nt := &pteTable{slots: make([]atomic.Uint64, len(t.slots)+n)}
@@ -367,7 +589,7 @@ func (r *Region) Grow(n int) {
 // them; the synchronous shootdown provides that agreement). It returns the
 // number of frames released.
 func (r *Region) Shrink(n int) int {
-	r.lockAll()
+	r.lockAllResolved()
 	defer r.unlockAll()
 	t := r.table.Load()
 	if n < 0 || n > len(t.slots) {
