@@ -21,7 +21,7 @@ chaos:
 # (panic is reserved for the exit/exec control-flow unwinds), and the
 # resident-fault fast path must stay lock-free.
 .PHONY: lint
-lint: lint-pregion lint-prctl lint-lazydup
+lint: lint-pregion lint-prctl lint-lazydup lint-ckpt
 	$(GO) vet ./...
 	@if grep -nE '\.Lock\(\)|\.RLock\(\)|\.Unlock\(\)|\bsync\.' internal/vm/fillfast.go; then \
 		echo "lint: fillfast.go is the lock-free fault fast path — no mutex or sync primitive may appear there (slow cases belong in region.go)" >&2; \
@@ -94,6 +94,32 @@ lint-lazydup:
 	@for ctr in LazyDups LazyBreaks LazyDrops LazyBreakPages SpawnReserved; do \
 		if ! grep -q "$$ctr" internal/kernel/stats.go; then \
 			echo "lint: $$ctr missing from the kernel Stats snapshot — the lazy-creation counters must stay observable" >&2; \
+			exit 1; \
+		fi; \
+	done
+
+# lint-ckpt: a checkpoint image is content-level state (DESIGN.md §17),
+# and two fences keep it that way. internal/ckpt stays a leaf package —
+# no repro/ imports, so it can never see a PTE word, a frame number, or
+# kernel state, and image determinism cannot come to depend on frame
+# placement. And the kernel's checkpoint/restore code serializes memory
+# only through the vm page API (TrackDirty/TakeDirty/ReadPage/Fill...),
+# never through raw PTE slots or the pte* encoding helpers, so the image
+# format survives PTE-format changes. The checkpoint counters must also
+# stay wired into the kernel Stats snapshot.
+.PHONY: lint-ckpt
+lint-ckpt:
+	@if grep -nE '"repro(/|")' internal/ckpt/*.go; then \
+		echo "lint: internal/ckpt must stay a leaf serialization layer — no repro/ imports (the kernel hands it plain bytes through the vm page-read API)" >&2; \
+		exit 1; \
+	fi
+	@if grep -nE '\.slots\b|\bpte[A-Z]' internal/kernel/syscalls_ckpt.go; then \
+		echo "lint: syscalls_ckpt.go touches raw PTE state — checkpoint serialization goes through the vm API (TrackDirty/TakeDirty/ReadPage/FillAccounted), never PTE words" >&2; \
+		exit 1; \
+	fi
+	@for ctr in Ckpts CkptPasses CkptPrePages CkptSTWPages CkptSTWCycles CkptImageBytes Restores; do \
+		if ! grep -q "$$ctr" internal/kernel/stats.go; then \
+			echo "lint: $$ctr missing from the kernel Stats snapshot — the checkpoint counters must stay observable" >&2; \
 			exit 1; \
 		fi; \
 	done

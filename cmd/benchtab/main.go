@@ -20,7 +20,7 @@ import (
 var (
 	quick   = flag.Bool("quick", false, "smaller parameters for a fast run")
 	jsonOut = flag.Bool("json", false, "also write BENCH_<runstamp>.json with per-row numbers")
-	work    = flag.String("work", "", "run only the named experiment (e1c, prefork, serve, creation, vm, syscall, ipc, sync, pool, sched, numa, fairshare, ablations); empty = all")
+	work    = flag.String("work", "", "run only the named experiment (e1c, prefork, serve, creation, vm, syscall, ipc, sync, pool, sched, numa, fairshare, ckpt, ablations); empty = all")
 )
 
 func cfg() kernel.Config { return workload.DefaultConfig() }
@@ -51,6 +51,12 @@ type benchResult struct {
 	// S8 fair-share rows only.
 	ShareErr      float64 `json:"share_err,omitempty"`
 	QuotaReclaims int64   `json:"quota_reclaims,omitempty"`
+
+	// S10 checkpoint rows only.
+	STWPages   int64 `json:"stw_pages,omitempty"`
+	STWSimcyc  int64 `json:"stw_simcyc,omitempty"`
+	PrePages   int64 `json:"pre_pages,omitempty"`
+	ImageBytes int64 `json:"image_bytes,omitempty"`
 }
 
 var (
@@ -123,6 +129,7 @@ var experiments = []struct {
 	{"numa", s6},
 	{"serve", s7},
 	{"fairshare", s8},
+	{"ckpt", s10},
 	{"ablations", ablations},
 }
 
@@ -164,6 +171,7 @@ func main() {
 	s6()
 	s7()
 	s8()
+	s10()
 	ablations()
 
 	if *jsonOut {
@@ -445,6 +453,45 @@ func s8() {
 	fmt.Println("  shape: delivered CPU tracks the 4:2:1 entitlement within a few points while")
 	fmt.Println("  aggregate throughput matches the share-blind run; the quota-capped group")
 	fmt.Println("  stays at its cap by reclaiming its own zero pages — degradation, not ENOMEM")
+}
+
+// s10 — live checkpoint (DESIGN.md §17): checkpoint a churning group once
+// per row, varying the pre-copy pass budget. The image is the same size
+// every time; what moves is where the copying happens — inside the
+// stop-the-world window with no passes, overlapped with execution as
+// passes are added — so the stopped delta shrinks monotonically toward
+// zero while the live page count grows by the re-dirtied tail.
+func s10() {
+	members := 4
+	pagesEach := n(64, 16)
+	table(fmt.Sprintf("S10 — checkpoint STW delta vs pre-copy passes (%d dirtiers, %d-page set, decaying churn)",
+		members, members*pagesEach),
+		"  run                      stw-pages   stw-simcyc    pre-pages    image-KB")
+	for _, p := range []int{0, 1, 2, 4, 8} {
+		info, err := workload.CkptPrecopy(cfg(), members, pagesEach, p)
+		if err != nil {
+			fmt.Printf("  passes=%-2d  error: %v\n", p, err)
+			continue
+		}
+		name := fmt.Sprintf("passes=%d", p)
+		if info.Passes != p {
+			name = fmt.Sprintf("passes=%d (ran %d)", p, info.Passes)
+		}
+		fmt.Printf("  %-22s %10d %12d %12d %11d\n",
+			name, info.STWPages, info.STWCycles, info.PrePages, info.ImageBytes/1024)
+		results = append(results, benchResult{
+			Experiment: curExperiment,
+			Name:       name,
+			Ops:        int64(info.PrePages + info.STWPages),
+			STWPages:   int64(info.STWPages),
+			STWSimcyc:  info.STWCycles,
+			PrePages:   int64(info.PrePages),
+			ImageBytes: int64(info.ImageBytes),
+		})
+	}
+	fmt.Println("  shape: the naive snapshot pays the whole resident set inside the window; each")
+	fmt.Println("  pre-copy pass moves the earlier (larger) share of the copying into live")
+	fmt.Println("  execution, leaving only the still-cooling dirty tail for the stop")
 }
 
 // ablations — DESIGN.md §6: the rejected designs, measured.

@@ -37,6 +37,9 @@ func main() {
 		c.Getusage()
 		done.AwaitEq(c, 2)
 		c.Getpid() // reconcile the umask update (EvSync)
+		// A live checkpoint: one EvCkptPass span per pre-copy pass, then
+		// the EvCkptSTW event closing the stop-the-world window.
+		c.Ckpt(kernel.CkptOpts{Passes: 1})
 		c.Wait()
 		c.Wait()
 
@@ -71,6 +74,15 @@ func main() {
 				e.Seq, e.Kind, e.PID, e.CPU, kernel.SysName(kernel.Sysno(e.Arg)), kernel.Errno(e.Aux))
 		case trace.EvFaultInject:
 			fmt.Printf("  #%d %-9s key=%-3d %s\n", e.Seq, e.Kind, e.Arg, faultName(e.Aux))
+		case trace.EvCkptPass:
+			fmt.Printf("  #%d %-9s pid=%-3d cpu=%-2d pass=%d pages=%d\n",
+				e.Seq, e.Kind, e.PID, e.CPU, e.Aux, e.Arg)
+		case trace.EvCkptSTW:
+			fmt.Printf("  #%d %-9s pid=%-3d cpu=%-2d stw-pages=%d frozen=%d\n",
+				e.Seq, e.Kind, e.PID, e.CPU, e.Arg, e.Aux)
+		case trace.EvRestore:
+			fmt.Printf("  #%d %-9s pid=%-3d cpu=%-2d respawned=%d\n",
+				e.Seq, e.Kind, e.PID, e.CPU, e.Arg)
 		default:
 			fmt.Println(" ", e)
 		}
@@ -80,7 +92,7 @@ func main() {
 		trace.EvCreate, trace.EvExit, trace.EvDispatch, trace.EvPreempt,
 		trace.EvFault, trace.EvShootdown, trace.EvSignal, trace.EvSync,
 		trace.EvSyscallEnter, trace.EvSyscallExit, trace.EvFaultInject,
-		trace.EvLazyBreak,
+		trace.EvLazyBreak, trace.EvCkptPass, trace.EvCkptSTW, trace.EvRestore,
 	} {
 		fmt.Printf("  %-10s %d\n", k, sys.Machine.Trace.CountKind(k))
 	}

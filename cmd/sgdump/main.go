@@ -1,0 +1,194 @@
+// Command sgdump renders a share-group checkpoint image — the on-disk
+// counterpart of sgtop's live dump. With a file argument it decodes and
+// prints an image previously saved with -o; without one it boots the
+// simulated system, runs a small share group, checkpoints it live (two
+// pre-copy passes), and dumps the resulting image, so the tool also serves
+// as a worked example of the ckpt(2)/restore(2) flow.
+//
+//	sgdump                  # demo: checkpoint an in-process group and dump it
+//	sgdump -o group.ckpt    # demo, and save the encoded image
+//	sgdump group.ckpt       # decode and dump a saved image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	irix "repro"
+	"repro/internal/ckpt"
+)
+
+func main() {
+	out := flag.String("o", "", "write the encoded image to this file")
+	flag.Parse()
+
+	var img *ckpt.Image
+	switch flag.NArg() {
+	case 0:
+		img = demoImage()
+	case 1:
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgdump:", err)
+			os.Exit(1)
+		}
+		img, err = ckpt.Decode(raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgdump:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sgdump [-o file] [image-file]")
+		os.Exit(2)
+	}
+	if err := img.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "sgdump: invalid image:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, img.Encode(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sgdump:", err)
+			os.Exit(1)
+		}
+	}
+	dump(img)
+}
+
+// demoImage builds a four-member share group doing real work — shared
+// mapping, shared descriptor, per-member stamps — and checkpoints it at a
+// quiesced point.
+func demoImage() *ckpt.Image {
+	sys := irix.New(irix.Config{NCPU: 4})
+	var img *irix.CkptImage
+	sys.Start("creator", func(c *irix.Ctx) {
+		c.Mkdir("/srv", 0o755)
+		fd, _ := c.Open("/srv/state", irix.ORead|irix.OWrite|irix.OCreat, 0o644)
+		c.WriteString(fd, c.StackBase(), "checkpoint me\n")
+		shm, _ := c.Mmap(4)
+		done := irix.Word{VA: shm + 12*4}
+		var pids []int
+		for i := 0; i < 3; i++ {
+			pid, _ := c.Sproc("member", func(cc *irix.Ctx, arg int64) {
+				cc.Store32(shm+irix.VAddr(arg*4), 0xC0DE0000|uint32(arg))
+				done.Add(cc, 1)
+				cc.Blockproc(0) // park at the quiesce point
+			}, irix.PRSALL, int64(i))
+			pids = append(pids, pid)
+		}
+		c.Setshares(irix.Entitlement{CPUShares: 4, FrameQuota: 512, MemberCap: 8})
+		done.AwaitEq(c, 3)
+		var err error
+		img, _, err = c.Ckpt(irix.CkptOpts{Passes: 2})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgdump: ckpt:", err)
+		}
+		for _, pid := range pids {
+			c.Unblockproc(pid)
+		}
+		for i := 0; i < 3; i++ {
+			c.Wait()
+		}
+	})
+	sys.WaitIdle()
+	if img == nil {
+		os.Exit(1)
+	}
+	return img
+}
+
+func dump(img *ckpt.Image) {
+	enc := img.Encode()
+	fmt.Printf("checkpoint image: version=%d page-size=%d encoded=%d bytes\n",
+		img.Version, img.PageSize, len(enc))
+	a := img.Attr
+	fmt.Println("  group attributes:")
+	fmt.Printf("    umask=%04o ulimit=%d uid=%d gid=%d cpu-shares=%d frame-quota=%d member-cap=%d gang=%v\n",
+		a.Umask, a.Ulimit, a.Uid, a.Gid, a.CPUShares, a.FrameQuota, a.MemberCap, a.Gang)
+	fmt.Printf("  regions (%d, %d resident pages):\n", len(img.Regions), img.ResidentPages())
+	for _, r := range img.Regions {
+		fmt.Printf("    %-5s base=%#08x pages=%-4d resident=%-4d", typeName(r.Type), r.Base, r.Pages, len(r.Resid))
+		if len(r.Resid) > 0 {
+			fmt.Printf(" idx=%s fnv=%08x", idxSpan(r.Resid), pageHash(r.Resid))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  members (%d, creation order; [0] is the creator):\n", len(img.Members))
+	for i, m := range img.Members {
+		prda := "-"
+		if m.PRDA != nil {
+			prda = fmt.Sprintf("fnv=%08x", bytesHash(m.PRDA))
+		}
+		fmt.Printf("    [%d] pid=%-3d %-10q mask=%#x prio=%d arg=%d stack=%#08x+%dp prda=%s\n",
+			i, m.PID, m.Name, m.Mask, m.Prio, m.Arg, m.StackBase, m.StackPages, prda)
+		for _, f := range m.Fds {
+			switch {
+			case f.Stream:
+				fmt.Printf("        fd %-2d <stream endpoint: recorded, not reopened>\n", f.Fd)
+			default:
+				fmt.Printf("        fd %-2d %-14q flags=%#x fdflags=%#x offset=%d\n",
+					f.Fd, f.Path, f.Flags, f.FdFlags, f.Offset)
+			}
+		}
+	}
+}
+
+// typeName names a ckpt region type (the package mirrors vm's numbering
+// but keeps its own constants).
+func typeName(t uint8) string {
+	switch t {
+	case ckpt.RText:
+		return "text"
+	case ckpt.RData:
+		return "data"
+	case ckpt.RStack:
+		return "stack"
+	case ckpt.RShm:
+		return "shm"
+	case ckpt.RPRDA:
+		return "prda"
+	}
+	return fmt.Sprintf("t%d", t)
+}
+
+// idxSpan compacts a resident index list: "0-2,7".
+func idxSpan(pages []ckpt.PageImage) string {
+	s, runStart, prev := "", pages[0].Index, pages[0].Index
+	flush := func() {
+		if s != "" {
+			s += ","
+		}
+		if runStart == prev {
+			s += fmt.Sprintf("%d", runStart)
+		} else {
+			s += fmt.Sprintf("%d-%d", runStart, prev)
+		}
+	}
+	for _, p := range pages[1:] {
+		if p.Index != prev+1 {
+			flush()
+			runStart = p.Index
+		}
+		prev = p.Index
+	}
+	flush()
+	return s
+}
+
+// pageHash digests a region's resident contents (index + data), so two
+// dumps can be compared at a glance without printing pages.
+func pageHash(pages []ckpt.PageImage) uint32 {
+	h := fnv.New32a()
+	for _, p := range pages {
+		fmt.Fprintf(h, "%d:", p.Index)
+		h.Write(p.Data)
+	}
+	return h.Sum32()
+}
+
+func bytesHash(b []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(b)
+	return h.Sum32()
+}

@@ -58,6 +58,10 @@ func main() {
 		}
 		sum.AwaitEq(c, 1+2+3)
 
+		// A live checkpoint of the group (two pre-copy passes) so the
+		// machine dump's checkpoint counters report a real image.
+		c.Ckpt(irix.CkptOpts{Passes: 2})
+
 		dump(c)
 		phase.Store(c, 1)
 		for i := 0; i < 3; i++ {
@@ -185,6 +189,17 @@ func dump(c *irix.Ctx) {
 	fmt.Println("  readiness (poll(2) over the stream event queues):")
 	fmt.Printf("    poll-sleeps=%d transitions=%d sleeper-wakes=%d poller-wakes=%d\n",
 		st.PollSleeps, st.ReadyTransitions, st.ReadySleeperWakes, st.ReadyPollerWakes)
+	if st.Ckpts > 0 || st.Restores > 0 {
+		fmt.Println("  checkpoint/restore (iterative pre-copy over the share group):")
+		fmt.Printf("    ckpts=%d passes=%d pre-pages=%d stw-pages=%d stw-simcyc=%d image-bytes=%d restores=%d\n",
+			st.Ckpts, st.CkptPasses, st.CkptPrePages, st.CkptSTWPages,
+			st.CkptSTWCycles, st.CkptImageBytes, st.Restores)
+	}
+	if st.ResvReserved > 0 {
+		fmt.Println("  spawn reservation ledger (reserved+refunds must equal consumed+released):")
+		fmt.Printf("    reserved=%d consumed=%d refunds=%d released=%d\n",
+			st.ResvReserved, st.ResvConsumed, st.ResvRefunds, st.ResvReleased)
+	}
 	fmt.Println("  fault injection and degradation:")
 	fmt.Printf("    checks=%d injected=%d restarts=%d retries=%d reclaims=%d reclaimed-frames=%d\n",
 		st.FaultChecks, st.FaultsInjected, st.SyscallRestarts,

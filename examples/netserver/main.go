@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -82,7 +83,7 @@ func main() {
 		// accept, check, deal the descriptor number round-robin.
 		lset := []irix.PollFd{{Fd: l, Events: irix.PollIn}}
 		for i := 0; i < clients; i++ {
-			if _, err := c.Poll(lset, -1); err != nil {
+			if err := pollRetry(c, lset); err != nil {
 				log.Fatal(err)
 			}
 			fd, err := c.NetAccept(l)
@@ -117,6 +118,19 @@ func main() {
 	sys.WaitIdle()
 }
 
+// pollRetry is an indefinite poll restarted across EINTR: poll(2) is
+// pause-style non-restarting, and the dispatcher's clients deliver a
+// SIGCLD every time one exits, so a bare Poll(-1) next to exiting
+// children must be retried.
+func pollRetry(c *irix.Ctx, set []irix.PollFd) error {
+	for {
+		_, err := c.Poll(set, -1)
+		if err == nil || !errors.Is(err, irix.ErrInterrupt) {
+			return err
+		}
+	}
+}
+
 // serveWorker multiplexes the job pipe plus every owned connection through
 // one poll set: slot 0 is the job pipe, the rest are accepted descriptors
 // this worker was dealt. A readable connection gets the echo treatment; a
@@ -132,7 +146,7 @@ func serveWorker(wc *irix.Ctx, id int64, jobR int) {
 			wc.Close(jobR)
 			return
 		}
-		if _, err := wc.Poll(set, -1); err != nil {
+		if err := pollRetry(wc, set); err != nil {
 			log.Fatalf("worker poll: %v", err)
 		}
 		live := set[:1]

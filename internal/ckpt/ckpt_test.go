@@ -1,0 +1,151 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func samplePage(size int, fill byte) []byte {
+	p := make([]byte, size)
+	for i := range p {
+		p[i] = fill + byte(i&7)
+	}
+	return p
+}
+
+func sampleImage() *Image {
+	const ps = 64
+	return &Image{
+		Version:  Version,
+		PageSize: ps,
+		Attr: GroupAttr{
+			Umask: 0o022, Ulimit: 1 << 30, Uid: 7, Gid: 9,
+			CPUShares: 3, FrameQuota: 512, MemberCap: 8, Gang: true,
+		},
+		Regions: []RegionImage{
+			{Base: 0x1000, Pages: 4, Type: RText, Resid: []PageImage{
+				{Index: 0, Data: samplePage(ps, 1)},
+			}},
+			{Base: 0x8000, Pages: 16, Type: RData, Resid: []PageImage{
+				{Index: 2, Data: samplePage(ps, 3)},
+				{Index: 9, Data: samplePage(ps, 5)},
+			}},
+		},
+		Members: []MemberImage{
+			{PID: 1, Name: "creator", Mask: 0x3f, Prio: 0, Arg: 0,
+				StackBase: 0x70000, StackPages: 8,
+				Fds: []FdImage{
+					{Fd: 0, Path: "/tmp/log", Flags: 3, Offset: 42},
+					{Fd: 3, Stream: true},
+				}},
+			{PID: 2, Name: "worker", Mask: 0x3f, Prio: 1, Arg: 11,
+				StackBase: 0x90000, StackPages: 8,
+				PRDA: samplePage(ps, 8)},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := sampleImage()
+	if err := im.Validate(); err != nil {
+		t.Fatalf("sample image invalid: %v", err)
+	}
+	enc := im.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if diffs := Diff(im, got, DiffOpts{}); len(diffs) != 0 {
+		t.Fatalf("round trip lost information: %v", diffs)
+	}
+	// Canonical: re-encoding the decoded image is byte-identical.
+	if !bytes.Equal(enc, got.Encode()) {
+		t.Fatal("re-encode of decoded image differs from original bytes")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := sampleImage().Encode()
+
+	bad := append([]byte{}, enc...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("decode accepted a flipped body byte")
+	}
+	if _, err := Decode(enc[:len(enc)-9]); err == nil {
+		t.Fatal("decode accepted a truncated image")
+	}
+	bad = append([]byte{}, enc...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("decode accepted bad magic")
+	}
+}
+
+func TestValidateCatchesStructuralDamage(t *testing.T) {
+	cases := []struct {
+		name   string
+		break_ func(*Image)
+	}{
+		{"overlapping regions", func(im *Image) { im.Regions[1].Base = im.Regions[0].Base }},
+		{"page beyond extent", func(im *Image) { im.Regions[0].Resid[0].Index = 99 }},
+		{"short page", func(im *Image) { im.Regions[0].Resid[0].Data = im.Regions[0].Resid[0].Data[:8] }},
+		{"duplicate pid", func(im *Image) { im.Members[1].PID = im.Members[0].PID }},
+		{"no members", func(im *Image) { im.Members = nil }},
+		{"unshared member", func(im *Image) { im.Members[1].Mask = 0 }},
+		{"unordered fds", func(im *Image) {
+			m := &im.Members[0]
+			m.Fds[0].Fd, m.Fds[1].Fd = 3, 0
+		}},
+	}
+	for _, tc := range cases {
+		im := sampleImage()
+		tc.break_(im)
+		if err := im.Validate(); err == nil {
+			t.Errorf("%s: validate accepted damaged image", tc.name)
+		}
+	}
+}
+
+func TestDiffAbsentEqualsZero(t *testing.T) {
+	a, b := sampleImage(), sampleImage()
+	// A zero page recorded in one image and absent from the other is the
+	// same logical state — a restore materializes it back to zeros.
+	b.Regions[1].Resid = append(b.Regions[1].Resid, PageImage{Index: 12, Data: make([]byte, b.PageSize)})
+	b.Normalize()
+	if diffs := Diff(a, b, DiffOpts{}); len(diffs) != 0 {
+		t.Fatalf("zero page vs absent page reported as difference: %v", diffs)
+	}
+	// A non-zero extra page is a real difference.
+	b.Regions[1].Resid[0].Data[5] = 0xaa
+	if diffs := Diff(a, b, DiffOpts{}); len(diffs) == 0 {
+		t.Fatal("non-zero extra page not reported")
+	}
+}
+
+func TestDiffIgnorePIDs(t *testing.T) {
+	a, b := sampleImage(), sampleImage()
+	b.Members[0].PID, b.Members[1].PID = 41, 42
+	if diffs := Diff(a, b, DiffOpts{}); len(diffs) == 0 {
+		t.Fatal("pid change not reported without IgnorePIDs")
+	}
+	if diffs := Diff(a, b, DiffOpts{IgnorePIDs: true}); len(diffs) != 0 {
+		t.Fatalf("IgnorePIDs still reported: %v", diffs)
+	}
+	b.Members[1].Arg = 99
+	if diffs := Diff(a, b, DiffOpts{IgnorePIDs: true}); len(diffs) == 0 {
+		t.Fatal("argument change masked by IgnorePIDs")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	a, b := sampleImage(), sampleImage()
+	// Build b's page list in a different order; Normalize must restore
+	// the canonical form so the encodings agree byte for byte.
+	r := &b.Regions[1]
+	r.Resid[0], r.Resid[1] = r.Resid[1], r.Resid[0]
+	b.Normalize()
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("same logical image encoded to different bytes")
+	}
+}

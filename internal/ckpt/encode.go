@@ -1,0 +1,264 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+)
+
+// Binary image format: little-endian, fixed-width integers, length-
+// prefixed strings and lists, in canonical order (regions ascending by
+// base, pages ascending by index, members in creation order), closed by a
+// CRC64 of everything before it. Two checkpoints of identical logical
+// state therefore encode byte-identically — the determinism contract the
+// restore-and-diff and double-checkpoint tests pin.
+
+var magic = [8]byte{'S', 'G', 'C', 'K', 'P', 'T', 0, '\n'}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Encode serializes the image to its canonical byte form.
+func (im *Image) Encode() []byte {
+	w := &writer{buf: make([]byte, 0, 4096)}
+	w.buf = append(w.buf, magic[:]...)
+	w.u32(uint32(im.Version))
+	w.u32(uint32(im.PageSize))
+
+	w.u16(im.Attr.Umask)
+	w.i64(im.Attr.Ulimit)
+	w.u16(im.Attr.Uid)
+	w.u16(im.Attr.Gid)
+	w.u32(uint32(im.Attr.CPUShares))
+	w.i64(im.Attr.FrameQuota)
+	w.u32(uint32(im.Attr.MemberCap))
+	w.boolean(im.Attr.Gang)
+
+	w.u32(uint32(len(im.Regions)))
+	for _, r := range im.Regions {
+		w.u64(r.Base)
+		w.u32(uint32(r.Pages))
+		w.u8(r.Type)
+		w.u32(uint32(len(r.Resid)))
+		for _, pg := range r.Resid {
+			w.u32(uint32(pg.Index))
+			w.buf = append(w.buf, pg.Data...)
+		}
+	}
+
+	w.u32(uint32(len(im.Members)))
+	for _, m := range im.Members {
+		w.u32(uint32(m.PID))
+		w.str(m.Name)
+		w.u32(m.Mask)
+		w.u32(uint32(m.Prio))
+		w.i64(m.Arg)
+		w.u64(m.StackBase)
+		w.u32(uint32(m.StackPages))
+		w.bytes(m.PRDA)
+		w.u32(uint32(len(m.Fds)))
+		for _, fd := range m.Fds {
+			w.u32(uint32(fd.Fd))
+			w.str(fd.Path)
+			w.u32(uint32(fd.Flags))
+			w.u8(fd.FdFlags)
+			w.i64(fd.Offset)
+			w.boolean(fd.Stream)
+		}
+	}
+
+	w.u64(crc64.Checksum(w.buf, crcTable))
+	return w.buf
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("ckpt: truncated image at offset %d", r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.need(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *reader) u16() uint16 {
+	b := r.need(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (r *reader) u32() uint32 {
+	b := r.need(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *reader) u64() uint64 {
+	b := r.need(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+func (r *reader) i64() int64    { return int64(r.u64()) }
+func (r *reader) boolean() bool { return r.u8() != 0 }
+func (r *reader) count(limit int, what string) int {
+	n := int(r.u32())
+	if r.err == nil && (n < 0 || n > limit) {
+		r.err = fmt.Errorf("ckpt: implausible %s count %d", what, n)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return n
+}
+func (r *reader) str() string {
+	n := r.count(1<<20, "string byte")
+	b := r.need(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+func (r *reader) bytes() []byte {
+	n := r.count(1<<24, "byte-slice byte")
+	b := r.need(n)
+	if b == nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Decode parses a canonical image, verifying magic and checksum. The
+// result passes Validate when the encoder's input did.
+func Decode(data []byte) (*Image, error) {
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("ckpt: image too short (%d bytes)", len(data))
+	}
+	for i, b := range magic {
+		if data[i] != b {
+			return nil, fmt.Errorf("ckpt: bad magic")
+		}
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if got, want := binary.LittleEndian.Uint64(trailer), crc64.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (%#x != %#x)", got, want)
+	}
+
+	r := &reader{buf: body, off: len(magic)}
+	im := &Image{
+		Version:  int(r.u32()),
+		PageSize: int(r.u32()),
+	}
+	if r.err == nil && im.Version != Version {
+		return nil, fmt.Errorf("ckpt: image version %d, want %d", im.Version, Version)
+	}
+	if r.err == nil && (im.PageSize <= 0 || im.PageSize > 1<<20) {
+		return nil, fmt.Errorf("ckpt: implausible page size %d", im.PageSize)
+	}
+
+	im.Attr.Umask = r.u16()
+	im.Attr.Ulimit = r.i64()
+	im.Attr.Uid = r.u16()
+	im.Attr.Gid = r.u16()
+	im.Attr.CPUShares = int32(r.u32())
+	im.Attr.FrameQuota = r.i64()
+	im.Attr.MemberCap = int32(r.u32())
+	im.Attr.Gang = r.boolean()
+
+	nr := r.count(1<<16, "region")
+	for i := 0; i < nr && r.err == nil; i++ {
+		reg := RegionImage{
+			Base:  r.u64(),
+			Pages: int(r.u32()),
+			Type:  r.u8(),
+		}
+		np := r.count(1<<24, "page")
+		for j := 0; j < np && r.err == nil; j++ {
+			idx := int(r.u32())
+			b := r.need(im.PageSize)
+			if b == nil {
+				break
+			}
+			data := make([]byte, im.PageSize)
+			copy(data, b)
+			reg.Resid = append(reg.Resid, PageImage{Index: idx, Data: data})
+		}
+		im.Regions = append(im.Regions, reg)
+	}
+
+	nm := r.count(1<<16, "member")
+	for i := 0; i < nm && r.err == nil; i++ {
+		m := MemberImage{
+			PID:  int(r.u32()),
+			Name: r.str(),
+			Mask: r.u32(),
+			Prio: int32(r.u32()),
+			Arg:  r.i64(),
+		}
+		m.StackBase = r.u64()
+		m.StackPages = int(r.u32())
+		m.PRDA = r.bytes()
+		nf := r.count(1<<16, "descriptor")
+		for j := 0; j < nf && r.err == nil; j++ {
+			m.Fds = append(m.Fds, FdImage{
+				Fd:      int(r.u32()),
+				Path:    r.str(),
+				Flags:   int(r.u32()),
+				FdFlags: r.u8(),
+				Offset:  r.i64(),
+				Stream:  r.boolean(),
+			})
+		}
+		im.Members = append(im.Members, m)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes", len(body)-r.off)
+	}
+	return im, nil
+}

@@ -240,6 +240,34 @@ func (sa *ShAddr) CarveStack(child *proc.Proc, mem *hw.Memory, maxPages int, sha
 	return pr
 }
 
+// CarveStackAt places a member stack at an exact base address — the
+// restore path's fidelity requirement: a checkpointed member's stack must
+// reappear at its recorded base, not wherever deterministic re-carving
+// would land after free-list recycling. The range is overlap-checked
+// against the shared list, and the carve cursor is advanced past it so
+// later CarveStack calls cannot collide.
+func (sa *ShAddr) CarveStackAt(child *proc.Proc, mem *hw.Memory, base hw.VAddr, maxPages int, shared bool) (*vm.PRegion, error) {
+	sa.Acc.Lock(child)
+	defer sa.Acc.Unlock()
+	end := base + hw.VAddr(maxPages*hw.PageSize)
+	sa.listLock.Lock()
+	if vm.Overlaps(sa.regions, base, maxPages) {
+		sa.listLock.Unlock()
+		return nil, fmt.Errorf("core: stack range %#x..%#x collides with a shared region", base, end)
+	}
+	if next := end + hw.VAddr(StackGapPages*hw.PageSize); sa.nextStack < next {
+		sa.nextStack = next
+	}
+	pr := &vm.PRegion{Reg: vm.NewRegion(mem, vm.RStack, maxPages), Base: base}
+	sa.memberStack[child] = memberStack{pr: pr, pages: maxPages, shared: shared}
+	sa.listLock.Unlock()
+	if shared {
+		sa.regions = vm.Insert(sa.regions, pr)
+		sa.touchRegions()
+	}
+	return pr, nil
+}
+
 // AttachAnon carves a fresh range in the group's mapping arena and
 // attaches reg there on the shared list (the mmap path for VM-sharing
 // members). It returns the base address.

@@ -48,6 +48,12 @@ const (
 	// sleep on its readiness set — the poller must re-scan and go back
 	// down when nothing is ready.
 	SitePollSleep
+	// SiteCkpt injects at checkpoint pass boundaries: a delay charged to
+	// the initiator (stretching the pre-copy window so members re-dirty
+	// more), or a transient EAGAIN that aborts the checkpoint after the
+	// group is thawed — the abort path the soak's validation layers must
+	// survive.
+	SiteCkpt
 
 	// NSites bounds the per-site arrays.
 	NSites
@@ -55,7 +61,7 @@ const (
 
 var siteNames = [...]string{
 	"sysenter", "sysexit", "framealloc", "dispatch", "ipcsleep", "ipcdata",
-	"blocksleep", "pollsleep",
+	"blocksleep", "pollsleep", "ckpt",
 }
 
 func (s Site) String() string {

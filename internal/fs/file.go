@@ -48,6 +48,12 @@ type File struct {
 	offset int64
 	ref    atomic.Int32
 
+	// Path is the name the file was opened by, recorded so a checkpoint
+	// can note how to reacquire the descriptor at restore (the CRIU
+	// convention). Empty for anonymous endpoints (pipes, sockets), which a
+	// checkpoint records structurally but cannot reopen.
+	Path string
+
 	Reads  atomic.Int64
 	Writes atomic.Int64
 }
@@ -199,5 +205,7 @@ func (f *FS) Open(c Cred, path string, flags int, mode uint16) (*File, error) {
 	if flags&OTrunc != 0 && !ip.IsDir() {
 		ip.Truncate()
 	}
-	return NewFile(ip.Hold(), nil, flags), nil
+	file := NewFile(ip.Hold(), nil, flags)
+	file.Path = path
+	return file, nil
 }

@@ -1,0 +1,82 @@
+package hw
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestResvLateRefundSettles is the regression test for the refund leak:
+// a refund that lands after Release must settle with the account instead
+// of depositing into the dead reservation, or the account's used count
+// keeps the charge forever (the failed allocation granted no frame, so no
+// DecRef will ever return it).
+func TestResvLateRefundSettles(t *testing.T) {
+	var a FrameAcct
+	rv := a.Reserve(4)
+	if rv == nil {
+		t.Fatal("Reserve refused with no quota set")
+	}
+	if !rv.consume() || !rv.consume() {
+		t.Fatal("consume refused with prepaid frames left")
+	}
+	if got := rv.Release(); got != 2 {
+		t.Fatalf("Release returned %d, want 2", got)
+	}
+	// The two consumed frames' allocations now fail and refund late.
+	rv.refund()
+	rv.refund()
+	if u := a.Used(); u != 0 {
+		t.Fatalf("account leaked %d frames after late refunds", u)
+	}
+	if rv.Left() != 0 {
+		t.Fatalf("dead reservation holds %d frames", rv.Left())
+	}
+	if rv.consume() {
+		t.Fatal("consume succeeded on a released reservation")
+	}
+	if res, cons, ref, rel := a.ResvReserved.Load(), a.ResvConsumed.Load(),
+		a.ResvRefunds.Load(), a.ResvReleased.Load(); res+ref != cons+rel {
+		t.Fatalf("conservation broken: reserved %d + refunds %d != consumed %d + released %d",
+			res, ref, cons, rel)
+	}
+}
+
+// TestResvRefundReleaseRace hammers refund against Release from racing
+// goroutines; under -race this doubles as the memory-order check for the
+// closed-flag settle protocol. The invariant is the account drains to
+// zero and the flow counters balance.
+func TestResvRefundReleaseRace(t *testing.T) {
+	var a FrameAcct
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		rv := a.Reserve(8)
+		consumed := 0
+		for j := 0; j < 5; j++ {
+			if rv.consume() {
+				consumed++
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < consumed; j++ {
+				rv.refund()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			rv.Release()
+		}()
+		wg.Wait()
+		rv.Release() // idempotent; sweeps anything the race left behind
+		if u := a.Used(); u != 0 {
+			t.Fatalf("round %d: account leaked %d frames", i, u)
+		}
+	}
+	if res, cons, ref, rel := a.ResvReserved.Load(), a.ResvConsumed.Load(),
+		a.ResvRefunds.Load(), a.ResvReleased.Load(); res+ref != cons+rel {
+		t.Fatalf("conservation broken: reserved %d + refunds %d != consumed %d + released %d",
+			res, ref, cons, rel)
+	}
+}

@@ -90,11 +90,38 @@ func (c *Context) deliverPending() bool {
 	}
 }
 
+// freezePark is the checkpoint safepoint slow path: the process has a
+// pending freeze gate, so park on it until the initiator thaws the group.
+// The loop re-checks after waking — a new checkpoint may have installed a
+// fresh gate while this one was opening. Both safepoints that call this
+// (the top of translate and the kernel entry) precede any lock
+// acquisition, so a parked member never holds a kernel lock, and every
+// user-visible store passes through translate first, so no store is in
+// flight past a safepoint the member already crossed.
+func (c *Context) freezePark() {
+	p := c.P
+	for {
+		g := p.Freeze()
+		if g == nil {
+			return
+		}
+		p.MarkParked(g)
+		c.S.Sched.Park(p, g.Thaw())
+		p.ClearParked(g)
+	}
+}
+
 // translate resolves va for the given access kind, consulting the TLB
 // first and falling back to the fault path. The private pregion list is
 // scanned first, then the share group's shared list under the shared read
-// lock (paper §6.2).
+// lock (paper §6.2). The freeze check on entry is the memory-access
+// checkpoint safepoint: it runs before the access is charged or resolved,
+// so a member observed parked here has not yet landed the store it was
+// about to make.
 func (c *Context) translate(va hw.VAddr, write bool) (hw.PFN, error) {
+	if c.P.FreezePending() {
+		c.freezePark()
+	}
 	cpu := c.cpu()
 	c.charge(c.S.Machine.Cost.MemAccess)
 	if va >= vm.PRDABase && va < vm.PRDABase+hw.VAddr(vm.PRDAPages*hw.PageSize) {

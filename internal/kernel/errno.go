@@ -104,6 +104,7 @@ var errnoTable = []struct {
 	{fs.ErrPipe, EPIPE}, {fs.ErrAgain, EAGAIN},
 	{ErrNoChildren, ECHILD}, {ErrInterrupt, EINTR}, {ErrNoProc, ESRCH},
 	{ErrTooMany, EAGAIN}, {ErrPerm, EPERM}, {ErrBadBlockPid, EINVAL},
+	{ErrCkptBusy, EAGAIN}, {ErrCkptQuiesce, EAGAIN},
 	{ErrNoRegion, EINVAL}, {ErrNoMem, ENOMEM}, {hw.ErrNoMemory, ENOMEM},
 	{hw.ErrNoQuota, ENOMEM},
 	{vm.ErrTextWrite, EFAULT},

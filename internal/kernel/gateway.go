@@ -166,6 +166,12 @@ func invoke1[T any](c *Context, d *sysDesc, body func() T) T {
 // span. It returns the process-cycle snapshot the latency accounting closes
 // against.
 func (c *Context) enterSys(d *sysDesc) int64 {
+	// Checkpoint safepoint: a member with a pending freeze gate parks here,
+	// before the body can acquire any kernel lock or mutate kernel state
+	// the checkpoint captures (fd tables, the shared region list).
+	if c.P.FreezePending() {
+		c.freezePark()
+	}
 	start := c.P.Cycles.Load()
 	c.charge(c.S.Machine.Cost.SyscallEntry + d.cost)
 	if c.P.Flag.Load()&proc.FSyncAny != 0 {

@@ -48,9 +48,9 @@ func TestPollBasicReadiness(t *testing.T) {
 			t.Errorf("after write: n=%d revents %#x, want PollIn", n, set[0].Revents)
 		}
 
-		// No timers in the simulation: positive timeouts are EINVAL.
-		if _, err := c.Poll(set[:1], 10); ErrnoOf(err) != EINVAL {
-			t.Errorf("poll(timeout=10) errno %v, want EINVAL", ErrnoOf(err))
+		// A positive timeout with data already buffered returns at once.
+		if n, err := c.Poll(set[:1], 1000); err != nil || n != 1 || set[0].Revents&PollIn == 0 {
+			t.Errorf("poll(timeout, ready) = (%d, %v) revents %#x, want PollIn", n, err, set[0].Revents)
 		}
 
 		// Closing the read end makes the write end an error condition —
@@ -80,6 +80,96 @@ func TestPollBlocksUntilChildWrites(t *testing.T) {
 		n, err := c.Poll(set, -1)
 		if err != nil || n != 1 || set[0].Revents&PollIn == 0 {
 			t.Errorf("poll = (%d, %v) revents %#x", n, err, set[0].Revents)
+		}
+		c.Wait()
+	})
+	waitIdle(t, s)
+}
+
+// TestPollTimedExpiry: a positive timeout bounds the sleep — nothing ever
+// becomes ready, so poll must come back with 0 instead of blocking
+// forever (the pre-fix kernel rejected every positive timeout EINVAL).
+func TestPollTimedExpiry(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Start("main", func(c *Context) {
+		r, _, err := c.Pipe()
+		if err != nil {
+			t.Fatalf("pipe: %v", err)
+		}
+		set := []PollFd{{Fd: r, Events: PollIn}}
+		start := time.Now()
+		n, err := c.Poll(set, 25)
+		if err != nil || n != 0 {
+			t.Errorf("poll(timeout=25, idle) = (%d, %v), want (0, nil)", n, err)
+		}
+		if el := time.Since(start); el < 20*time.Millisecond {
+			t.Errorf("timed poll returned after %v, want a ~25ms bounded sleep", el)
+		}
+		if set[0].Revents != 0 {
+			t.Errorf("expired poll revents %#x, want 0", set[0].Revents)
+		}
+	})
+	waitIdle(t, s)
+	if st := s.Stats(); st.PollSleeps == 0 {
+		t.Error("timed poll never actually slept")
+	}
+}
+
+// TestPollTimedReadiness: a readiness transition during the bounded sleep
+// ends it early with the event, ahead of the timer.
+func TestPollTimedReadiness(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Start("main", func(c *Context) {
+		r, w, err := c.Pipe()
+		if err != nil {
+			t.Fatalf("pipe: %v", err)
+		}
+		c.Fork("writer", func(cc *Context) {
+			for i := 0; i < 200; i++ {
+				cc.Getpid() // burn some time before signalling readiness
+			}
+			cc.WriteString(w, vm.DataBase, "x")
+		})
+		set := []PollFd{{Fd: r, Events: PollIn}}
+		// Generous bound: the writer's readiness, not the timer, must end
+		// the wait.
+		n, err := c.Poll(set, 60_000)
+		if err != nil || n != 1 || set[0].Revents&PollIn == 0 {
+			t.Errorf("timed poll = (%d, %v) revents %#x, want PollIn", n, err, set[0].Revents)
+		}
+		c.Wait()
+	})
+	waitIdle(t, s)
+}
+
+// TestPollTimedEINTR: the EINTR contract holds for timed waits too — a
+// caught signal during the bounded sleep surfaces as EINTR, not as a
+// silent restart or a timeout.
+func TestPollTimedEINTR(t *testing.T) {
+	s := NewSystem(testConfig())
+	s.Start("parent", func(c *Context) {
+		var woke atomic.Bool
+		pid, _ := c.Fork("poller", func(cc *Context) {
+			cc.Signal(proc.SIGUSR1, func(int) {})
+			r, _, err := cc.Pipe()
+			if err != nil {
+				t.Errorf("pipe: %v", err)
+				return
+			}
+			set := []PollFd{{Fd: r, Events: PollIn}}
+			// A bound far past the test's patience: only the signal can
+			// end this poll this fast.
+			_, err = cc.Poll(set, 600_000)
+			if !errors.Is(err, ErrInterrupt) || ErrnoOf(err) != EINTR {
+				t.Errorf("interrupted timed poll = %v (errno %v), want EINTR", err, ErrnoOf(err))
+			}
+			woke.Store(true)
+		})
+		for !woke.Load() {
+			if err := c.Kill(pid, proc.SIGUSR1); err != nil {
+				t.Errorf("kill: %v", err)
+				break
+			}
 		}
 		c.Wait()
 	})

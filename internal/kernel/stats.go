@@ -101,6 +101,23 @@ type Stats struct {
 	FlushedCyc   int64        // quantum-boundary cycles flushed into usage accounts
 	UngroupedCyc int64        // flushed cycles with no group to charge
 	Groups       []GroupUsage // per-group entitlement/delivery records
+
+	// Live checkpoint/restore (syscalls_ckpt.go, DESIGN.md §17).
+	Ckpts          int64 // checkpoints completed
+	CkptPasses     int64 // pre-copy passes executed
+	CkptPrePages   int64 // pages copied live by pre-copy passes
+	CkptSTWPages   int64 // pages copied inside stop-the-world windows
+	CkptSTWCycles  int64 // simulated cycles initiators spent stopped
+	CkptImageBytes int64 // encoded image bytes produced
+	Restores       int64 // groups rebuilt from an image
+
+	// Spawn-reservation flow, summed over live groups (hw.FrameAcct). At
+	// quiescence the conservation law holds:
+	// ResvReserved + ResvRefunds == ResvConsumed + ResvReleased.
+	ResvReserved int64 // frames prepaid by batched reservations
+	ResvConsumed int64 // prepaid frames taken by page fills
+	ResvRefunds  int64 // consumed frames returned by failed allocations
+	ResvReleased int64 // frames returned to the group account
 }
 
 // FaultSiteStat is one injection site's counters.
@@ -185,6 +202,11 @@ func (s *System) Stats() Stats {
 			st.VMCacheHits += sa.CacheHits.Load()
 			st.VMCacheMisses += sa.CacheMisses.Load()
 			st.Groups = append(st.Groups, s.groupUsage(sa))
+			acct := sa.FrameAcct()
+			st.ResvReserved += acct.ResvReserved.Load()
+			st.ResvConsumed += acct.ResvConsumed.Load()
+			st.ResvRefunds += acct.ResvRefunds.Load()
+			st.ResvReleased += acct.ResvReleased.Load()
 		}
 	}
 	if r := s.Machine.Trace; r != nil {
@@ -212,6 +234,13 @@ func (s *System) Stats() Stats {
 	st.ProcWakes = s.blockWakes.Load()
 	st.BankedWakes = s.bankedWakes.Load()
 	st.SpinToBlocks = s.spinBlocks.Load()
+	st.Ckpts = s.ckpts.Load()
+	st.CkptPasses = s.ckptPasses.Load()
+	st.CkptPrePages = s.ckptPrePages.Load()
+	st.CkptSTWPages = s.ckptSTWPages.Load()
+	st.CkptSTWCycles = s.ckptSTWCycles.Load()
+	st.CkptImageBytes = s.ckptImageBytes.Load()
+	st.Restores = s.restores.Load()
 	st.PollSleeps = s.pollSleeps.Load()
 	st.ReadyTransitions = s.pollStats.Transitions.Load()
 	st.ReadySleeperWakes = s.pollStats.SleeperWakes.Load()

@@ -1,6 +1,9 @@
 package kernel
 
 import (
+	"sync/atomic"
+	"time"
+
 	"repro/internal/faultinject"
 	"repro/internal/fs"
 )
@@ -58,18 +61,17 @@ func (c *Context) pollScan(fds []PollFd) int {
 }
 
 // Poll waits for readiness on a set of descriptors. timeout follows
-// poll(2) shape with no timers in the simulation: 0 scans once without
-// sleeping, a negative value blocks until some entry is ready, and a
-// positive value is rejected with EINVAL. It returns the number of
-// entries with non-zero Revents.
+// poll(2) shape: 0 scans once without sleeping, a negative value blocks
+// until some entry is ready, and a positive value bounds the sleep to
+// that many milliseconds — the timer's expiry rides the same wake-token
+// baton a stream's readiness transition does, so a timed wait that
+// expires with nothing ready returns 0 like poll(2). It returns the
+// number of entries with non-zero Revents.
 //
 // Poll is deliberately not restartable: a caught signal surfaces as EINTR
 // (like pause(2)), so serving loops can re-examine shutdown state.
 func (c *Context) Poll(fds []PollFd, timeout int) (int, error) {
 	return invoke(c, sysPoll, func() (int, error) {
-		if timeout > 0 {
-			return -1, fs.ErrInval
-		}
 		p := c.P
 		w := &fs.PollWaiter{T: p}
 		registered := false
@@ -82,12 +84,26 @@ func (c *Context) Poll(fds []PollFd, timeout int) (int, error) {
 				}
 			}
 		}()
+		// A positive timeout arms a one-shot timer whose expiry notifies
+		// our own waiter registration: the same level-triggered deposit a
+		// stream transition makes, so the sleep below needs no second wake
+		// channel. A timer that outlives the call (Stop lost the race with
+		// the firing) leaves at most one stale wake token behind, which
+		// every kernel sleep already tolerates as a spurious wake.
+		var expired atomic.Bool
+		if timeout > 0 {
+			tm := time.AfterFunc(time.Duration(timeout)*time.Millisecond, func() {
+				expired.Store(true)
+				w.Notify()
+			})
+			defer tm.Stop()
+		}
 		for {
 			// Register before scanning so a transition that lands between
 			// the scan and the sleep deposits a wake token instead of being
 			// lost. Stale tokens surface as spurious wakes; the loop
 			// re-scans and goes back down.
-			if timeout < 0 && !registered {
+			if timeout != 0 && !registered {
 				for i := range fds {
 					if f, err := c.fdFile(fds[i].Fd); err == nil {
 						f.PollRegister(w)
@@ -98,7 +114,7 @@ func (c *Context) Poll(fds []PollFd, timeout int) (int, error) {
 			if n := c.pollScan(fds); n > 0 {
 				return n, nil
 			}
-			if timeout == 0 {
+			if timeout == 0 || expired.Load() {
 				return 0, nil
 			}
 			if p.SignalPending() {

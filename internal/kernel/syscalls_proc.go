@@ -222,6 +222,7 @@ func (c *Context) sproc(name string, entry func(*Context, int64), shmask proc.Ma
 	shmask &= p.ShMask() // strict inheritance
 
 	child := c.newChild(name)
+	child.Arg = arg
 	shareVM := shmask&proc.PRSADDR != 0
 
 	// Virtual memory.

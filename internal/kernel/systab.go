@@ -84,6 +84,11 @@ const (
 	SysUnblockproc
 	SysSetblockproccnt
 
+	// Checkpoint/restore (syscalls_ckpt.go): live share-group checkpoint
+	// by iterative pre-copy, and group reconstruction from an image.
+	SysCkpt
+	SysRestore
+
 	// NSys bounds the table; it is the size of every per-syscall array.
 	NSys
 )
@@ -207,6 +212,13 @@ var (
 	sysBlockproc       = &sysDesc{SysBlockproc, "blockproc", ClassProc, 0, sfInjEINTR}
 	sysUnblockproc     = &sysDesc{SysUnblockproc, "unblockproc", ClassProc, 0, 0}
 	sysSetblockproccnt = &sysDesc{SysSetblockproccnt, "setblockproccnt", ClassProc, 0, 0}
+
+	// ckpt is sfRetry: losing the one-initiator-at-a-time race, failing to
+	// quiesce the group in bounded passes, and the injected pass-boundary
+	// fault all surface as EAGAIN with the group thawed and unchanged, so
+	// the gateway's escalating backoff can re-run the call safely.
+	sysCkpt    = &sysDesc{SysCkpt, "ckpt", ClassProc, 0, sfRetry | sfInjEAGAIN}
+	sysRestore = &sysDesc{SysRestore, "restore", ClassProc, 0, sfInjENOMEM}
 )
 
 // sysTable indexes the descriptors by number for name and class lookups.
@@ -224,6 +236,7 @@ var sysTable = func() [NSys]*sysDesc {
 		sysExit, sysWait, sysKill, sysSignal, sysSigmask, sysPause,
 		sysSetshares, sysGetusage,
 		sysBlockproc, sysUnblockproc, sysSetblockproccnt,
+		sysCkpt, sysRestore,
 	} {
 		if t[d.num] != nil {
 			panic("kernel: duplicate syscall number " + d.name)

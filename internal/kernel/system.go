@@ -162,6 +162,19 @@ type System struct {
 	pollStats  *ipc.PollStats
 	pollSleeps atomic.Int64 // poll(2) calls that actually slept (per wait)
 
+	// Checkpoint/restore (syscalls_ckpt.go). ckptMu serializes initiators:
+	// one live checkpoint at a time, system-wide; a loser surfaces EAGAIN
+	// so the gateway's retry backoff applies instead of queueing frozen
+	// initiators behind each other.
+	ckptMu         sync.Mutex
+	ckpts          atomic.Int64 // checkpoints completed
+	ckptPasses     atomic.Int64 // pre-copy passes executed
+	ckptPrePages   atomic.Int64 // pages copied live by pre-copy passes
+	ckptSTWPages   atomic.Int64 // pages copied inside stop-the-world windows
+	ckptSTWCycles  atomic.Int64 // simulated cycles initiators spent in STW
+	ckptImageBytes atomic.Int64 // encoded image bytes produced
+	restores       atomic.Int64 // groups rebuilt from an image
+
 	wg sync.WaitGroup // live processes
 }
 

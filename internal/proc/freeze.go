@@ -1,0 +1,73 @@
+package proc
+
+import "sync/atomic"
+
+// Checkpoint freeze protocol (DESIGN.md §17). A checkpoint initiator that
+// has finished its pre-copy passes must bring every other group member to
+// quiescence before it captures the final dirty delta and the members'
+// kernel state. It does so by installing a FreezeGate on each member; the
+// members park themselves at the next safepoint they cross — the top of a
+// user memory access or a kernel entry, both points where the member holds
+// no kernel locks and has no user-visible store in flight — and sleep on
+// the gate's thaw channel until the initiator releases them.
+//
+// The gate deliberately does not ride the blockproc wake token (Proc.wake):
+// consuming a banked unblock while frozen would lose a wakeup another
+// subsystem deposited, so Sched.Park sleeps on the gate's own channel.
+
+// FreezeGate is one checkpoint's stop-the-world barrier: members park on
+// its thaw channel, and the initiator counts arrivals through the per-proc
+// parked markers.
+type FreezeGate struct {
+	thaw   chan struct{}
+	Parked atomic.Int32 // members currently parked here (diagnostics)
+}
+
+// NewFreezeGate creates a closed gate; Open releases everyone parked on it.
+func NewFreezeGate() *FreezeGate {
+	return &FreezeGate{thaw: make(chan struct{})}
+}
+
+// Thaw returns the channel parked members sleep on.
+func (g *FreezeGate) Thaw() <-chan struct{} { return g.thaw }
+
+// Open releases every member parked on the gate. Call exactly once, after
+// clearing the members' freeze pointers, so a woken member's re-check sees
+// no pending freeze and resumes.
+func (g *FreezeGate) Open() { close(g.thaw) }
+
+// SetFreeze installs the gate as p's pending freeze request; p parks at
+// its next safepoint crossing.
+func (p *Proc) SetFreeze(g *FreezeGate) { p.frz.Store(g) }
+
+// ClearFreeze withdraws the gate if it is still the pending request. The
+// compare-and-swap means a newer checkpoint's gate installed concurrently
+// is never clobbered by an older checkpoint's thaw.
+func (p *Proc) ClearFreeze(g *FreezeGate) { p.frz.CompareAndSwap(g, nil) }
+
+// Freeze returns the pending freeze gate, or nil. One atomic load: this is
+// the safepoint fast path, crossed on every user memory access.
+func (p *Proc) Freeze() *FreezeGate { return p.frz.Load() }
+
+// FreezePending reports whether a freeze request is installed.
+func (p *Proc) FreezePending() bool { return p.frz.Load() != nil }
+
+// MarkParked publishes that p has reached a safepoint and is about to
+// sleep on g. From this moment p performs no user-visible work until the
+// gate opens, so the initiator may treat it as quiescent even though the
+// scheduler handoff inside Park is still in flight.
+func (p *Proc) MarkParked(g *FreezeGate) {
+	p.frzParked.Store(g)
+	g.Parked.Add(1)
+}
+
+// ClearParked withdraws the parked marker after the gate opened.
+func (p *Proc) ClearParked(g *FreezeGate) {
+	p.frzParked.Store(nil)
+	g.Parked.Add(-1)
+}
+
+// FrozenAt reports whether p is parked on g — the initiator's quiescence
+// predicate for running members (sleeping and zombie members are quiescent
+// by state).
+func (p *Proc) FrozenAt(g *FreezeGate) bool { return p.frzParked.Load() == g }

@@ -180,6 +180,17 @@ type Proc struct {
 	share  atomic.Pointer[shareRef]
 	Flag   atomic.Uint32 // p_flag synchronization bits
 
+	// Arg is the entry argument this process was sproc'd with, recorded so
+	// a checkpoint can note it and a restore can respawn the member with
+	// the same argument (freeze.go, DESIGN.md §17).
+	Arg int64
+
+	// Checkpoint freeze state (freeze.go): the pending gate installed by a
+	// checkpoint initiator, and the gate this process is currently parked
+	// on (nil when running free).
+	frz       atomic.Pointer[FreezeGate]
+	frzParked atomic.Pointer[FreezeGate]
+
 	// SysCount is the per-process syscall profile: call counts indexed by
 	// the kernel's syscall number. The kernel sizes and owns it (proc does
 	// not know the table size); nil means no accounting.

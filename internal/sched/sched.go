@@ -697,6 +697,25 @@ func (s *Sched) Block(p *proc.Proc, reason string) {
 	<-p.RunGate
 }
 
+// Park is the checkpoint-freeze sleep: release the CPU and wait until the
+// gate channel closes. Unlike Block it must not touch the wake-token
+// channel — a parked member is not waiting for an Unblock, and consuming a
+// banked token here would lose a wakeup another subsystem deposited for
+// the sleep the member returns to after the thaw.
+func (s *Sched) Park(p *proc.Proc, gate <-chan struct{}) {
+	s.flushUsage(p)
+	p.LastSleep.Store("ckpt-freeze")
+	cpu := p.CPU.Load()
+	s.Sleeps.Add(1)
+	s.machine.Trace.Record(trace.EvBlock, int32(p.PID), cpu, 0, 0)
+	s.releaseCPU(p)
+	p.SetState(proc.SSleep)
+	<-gate
+	s.machine.Trace.Record(trace.EvUnblock, int32(p.PID), -1, 0, 0)
+	s.Ready(p)
+	<-p.RunGate
+}
+
 // Unblock implements proc.Scheduler: deposit the wakeup token. The sleeping
 // goroutine re-enters the run queue itself — wake is the non-blocking
 // NotifyWake edge, safe to call from a waker holding arbitrary locks.

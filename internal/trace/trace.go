@@ -58,13 +58,23 @@ const (
 	// walked) — where the creation cost a DupLazy spawn deferred actually
 	// landed.
 	EvLazyBreak
+
+	// Checkpoint/restore spans (DESIGN.md §17): one EvCkptPass per
+	// snapshot pass over the group's regions (Arg: pages copied, Aux: pass
+	// number; pass 0 is the full copy), one EvCkptSTW closing the
+	// stop-the-world window (Arg: pages copied frozen, Aux: members
+	// parked), and one EvRestore per rebuilt group (Arg: members
+	// respawned).
+	EvCkptPass
+	EvCkptSTW
+	EvRestore
 )
 
 var kindNames = [...]string{
 	"none", "create", "exit", "dispatch", "preempt", "fault",
 	"shootdown", "signal", "syscall", "propagate", "sync",
 	"sysenter", "sysexit", "faultinj", "block", "unblock",
-	"lazybreak",
+	"lazybreak", "ckptpass", "ckptstw", "restore",
 }
 
 func (k Kind) String() string {

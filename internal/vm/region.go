@@ -134,6 +134,11 @@ type Region struct {
 	// cannot cache a writable TLB entry, so its dup skips the source-side
 	// flush entirely.
 	everWritable atomic.Bool
+
+	// dirty, when non-nil, is the armed checkpoint dirty bitmap (dirty.go):
+	// the fill slow path records every writable install in it so iterative
+	// pre-copy can harvest the pages re-dirtied between passes.
+	dirty atomic.Pointer[dirtyMap]
 }
 
 // NewRegion creates a region of npages demand-zero pages.
@@ -307,6 +312,7 @@ func (r *Region) fillSlow(idx int, write bool, cpu int, acct *hw.FrameAcct, resv
 		writable = r.Type != RText
 		if writable {
 			r.everWritable.Store(true)
+			r.noteDirty(idx)
 		}
 		slot.Store(pteEncode(pfn, writable))
 		r.resident.Add(1)
@@ -322,9 +328,17 @@ func (r *Region) fillSlow(idx int, write bool, cpu int, acct *hw.FrameAcct, resv
 		return pfn, true, FillCached, lazyPages, nil
 	}
 	if r.mem.Ref(pfn) == 1 {
+		if !write && r.dirty.Load() != nil {
+			// Tracking armed: a read must not re-install the writable bit,
+			// or pages merely read between pre-copy passes would count as
+			// dirtied. The store that eventually comes re-faults and lands
+			// in the upgrade below with write == true.
+			return pfn, false, FillCached, lazyPages, nil
+		}
 		// Sole owner again (the alias detached since Dup cleared the bit):
 		// upgrade in place.
 		r.everWritable.Store(true)
+		r.noteDirty(idx)
 		slot.Store(pteEncode(pfn, true))
 		return pfn, true, FillCached, lazyPages, nil
 	}
@@ -338,6 +352,7 @@ func (r *Region) fillSlow(idx int, write bool, cpu int, acct *hw.FrameAcct, resv
 	}
 	r.mem.DecRefOn(pfn, cpu)
 	r.everWritable.Store(true)
+	r.noteDirty(idx)
 	slot.Store(pteEncode(cp, true))
 	return cp, true, FillCopied, lazyPages, nil
 }

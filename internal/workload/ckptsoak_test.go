@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestChaosCkptSoak runs the checkpoint soak with the fault plan armed:
+// live pre-copy checkpoints under churn, restore round trips into fresh
+// systems, and pre-copy-vs-stop-world differentials, all while the plan
+// injects pass-boundary delays, aborted checkpoints, and restore ENOMEMs.
+func TestChaosCkptSoak(t *testing.T) {
+	rounds := 8
+	if testing.Short() {
+		rounds = 3
+	}
+	for _, seed := range []uint64{1, 0xc4p7} {
+		cfg := DefaultConfig()
+		cfg.FaultSeed = seed
+		cfg.FaultRate = 120
+		res := CkptSoak(cfg, 4, rounds)
+		t.Logf("seed %#x: %v", seed, res)
+		if res.Images == 0 {
+			t.Errorf("seed %#x: no checkpoint survived the fault plan", seed)
+		}
+		if res.L1 == 0 || res.L3 == 0 {
+			t.Errorf("seed %#x: validation layers starved: l1=%d l3=%d", seed, res.L1, res.L3)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("seed %#x: %s", seed, v)
+		}
+	}
+}
+
+// The soak must also hold with injection off — a clean run exercises the
+// same layers without the abort/retry noise, so every round validates.
+func TestChaosCkptSoakClean(t *testing.T) {
+	res := CkptSoak(DefaultConfig(), 3, 4)
+	t.Logf("clean: %v", res)
+	if res.Aborted != 0 {
+		t.Errorf("aborts without a fault plan: %d", res.Aborted)
+	}
+	if res.Images == 0 || res.L1 == 0 || res.L2 == 0 || res.L3 == 0 {
+		t.Errorf("layers starved: %v", res)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+}

@@ -28,6 +28,7 @@
 package irix
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/fs"
 	"repro/internal/hw"
 	"repro/internal/ipc"
@@ -93,6 +94,17 @@ type (
 	// to consumption — returned by Getusage (getusage(2)) and listed
 	// per live group in Stats.Groups.
 	GroupUsage = kernel.GroupUsage
+	// CkptOpts selects the pre-copy budget of a live group checkpoint
+	// (Ckpt, ckpt(2)): passes over the dirty set before the
+	// stop-the-world delta, and the pacing gap between them.
+	CkptOpts = kernel.CkptOpts
+	// CkptInfo is a checkpoint's cost report — pages copied live vs
+	// stopped, cycles spent stopped, encoded image size.
+	CkptInfo = kernel.CkptInfo
+	// CkptImage is a share group's deterministic checkpoint image:
+	// regions, resident pages, members, descriptor tables and shared
+	// attributes. Restore (restore(2)) rebuilds a group from one.
+	CkptImage = ckpt.Image
 )
 
 // ErrnoOf extracts the errno from any error a syscall returned (EOK for
@@ -204,17 +216,19 @@ const (
 
 // Errors a program can observe.
 var (
-	ErrNoChildren = kernel.ErrNoChildren
-	ErrInterrupt  = kernel.ErrInterrupt
-	ErrNoProc     = kernel.ErrNoProc
-	ErrTooMany    = kernel.ErrTooMany
-	ErrPerm       = kernel.ErrPerm
-	ErrNoRegion   = kernel.ErrNoRegion
-	ErrNotExist   = fs.ErrNotExist
-	ErrExist      = fs.ErrExist
-	ErrBadFd      = fs.ErrBadFd
-	ErrFileLimit  = fs.ErrFileLimit
-	ErrPipe       = fs.ErrPipe
+	ErrNoChildren  = kernel.ErrNoChildren
+	ErrInterrupt   = kernel.ErrInterrupt
+	ErrCkptBusy    = kernel.ErrCkptBusy
+	ErrCkptQuiesce = kernel.ErrCkptQuiesce
+	ErrNoProc      = kernel.ErrNoProc
+	ErrTooMany     = kernel.ErrTooMany
+	ErrPerm        = kernel.ErrPerm
+	ErrNoRegion    = kernel.ErrNoRegion
+	ErrNotExist    = fs.ErrNotExist
+	ErrExist       = fs.ErrExist
+	ErrBadFd       = fs.ErrBadFd
+	ErrFileLimit   = fs.ErrFileLimit
+	ErrPipe        = fs.ErrPipe
 )
 
 // User-level synchronization in shared memory (paper §3). The lock and
